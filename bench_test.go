@@ -1,0 +1,166 @@
+package hetsched
+
+// Benchmarks regenerating every figure of the paper (in quick mode so
+// `go test -bench=.` stays tractable; run cmd/hpdc14 for full-scale
+// regeneration) plus micro-benchmarks of the simulator and the
+// schedulers at the paper's actual scales.
+
+import (
+	"testing"
+
+	"hetsched/internal/analysis"
+	"hetsched/internal/cholesky"
+	"hetsched/internal/experiments"
+	"hetsched/internal/matmul"
+	"hetsched/internal/outer"
+	"hetsched/internal/rng"
+	"hetsched/internal/sim"
+	"hetsched/internal/speeds"
+)
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	exp, known := experiments.Registry[id]
+	if !known {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		res := exp.Run(experiments.Config{Seed: uint64(i + 1), Quick: true, Reps: 1})
+		if len(res.Series) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFig1(b *testing.B)  { benchFigure(b, "fig1") }
+func BenchmarkFig2(b *testing.B)  { benchFigure(b, "fig2") }
+func BenchmarkFig4(b *testing.B)  { benchFigure(b, "fig4") }
+func BenchmarkFig5(b *testing.B)  { benchFigure(b, "fig5") }
+func BenchmarkFig6(b *testing.B)  { benchFigure(b, "fig6") }
+func BenchmarkFig7(b *testing.B)  { benchFigure(b, "fig7") }
+func BenchmarkFig8(b *testing.B)  { benchFigure(b, "fig8") }
+func BenchmarkFig9(b *testing.B)  { benchFigure(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { benchFigure(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchFigure(b, "fig11") }
+func BenchmarkSec36(b *testing.B) { benchFigure(b, "sec36") }
+
+func BenchmarkAblationStatic(b *testing.B)     { benchFigure(b, "abl-static") }
+func BenchmarkAblationPhase2(b *testing.B)     { benchFigure(b, "abl-phase2") }
+func BenchmarkAblationODE(b *testing.B)        { benchFigure(b, "abl-ode") }
+func BenchmarkAblationRobust(b *testing.B)     { benchFigure(b, "abl-robust") }
+func BenchmarkAblationCholesky(b *testing.B)   { benchFigure(b, "abl-cholesky") }
+func BenchmarkAblationMapReduce(b *testing.B)  { benchFigure(b, "abl-mapreduce") }
+func BenchmarkAblationOverlap(b *testing.B)    { benchFigure(b, "abl-overlap") }
+func BenchmarkAblationODEMatrix(b *testing.B)  { benchFigure(b, "abl-ode-matrix") }
+func BenchmarkAblationPerProc(b *testing.B)    { benchFigure(b, "abl-perproc") }
+func BenchmarkAblationSwitchTime(b *testing.B) { benchFigure(b, "abl-switchtime") }
+func BenchmarkAblationLU(b *testing.B)         { benchFigure(b, "abl-lu") }
+
+// --- micro-benchmarks at the paper's scales ----------------------------
+
+func BenchmarkSimRandomOuter(b *testing.B) {
+	const n, p = 100, 100
+	root := rng.New(1)
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(outer.NewRandom(n, p, rng.New(uint64(i))), speeds.NewFixed(s))
+	}
+}
+
+func BenchmarkSimDynamicOuter(b *testing.B) {
+	const n, p = 100, 100
+	root := rng.New(1)
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(outer.NewDynamic(n, p, rng.New(uint64(i))), speeds.NewFixed(s))
+	}
+}
+
+func BenchmarkSimTwoPhasesOuter(b *testing.B) {
+	const n, p = 100, 100
+	root := rng.New(1)
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+	rs := speeds.Relative(s)
+	beta, _ := analysis.OptimalBetaOuter(rs, n)
+	thr := outer.ThresholdFromBeta(beta, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(outer.NewTwoPhases(n, p, thr, rng.New(uint64(i))), speeds.NewFixed(s))
+	}
+}
+
+func BenchmarkSimRandomMatrix(b *testing.B) {
+	const n, p = 40, 100
+	root := rng.New(1)
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(matmul.NewRandom(n, p, rng.New(uint64(i))), speeds.NewFixed(s))
+	}
+}
+
+func BenchmarkSimDynamicMatrix(b *testing.B) {
+	const n, p = 40, 100
+	root := rng.New(1)
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(matmul.NewDynamic(n, p, rng.New(uint64(i))), speeds.NewFixed(s))
+	}
+}
+
+func BenchmarkSimTwoPhasesMatrix(b *testing.B) {
+	const n, p = 40, 100
+	root := rng.New(1)
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+	rs := speeds.Relative(s)
+	beta, _ := analysis.OptimalBetaMatrix(rs, n)
+	thr := matmul.ThresholdFromBeta(beta, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(matmul.NewTwoPhases(n, p, thr, rng.New(uint64(i))), speeds.NewFixed(s))
+	}
+}
+
+func BenchmarkOptimalBetaOuter100(b *testing.B) {
+	root := rng.New(1)
+	rs := speeds.Relative(speeds.UniformRange(100, 10, 100, root))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.OptimalBetaOuter(rs, 100)
+	}
+}
+
+func BenchmarkOptimalBetaMatrix100(b *testing.B) {
+	root := rng.New(1)
+	rs := speeds.Relative(speeds.UniformRange(100, 10, 100, root))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.OptimalBetaMatrix(rs, 40)
+	}
+}
+
+func BenchmarkSimCholeskyLocality(b *testing.B) {
+	const n, p = 24, 16
+	root := rng.New(1)
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cholesky.Simulate(n, cholesky.LocalityReady, speeds.NewFixed(s), rng.New(uint64(i)))
+	}
+}
+
+func BenchmarkSimBandwidthTwoPhases(b *testing.B) {
+	const n, p = 100, 20
+	root := rng.New(1)
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+	rs := speeds.Relative(s)
+	beta, _ := analysis.OptimalBetaOuter(rs, n)
+	thr := outer.ThresholdFromBeta(beta, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.RunBandwidth(outer.NewTwoPhases(n, p, thr, rng.New(uint64(i))), speeds.NewFixed(s), 400, 2)
+	}
+}

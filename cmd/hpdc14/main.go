@@ -1,0 +1,110 @@
+// Command hpdc14 regenerates the figures of Beaumont & Marchal,
+// "Analysis of Dynamic Scheduling Strategies for Matrix Multiplication
+// on Heterogeneous Platforms" (HPDC 2014).
+//
+// Usage:
+//
+//	hpdc14 [flags] <experiment>...
+//	hpdc14 [flags] all
+//	hpdc14 list
+//
+// Each experiment prints an aligned table and an ASCII chart, and
+// writes a CSV file into -out (default ./results).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hetsched/internal/experiments"
+	"hetsched/internal/plot"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "root random seed")
+	reps := flag.Int("reps", 0, "override replication count (0 = figure default)")
+	quick := flag.Bool("quick", false, "shrink problem sizes for a fast smoke run")
+	outDir := flag.String("out", "results", "directory for CSV output (empty = no CSV)")
+	ascii := flag.Bool("ascii", true, "print ASCII charts")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if args[0] == "list" {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %-11s %s\n", id, experiments.Registry[id].Description)
+		}
+		return
+	}
+
+	var ids []string
+	if args[0] == "all" {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range args {
+			if _, known := experiments.Registry[id]; !known {
+				fmt.Fprintf(os.Stderr, "hpdc14: unknown experiment %q (try 'hpdc14 list')\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	cfg := experiments.Config{Seed: *seed, Reps: *reps, Quick: *quick}
+	for _, id := range ids {
+		exp := experiments.Registry[id]
+		start := time.Now()
+		res := exp.Run(cfg)
+		elapsed := time.Since(start)
+
+		fmt.Println(res.Table())
+		if *ascii {
+			fmt.Println(res.ASCII(72, 18))
+		}
+		fmt.Printf("(%s computed in %v)\n\n", id, elapsed.Round(time.Millisecond))
+
+		if *outDir != "" {
+			if err := writeCSV(*outDir, id, res); err != nil {
+				fmt.Fprintf(os.Stderr, "hpdc14: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSV(dir, id string, res *plot.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, id+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := res.WriteCSV(f); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `hpdc14 regenerates the paper's figures.
+
+usage:
+  hpdc14 [flags] <experiment>...   run selected experiments
+  hpdc14 [flags] all               run every experiment
+  hpdc14 list                      list experiments
+
+flags:
+`)
+	flag.PrintDefaults()
+}

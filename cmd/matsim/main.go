@@ -1,0 +1,69 @@
+// Command matsim runs a single matrix-multiplication simulation and
+// prints its communication metrics:
+//
+//	matsim -n 40 -p 100 -strategy 2phases -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetsched/internal/analysis"
+	"hetsched/internal/core"
+	"hetsched/internal/matmul"
+	"hetsched/internal/rng"
+	"hetsched/internal/sim"
+	"hetsched/internal/speeds"
+)
+
+func main() {
+	n := flag.Int("n", 40, "blocks per matrix dimension (n = N/l)")
+	p := flag.Int("p", 100, "number of processors")
+	strategy := flag.String("strategy", "2phases", "random | sorted | dynamic | 2phases")
+	beta := flag.Float64("beta", 0, "two-phase beta (0 = optimize analytically)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	lo := flag.Float64("smin", 10, "minimum speed")
+	hi := flag.Float64("smax", 100, "maximum speed")
+	flag.Parse()
+
+	root := rng.New(*seed)
+	init := speeds.UniformRange(*p, *lo, *hi, root.Split())
+	rs := speeds.Relative(init)
+	lb := analysis.LowerBoundMatrix(rs, *n)
+
+	var sched core.Scheduler
+	schedRNG := root.Split()
+	switch *strategy {
+	case "random":
+		sched = matmul.NewRandom(*n, *p, schedRNG)
+	case "sorted":
+		sched = matmul.NewSorted(*n, *p, schedRNG)
+	case "dynamic":
+		sched = matmul.NewDynamic(*n, *p, schedRNG)
+	case "2phases":
+		b := *beta
+		if b == 0 {
+			b, _ = analysis.OptimalBetaMatrix(rs, *n)
+			fmt.Printf("analysis-optimal beta* = %.4f\n", b)
+		}
+		sched = matmul.NewTwoPhases(*n, *p, matmul.ThresholdFromBeta(b, *n), schedRNG)
+	default:
+		fmt.Fprintf(os.Stderr, "matsim: unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	m := sim.Run(sched, speeds.NewFixed(init))
+	fmt.Printf("strategy            %s\n", sched.Name())
+	fmt.Printf("tasks               %d\n", sched.Total())
+	fmt.Printf("communication       %d blocks\n", m.Blocks)
+	fmt.Printf("lower bound         %.1f blocks\n", lb)
+	fmt.Printf("normalized comm     %.4f\n", float64(m.Blocks)/lb)
+	fmt.Printf("master requests     %d\n", m.Requests)
+	fmt.Printf("makespan            %.4f time units\n", m.Makespan)
+	fmt.Printf("load imbalance      %.4f (max relative deviation)\n", m.Imbalance(speeds.NewFixed(init)))
+	if m.Phase1Tasks >= 0 {
+		fmt.Printf("phase-1 tasks       %d (%.2f%%)\n", m.Phase1Tasks,
+			100*float64(m.Phase1Tasks)/float64(sched.Total()))
+	}
+}

@@ -1,0 +1,83 @@
+// Command outersim runs a single outer-product simulation and prints
+// its communication metrics. It is the smallest way to poke at the
+// schedulers:
+//
+//	outersim -n 100 -p 20 -strategy 2phases -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetsched/internal/analysis"
+	"hetsched/internal/core"
+	"hetsched/internal/outer"
+	"hetsched/internal/rng"
+	"hetsched/internal/sim"
+	"hetsched/internal/speeds"
+	"hetsched/internal/trace"
+)
+
+func main() {
+	n := flag.Int("n", 100, "blocks per vector (n = N/l)")
+	p := flag.Int("p", 20, "number of processors")
+	strategy := flag.String("strategy", "2phases", "random | sorted | dynamic | 2phases")
+	beta := flag.Float64("beta", 0, "two-phase beta (0 = optimize analytically)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	lo := flag.Float64("smin", 10, "minimum speed")
+	hi := flag.Float64("smax", 100, "maximum speed")
+	gantt := flag.Bool("gantt", false, "render a text Gantt chart of the run")
+	flag.Parse()
+
+	root := rng.New(*seed)
+	init := speeds.UniformRange(*p, *lo, *hi, root.Split())
+	rs := speeds.Relative(init)
+	lb := analysis.LowerBoundOuter(rs, *n)
+
+	var sched core.Scheduler
+	schedRNG := root.Split()
+	switch *strategy {
+	case "random":
+		sched = outer.NewRandom(*n, *p, schedRNG)
+	case "sorted":
+		sched = outer.NewSorted(*n, *p, schedRNG)
+	case "dynamic":
+		sched = outer.NewDynamic(*n, *p, schedRNG)
+	case "2phases":
+		b := *beta
+		if b == 0 {
+			b, _ = analysis.OptimalBetaOuter(rs, *n)
+			fmt.Printf("analysis-optimal beta* = %.4f\n", b)
+		}
+		sched = outer.NewTwoPhases(*n, *p, outer.ThresholdFromBeta(b, *n), schedRNG)
+	default:
+		fmt.Fprintf(os.Stderr, "outersim: unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	model := speeds.NewFixed(init)
+	var rec *trace.Recorder
+	var observe func(sim.Observation)
+	if *gantt {
+		rec = trace.NewRecorder(model)
+		observe = rec.Observe
+	}
+	m := sim.RunObserved(sched, model, observe)
+	fmt.Printf("strategy            %s\n", sched.Name())
+	fmt.Printf("tasks               %d\n", sched.Total())
+	fmt.Printf("communication       %d blocks\n", m.Blocks)
+	fmt.Printf("lower bound         %.1f blocks\n", lb)
+	fmt.Printf("normalized comm     %.4f\n", float64(m.Blocks)/lb)
+	fmt.Printf("master requests     %d\n", m.Requests)
+	fmt.Printf("makespan            %.4f time units\n", m.Makespan)
+	fmt.Printf("load imbalance      %.4f (max relative deviation)\n", m.Imbalance(speeds.NewFixed(init)))
+	if m.Phase1Tasks >= 0 {
+		fmt.Printf("phase-1 tasks       %d (%.2f%%)\n", m.Phase1Tasks,
+			100*float64(m.Phase1Tasks)/float64(sched.Total()))
+	}
+	if rec != nil {
+		fmt.Println()
+		fmt.Print(rec.Trace().Gantt(72))
+	}
+}

@@ -1,0 +1,20 @@
+// Package hetsched reproduces Beaumont & Marchal, "Analysis of Dynamic
+// Scheduling Strategies for Matrix Multiplication on Heterogeneous
+// Platforms" (HPDC 2014): demand-driven randomized schedulers for the
+// outer product and matrix multiplication that minimize communication
+// volume, together with the mean-field ODE analysis that tunes them.
+//
+// The library lives under internal/:
+//
+//   - internal/core     — scheduler abstraction (the paper's contribution, kernel-agnostic part)
+//   - internal/outer    — outer-product strategies (Random/Sorted/Dynamic/2Phases)
+//   - internal/matmul   — matrix-multiplication strategies
+//   - internal/analysis — closed-form ODE solutions, lower bounds, β optimization
+//   - internal/sim      — event-driven heterogeneous platform simulator
+//   - internal/exec     — real concurrent runtime executing block arithmetic
+//   - internal/experiments — regeneration of every figure of the paper
+//
+// Entry points: cmd/hpdc14 (figures), cmd/outersim and cmd/matsim
+// (single runs), examples/ (library usage). See README.md, DESIGN.md
+// and EXPERIMENTS.md.
+package hetsched

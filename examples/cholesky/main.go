@@ -1,0 +1,63 @@
+// Cholesky: the paper's future-work direction (§5) made runnable —
+// dynamic, data-aware scheduling of a kernel with dependencies.
+//
+// The example simulates the tiled Cholesky task DAG under three
+// ready-task selection policies, then replays the locality-aware
+// schedule on a real SPD matrix and verifies A = L·Lᵀ numerically.
+package main
+
+import (
+	"fmt"
+
+	"hetsched/internal/cholesky"
+	"hetsched/internal/linalg"
+	"hetsched/internal/rng"
+	"hetsched/internal/speeds"
+)
+
+func main() {
+	const (
+		n    = 12 // tiles per dimension → 650 tasks
+		l    = 6  // tile size → 72×72 matrix
+		p    = 8  // processors
+		seed = 21
+	)
+
+	root := rng.New(seed)
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+
+	fmt.Printf("tiled Cholesky: %d×%d tiles (%d tasks), %d heterogeneous processors\n\n",
+		n, n, cholesky.TaskCount(n), p)
+	fmt.Printf("%-20s %12s %12s %12s\n", "policy", "tiles sent", "makespan", "efficiency")
+
+	var locality *cholesky.Metrics
+	for _, pol := range []cholesky.Policy{
+		cholesky.RandomReady, cholesky.LocalityReady, cholesky.CriticalPathReady,
+	} {
+		m := cholesky.Simulate(n, pol, speeds.NewFixed(s), root.Split())
+		fmt.Printf("%-20s %12d %12.3f %12.3f\n", pol, m.Blocks, m.Makespan, m.Efficiency())
+		if pol == cholesky.LocalityReady {
+			locality = m
+		}
+	}
+
+	// Verify the locality schedule numerically.
+	a := linalg.NewBlockedMatrix(n, l)
+	linalg.RandomSPD(a, root.Split())
+	work := linalg.NewBlockedMatrix(n, l)
+	for i, blk := range a.Blocks {
+		copy(work.Blocks[i].Data, blk.Data)
+	}
+	if err := cholesky.Replay(locality.Schedule, work); err != nil {
+		fmt.Println("replay failed:", err)
+		return
+	}
+	res := linalg.CholeskyResidual(a, work)
+	fmt.Printf("\nreplayed the LocalityReady schedule on a real %d×%d SPD matrix\n", n*l, n*l)
+	fmt.Printf("max |A − L·Lᵀ| = %.3e", res)
+	if res < 1e-8 {
+		fmt.Println("  — factorization verified ✓")
+	} else {
+		fmt.Println("  — MISMATCH ✗")
+	}
+}

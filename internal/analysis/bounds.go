@@ -1,0 +1,47 @@
+package analysis
+
+import "math"
+
+// A-posteriori lower bounds: given the number of tasks each processor
+// actually executed in a run, how much communication was unavoidable?
+// These bounds hold for every schedule, not only speed-proportional
+// ones, so the tests use them as hard invariants on simulated and real
+// runs.
+
+// APosterioriLBOuter returns a lower bound on the number of blocks a
+// run of the outer product must have shipped, given the per-processor
+// task counts. A processor that computed T tasks touched at least
+// ⌈√T⌉ distinct rows and columns combined in the cheapest case
+// (a √T×√T square), i.e. received at least ⌈2√T⌉ blocks.
+func APosterioriLBOuter(tasksPer []int) float64 {
+	total := 0.0
+	for _, tk := range tasksPer {
+		if tk < 0 {
+			panic("analysis: negative task count")
+		}
+		if tk == 0 {
+			continue
+		}
+		total += 2 * math.Sqrt(float64(tk))
+	}
+	return total
+}
+
+// APosterioriLBMatrix is the matrix-multiplication analogue, based on
+// the Loomis–Whitney inequality: a processor computing T tasks
+// (i, j, k) with access to |A|, |B|, |C| blocks of each matrix
+// satisfies T ≤ √(|A|·|B|·|C|), so it received at least 3·T^(2/3)
+// blocks.
+func APosterioriLBMatrix(tasksPer []int) float64 {
+	total := 0.0
+	for _, tk := range tasksPer {
+		if tk < 0 {
+			panic("analysis: negative task count")
+		}
+		if tk == 0 {
+			continue
+		}
+		total += 3 * math.Pow(float64(tk), 2.0/3.0)
+	}
+	return total
+}

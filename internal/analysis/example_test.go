@@ -1,0 +1,32 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"hetsched/internal/analysis"
+	"hetsched/internal/speeds"
+)
+
+// ExampleOptimalBetaOuter tunes the two-phase threshold for a
+// homogeneous 20-processor platform and a 100-block outer product —
+// the paper's §3.6 speed-agnostic recipe.
+func ExampleOptimalBetaOuter() {
+	rs := speeds.Homogeneous(20)
+	beta, ratio := analysis.OptimalBetaOuter(rs, 100)
+	fmt.Printf("beta* = %.2f, predicted volume = %.2f x lower bound\n", beta, ratio)
+	fmt.Printf("switch when %.1f%% of tasks remain\n", 100*analysis.SwitchFraction(beta))
+	// Output:
+	// beta* = 4.37, predicted volume = 2.18 x lower bound
+	// switch when 1.3% of tasks remain
+}
+
+// ExampleGOuter evaluates Lemma 1's closed form: the fraction of
+// unprocessed tasks in a processor's L-shaped region once it holds 30%
+// of the input blocks, on a platform where it contributes 5% of the
+// total speed.
+func ExampleGOuter() {
+	alpha := analysis.Alpha(0.05)
+	fmt.Printf("g(0.3) = %.4f\n", analysis.GOuter(0.3, alpha))
+	// Output:
+	// g(0.3) = 0.1666
+}

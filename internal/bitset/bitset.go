@@ -1,0 +1,87 @@
+// Package bitset implements a dense, fixed-capacity bit set.
+//
+// The schedulers track per-processor data ownership (which blocks of
+// a, b, A, B, C a worker holds) and the global set of processed tasks
+// with bit sets; for the largest experiments in the paper these sets
+// have up to 10^6 members, so a packed representation matters.
+package bitset
+
+import "math/bits"
+
+// Bitset is a fixed-capacity set of integers in [0, Len()).
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// New returns a bit set of capacity n with all bits clear.
+func New(n int) *Bitset {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity of the set.
+func (b *Bitset) Len() int { return b.n }
+
+// Set inserts i into the set.
+func (b *Bitset) Set(i int) {
+	b.check(i)
+	b.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Clear removes i from the set.
+func (b *Bitset) Clear(i int) {
+	b.check(i)
+	b.words[i>>6] &^= 1 << uint(i&63)
+}
+
+// Test reports whether i is in the set.
+func (b *Bitset) Test(i int) bool {
+	b.check(i)
+	return b.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// SetIfClear inserts i and reports whether it was absent.
+func (b *Bitset) SetIfClear(i int) bool {
+	b.check(i)
+	w, m := i>>6, uint64(1)<<uint(i&63)
+	if b.words[w]&m != 0 {
+		return false
+	}
+	b.words[w] |= m
+	return true
+}
+
+// Count returns the number of elements in the set.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Reset clears every bit.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// ForEachClear calls fn for every value in [0, Len()) absent from the
+// set, in increasing order.
+func (b *Bitset) ForEachClear(fn func(i int)) {
+	for i := 0; i < b.n; i++ {
+		if b.words[i>>6]&(1<<uint(i&63)) == 0 {
+			fn(i)
+		}
+	}
+}
+
+func (b *Bitset) check(i int) {
+	if i < 0 || i >= b.n {
+		panic("bitset: index out of range")
+	}
+}

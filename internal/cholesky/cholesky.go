@@ -1,0 +1,263 @@
+// Package cholesky implements the paper's proposed future-work
+// extension (§5): dynamic, data-aware scheduling for a kernel with
+// task dependencies — the tiled Cholesky factorization A = L·Lᵀ.
+//
+// Unlike the outer product and matrix multiplication, Cholesky tasks
+// form a DAG: POTRF(k) factors the diagonal tile, TRSM(i,k) solves the
+// panel tiles below it, and UPDATE(i,j,k) applies rank-l updates to
+// the trailing submatrix (SYRK on diagonal tiles, GEMM otherwise).
+// The scheduler therefore maintains a ready set and workers may have
+// to wait; the demand-driven engine here extends the paper's model
+// with task readiness and per-tile write serialization.
+//
+// Communication model: tiles are versioned; shipping a task to a
+// worker costs one block per input tile whose version the worker does
+// not hold (its cache is updated). Writing bumps the tile version, so
+// stale cached copies are re-shipped — the dependency analogue of the
+// data-reuse accounting in the paper's kernels.
+package cholesky
+
+import "fmt"
+
+// Kind enumerates the tile kernels.
+type Kind uint8
+
+// Task kinds of the tiled right-looking Cholesky factorization.
+const (
+	Potrf  Kind = iota // factor diagonal tile (K,K)
+	Trsm               // panel solve of tile (I,K) against L(K,K)
+	Update             // trailing update of tile (I,J) with L(I,K)·L(J,K)ᵀ (SYRK when I==J)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Potrf:
+		return "POTRF"
+	case Trsm:
+		return "TRSM"
+	case Update:
+		return "UPDATE"
+	}
+	return "?"
+}
+
+// Task is one tile kernel invocation.
+type Task struct {
+	Kind    Kind
+	I, J, K int
+}
+
+// Cost returns the relative cost of the task in GEMM-equivalent flop
+// units (POTRF l³/3, TRSM l³, SYRK l³, GEMM 2l³, normalized by l³).
+func (t Task) Cost() float64 {
+	switch t.Kind {
+	case Potrf:
+		return 1.0 / 3
+	case Trsm:
+		return 1
+	case Update:
+		if t.I == t.J {
+			return 1
+		}
+		return 2
+	}
+	panic("cholesky: unknown task kind")
+}
+
+func (t Task) String() string {
+	switch t.Kind {
+	case Potrf:
+		return fmt.Sprintf("POTRF(%d)", t.K)
+	case Trsm:
+		return fmt.Sprintf("TRSM(%d,%d)", t.I, t.K)
+	default:
+		return fmt.Sprintf("UPDATE(%d,%d,%d)", t.I, t.J, t.K)
+	}
+}
+
+// TaskCount returns the number of tasks of an n-tile factorization:
+// n POTRFs, n(n−1)/2 TRSMs and Σ_k (n−k−1)(n−k)/2 updates.
+func TaskCount(n int) int {
+	potrf := n
+	trsm := n * (n - 1) / 2
+	upd := 0
+	for k := 0; k < n; k++ {
+		m := n - k - 1
+		upd += m * (m + 1) / 2
+	}
+	return potrf + trsm + upd
+}
+
+// TotalWork returns the total GEMM-equivalent work of an n-tile
+// factorization.
+func TotalWork(n int) float64 {
+	w := 0.0
+	for k := 0; k < n; k++ {
+		w += Task{Kind: Potrf, K: k}.Cost()
+		for i := k + 1; i < n; i++ {
+			w += Task{Kind: Trsm, I: i, K: k}.Cost()
+			for j := k + 1; j <= i; j++ {
+				w += Task{Kind: Update, I: i, J: j, K: k}.Cost()
+			}
+		}
+	}
+	return w
+}
+
+// CriticalPath returns the length (in GEMM-equivalent units) of the
+// longest dependency chain: POTRF(0) → TRSM(1,0) → UPDATE(1,1,0) →
+// POTRF(1) → …
+func CriticalPath(n int) float64 {
+	cp := 0.0
+	for k := 0; k < n; k++ {
+		cp += Task{Kind: Potrf, K: k}.Cost()
+		if k+1 < n {
+			cp += Task{Kind: Trsm, I: k + 1, K: k}.Cost()
+			cp += Task{Kind: Update, I: k + 1, J: k + 1, K: k}.Cost()
+		}
+	}
+	return cp
+}
+
+// tileID flattens a lower-triangle tile coordinate (i ≥ j).
+func tileID(i, j, n int) int {
+	if j > i {
+		panic("cholesky: upper-triangle tile referenced")
+	}
+	return i*n + j
+}
+
+// state tracks DAG progress and tile versions.
+type state struct {
+	n int
+
+	updatesDone []int  // per tile (i,j): number of completed UPDATE(i,j,·)
+	potrfDone   []bool // per k
+	trsmDone    []bool // per tile (i,k)
+
+	version  []int32 // per tile: bumped on every write
+	inFlight []bool  // per tile: a writing task is currently assigned
+
+	ready []Task // ready tasks (some may be blocked by inFlight)
+	done  int
+	total int
+}
+
+func newState(n int) *state {
+	st := &state{
+		n:           n,
+		updatesDone: make([]int, n*n),
+		potrfDone:   make([]bool, n),
+		trsmDone:    make([]bool, n*n),
+		version:     make([]int32, n*n),
+		inFlight:    make([]bool, n*n),
+		total:       TaskCount(n),
+	}
+	// POTRF(0) needs zero updates; it is the only initially ready
+	// task... unless n == 0, which the constructor rejects upstream.
+	st.ready = append(st.ready, Task{Kind: Potrf, K: 0})
+	return st
+}
+
+// outputTile returns the tile a task writes.
+func (st *state) outputTile(t Task) int {
+	switch t.Kind {
+	case Potrf:
+		return tileID(t.K, t.K, st.n)
+	case Trsm:
+		return tileID(t.I, t.K, st.n)
+	default:
+		return tileID(t.I, t.J, st.n)
+	}
+}
+
+// inputTiles appends the tiles a task reads (including the
+// read-modify-write output for updates) to buf.
+func (st *state) inputTiles(t Task, buf []int) []int {
+	n := st.n
+	switch t.Kind {
+	case Potrf:
+		buf = append(buf, tileID(t.K, t.K, n))
+	case Trsm:
+		buf = append(buf, tileID(t.K, t.K, n), tileID(t.I, t.K, n))
+	default:
+		buf = append(buf, tileID(t.I, t.K, n), tileID(t.I, t.J, n))
+		if t.J != t.I {
+			buf = append(buf, tileID(t.J, t.K, n))
+		}
+	}
+	return buf
+}
+
+// complete marks t done and appends newly ready tasks.
+func (st *state) complete(t Task) {
+	n := st.n
+	st.done++
+	switch t.Kind {
+	case Potrf:
+		st.potrfDone[t.K] = true
+		// Panel solves below k become ready once their tile is fully
+		// updated.
+		for i := t.K + 1; i < n; i++ {
+			if st.updatesDone[tileID(i, t.K, n)] == t.K {
+				st.ready = append(st.ready, Task{Kind: Trsm, I: i, K: t.K})
+			}
+		}
+	case Trsm:
+		st.trsmDone[tileID(t.I, t.K, n)] = true
+		// Updates pairing this panel tile with every finished panel
+		// tile of the same step k.
+		for j := t.K + 1; j <= t.I; j++ {
+			if st.trsmDone[tileID(j, t.K, n)] {
+				st.ready = append(st.ready, Task{Kind: Update, I: t.I, J: j, K: t.K})
+			}
+		}
+		for i := t.I + 1; i < n; i++ {
+			if st.trsmDone[tileID(i, t.K, n)] {
+				st.ready = append(st.ready, Task{Kind: Update, I: i, J: t.I, K: t.K})
+			}
+		}
+	case Update:
+		id := tileID(t.I, t.J, n)
+		st.updatesDone[id]++
+		if t.I == t.J {
+			if st.updatesDone[id] == t.J {
+				st.ready = append(st.ready, Task{Kind: Potrf, K: t.J})
+			}
+		} else if st.updatesDone[id] == t.J && st.potrfDone[t.J] {
+			st.ready = append(st.ready, Task{Kind: Trsm, I: t.I, K: t.J})
+		}
+	}
+}
+
+// Policy selects which schedulable ready task a requesting worker
+// gets.
+type Policy int
+
+// Ready-task selection policies.
+const (
+	// RandomReady picks a uniformly random schedulable ready task —
+	// the dependency analogue of RandomOuter/RandomMatrix.
+	RandomReady Policy = iota
+	// LocalityReady picks the schedulable ready task that ships the
+	// fewest blocks to the requesting worker (ties broken at random) —
+	// the dependency analogue of the paper's data-aware strategies.
+	LocalityReady
+	// CriticalPathReady picks among the schedulable ready tasks with
+	// the smallest elimination step k (deepest in the DAG), breaking
+	// ties by locality — HEFT-style static priority plus data
+	// awareness.
+	CriticalPathReady
+)
+
+func (p Policy) String() string {
+	switch p {
+	case RandomReady:
+		return "RandomReady"
+	case LocalityReady:
+		return "LocalityReady"
+	case CriticalPathReady:
+		return "CriticalPathReady"
+	}
+	return "?"
+}

@@ -1,0 +1,146 @@
+package cholesky
+
+import (
+	"hetsched/internal/rng"
+)
+
+// Coordinator is the master-side state of a tiled-Cholesky run: DAG
+// progress, per-tile versions and write locks, per-worker tile caches,
+// and the ready-task selection policy. It is driven either by the
+// virtual-time engine (Simulate) or by the real concurrent runtime
+// (exec.RunCholesky). All methods must be called from a single
+// goroutine.
+type Coordinator struct {
+	st      *state
+	policy  Policy
+	r       *rng.PCG
+	cache   [][]int32
+	tileBuf []int
+}
+
+// NewCoordinator creates a coordinator for an n×n-tile factorization
+// on p workers.
+func NewCoordinator(n, p int, policy Policy, r *rng.PCG) *Coordinator {
+	if n <= 0 || p <= 0 {
+		panic("cholesky: invalid coordinator shape")
+	}
+	if r == nil {
+		panic("cholesky: nil rng")
+	}
+	c := &Coordinator{
+		st:     newState(n),
+		policy: policy,
+		r:      r,
+		cache:  make([][]int32, p),
+	}
+	for w := range c.cache {
+		c.cache[w] = make([]int32, n*n)
+		for i := range c.cache[w] {
+			c.cache[w][i] = -1
+		}
+	}
+	return c
+}
+
+// N returns the tile grid dimension.
+func (c *Coordinator) N() int { return c.st.n }
+
+// Total returns the total task count.
+func (c *Coordinator) Total() int { return c.st.total }
+
+// Done reports whether every task has completed.
+func (c *Coordinator) Done() bool { return c.st.done == c.st.total }
+
+// Pending reports whether tasks remain (ready, running or future).
+func (c *Coordinator) Pending() bool { return !c.Done() }
+
+// shipCost counts the blocks worker w misses for task t.
+func (c *Coordinator) shipCost(w int, t Task) int {
+	c.tileBuf = c.st.inputTiles(t, c.tileBuf[:0])
+	cost := 0
+	for _, id := range c.tileBuf {
+		if c.cache[w][id] != c.st.version[id] {
+			cost++
+		}
+	}
+	return cost
+}
+
+// TryAssign picks a schedulable ready task for worker w according to
+// the policy, marks its output tile in flight, performs the transfers,
+// and returns the task and the number of blocks shipped. ok is false
+// when no ready task is currently schedulable (the worker should wait
+// for a completion, or retire if Done).
+func (c *Coordinator) TryAssign(w int) (t Task, shipped int, ok bool) {
+	st := c.st
+	bestIdx := -1
+	bestCost := 0
+	bestKey := 0
+	ties := 0
+	for idx, cand := range st.ready {
+		if st.inFlight[st.outputTile(cand)] {
+			continue
+		}
+		switch c.policy {
+		case RandomReady:
+			ties++
+			if c.r.Intn(ties) == 0 {
+				bestIdx = idx
+			}
+		case LocalityReady:
+			cost := c.shipCost(w, cand)
+			if bestIdx < 0 || cost < bestCost {
+				bestIdx, bestCost, ties = idx, cost, 1
+			} else if cost == bestCost {
+				ties++
+				if c.r.Intn(ties) == 0 {
+					bestIdx = idx
+				}
+			}
+		case CriticalPathReady:
+			cost := c.shipCost(w, cand)
+			key := cand.K
+			if bestIdx < 0 || key < bestKey || (key == bestKey && cost < bestCost) {
+				bestIdx, bestKey, bestCost, ties = idx, key, cost, 1
+			} else if key == bestKey && cost == bestCost {
+				ties++
+				if c.r.Intn(ties) == 0 {
+					bestIdx = idx
+				}
+			}
+		default:
+			panic("cholesky: unknown policy")
+		}
+	}
+	if bestIdx < 0 {
+		return Task{}, 0, false
+	}
+	t = st.ready[bestIdx]
+	last := len(st.ready) - 1
+	st.ready[bestIdx] = st.ready[last]
+	st.ready = st.ready[:last]
+
+	st.inFlight[st.outputTile(t)] = true
+	c.tileBuf = st.inputTiles(t, c.tileBuf[:0])
+	for _, id := range c.tileBuf {
+		if c.cache[w][id] != st.version[id] {
+			c.cache[w][id] = st.version[id]
+			shipped++
+		}
+	}
+	return t, shipped, true
+}
+
+// Complete marks task t (previously assigned to worker w) finished:
+// the output tile's version is bumped, the writer's cache holds the
+// fresh copy, and newly ready tasks enter the ready set.
+func (c *Coordinator) Complete(w int, t Task) {
+	out := c.st.outputTile(t)
+	if !c.st.inFlight[out] {
+		panic("cholesky: completing a task whose output tile is not in flight")
+	}
+	c.st.inFlight[out] = false
+	c.st.version[out]++
+	c.cache[w][out] = c.st.version[out]
+	c.st.complete(t)
+}

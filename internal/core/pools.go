@@ -1,0 +1,78 @@
+package core
+
+import "hetsched/internal/rng"
+
+// IndexPool draws, without replacement and in uniformly random order,
+// indices from [0, n). The data-aware strategies use one pool per
+// processor and per dimension to pick the "fresh" row/column/layer
+// indices a processor does not know yet.
+type IndexPool struct {
+	remaining []int32
+}
+
+// NewIndexPool returns a pool over [0, n).
+func NewIndexPool(n int) *IndexPool {
+	p := &IndexPool{remaining: make([]int32, n)}
+	for i := range p.remaining {
+		p.remaining[i] = int32(i)
+	}
+	return p
+}
+
+// Draw removes and returns a uniformly random index, with ok=false
+// when the pool is empty.
+func (p *IndexPool) Draw(r *rng.PCG) (idx int, ok bool) {
+	n := len(p.remaining)
+	if n == 0 {
+		return 0, false
+	}
+	at := r.Intn(n)
+	v := p.remaining[at]
+	p.remaining[at] = p.remaining[n-1]
+	p.remaining = p.remaining[:n-1]
+	return int(v), true
+}
+
+// Left returns the number of indices not yet drawn.
+func (p *IndexPool) Left() int { return len(p.remaining) }
+
+// TaskPool holds a multiset-free pool of task identifiers supporting
+// O(1) uniform random draws with removal and O(1) deletion of tasks
+// that other processors processed in the meantime (lazy deletion).
+//
+// The random single-task strategies (RandomOuter/RandomMatrix and the
+// second phase of the two-phase strategies) draw from a TaskPool; the
+// pool is rebuilt from the processed bit set when a two-phase strategy
+// switches.
+type TaskPool struct {
+	tasks []Task
+}
+
+// NewTaskPool returns a pool containing tasks. The slice is owned by
+// the pool afterwards.
+func NewTaskPool(tasks []Task) *TaskPool {
+	return &TaskPool{tasks: tasks}
+}
+
+// Draw removes and returns a uniformly random task, skipping (and
+// discarding) tasks for which skip returns true. ok is false when the
+// pool is exhausted.
+func (p *TaskPool) Draw(r *rng.PCG, skip func(Task) bool) (t Task, ok bool) {
+	for {
+		n := len(p.tasks)
+		if n == 0 {
+			return 0, false
+		}
+		at := r.Intn(n)
+		v := p.tasks[at]
+		p.tasks[at] = p.tasks[n-1]
+		p.tasks = p.tasks[:n-1]
+		if skip == nil || !skip(v) {
+			return v, true
+		}
+	}
+}
+
+// Len returns the number of tasks still in the pool (including tasks
+// that would be skipped at draw time).
+func (p *TaskPool) Len() int { return len(p.tasks) }

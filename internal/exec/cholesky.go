@@ -1,0 +1,139 @@
+package exec
+
+import (
+	"sync"
+	"time"
+
+	"hetsched/internal/cholesky"
+	"hetsched/internal/linalg"
+	"hetsched/internal/rng"
+)
+
+// RunCholesky factors the blocked SPD matrix a in place into its lower
+// Cholesky factor using real worker goroutines driven by the
+// dependency-aware coordinator — the concurrent, shared-memory
+// incarnation of the paper's future-work kernel.
+//
+// Unlike the kernels without dependencies, a worker may find no
+// schedulable task; it then parks until a completion frees one. Write
+// safety comes from the coordinator's per-tile write lock (one writing
+// task in flight per tile) and from the DAG itself (input tiles are
+// final when read); the tests run this under the race detector.
+func RunCholesky(a *linalg.BlockedMatrix, workers int, policy cholesky.Policy, r *rng.PCG) (*Result, error) {
+	n := a.N
+	coord := cholesky.NewCoordinator(n, workers, policy, r)
+	res := &Result{
+		BlocksPer: make([]int, workers),
+		TasksPer:  make([]int, workers),
+	}
+	start := time.Now()
+
+	type grant struct {
+		task cholesky.Task
+		ok   bool
+	}
+	type message struct {
+		w     int
+		done  *cholesky.Task // non-nil: completion of this task
+		reply chan grant
+	}
+
+	messages := make(chan message)
+	var wg sync.WaitGroup
+
+	// Master: owns the coordinator; parks workers that cannot be
+	// served and retries them after every completion.
+	var execErr error
+	var errOnce sync.Once
+	masterDone := make(chan struct{})
+	go func() {
+		defer close(masterDone)
+		parked := make(map[int]chan grant)
+		live := workers
+		serve := func(w int, reply chan grant) {
+			t, shipped, ok := coord.TryAssign(w)
+			if !ok {
+				if coord.Done() {
+					reply <- grant{}
+					live--
+					return
+				}
+				parked[w] = reply
+				return
+			}
+			res.Requests++
+			res.Blocks += shipped
+			res.BlocksPer[w] += shipped
+			res.TasksPer[w]++
+			reply <- grant{task: t, ok: true}
+		}
+		for live > 0 {
+			msg := <-messages
+			if msg.done != nil {
+				coord.Complete(msg.w, *msg.done)
+				// A completion can unlock tasks for parked workers.
+				for w, reply := range parked {
+					delete(parked, w)
+					serve(w, reply)
+				}
+				continue
+			}
+			serve(msg.w, msg.reply)
+		}
+	}()
+
+	execute := func(t cholesky.Task) error {
+		switch t.Kind {
+		case cholesky.Potrf:
+			return linalg.CholBlock(a.Block(t.K, t.K))
+		case cholesky.Trsm:
+			linalg.TrsmBlock(a.Block(t.I, t.K), a.Block(t.K, t.K))
+		case cholesky.Update:
+			if t.I == t.J {
+				linalg.SyrkBlock(a.Block(t.I, t.I), a.Block(t.I, t.K))
+			} else {
+				linalg.GemmTransBlock(a.Block(t.I, t.J), a.Block(t.I, t.K), a.Block(t.J, t.K))
+			}
+		}
+		return nil
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			reply := make(chan grant)
+			for {
+				messages <- message{w: w, reply: reply}
+				g := <-reply
+				if !g.ok {
+					return
+				}
+				if err := execute(g.task); err != nil {
+					errOnce.Do(func() { execErr = err })
+					// Report completion anyway so the run drains.
+				}
+				task := g.task
+				messages <- message{w: w, done: &task}
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	<-masterDone
+	res.Elapsed = time.Since(start)
+	if execErr != nil {
+		return res, execErr
+	}
+
+	// Zero the upper block triangle for a clean L.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			blk := a.Block(i, j)
+			for idx := range blk.Data {
+				blk.Data[idx] = 0
+			}
+		}
+	}
+	return res, nil
+}

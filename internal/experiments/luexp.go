@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetsched/internal/lu"
+	"hetsched/internal/plot"
+	"hetsched/internal/speeds"
+	"hetsched/internal/stats"
+)
+
+// LU is the second dependency-kernel extension: the tiled LU
+// factorization (no pivoting), whose DAG activates both triangles of
+// the matrix and has roughly twice the task count of Cholesky for the
+// same tile grid. Same sweep and policies as the Cholesky experiment.
+func LU(cfg Config) *plot.Result {
+	root := cfg.figSeed("abl-lu")
+	n := 20
+	ps := []int{4, 8, 16, 32, 64}
+	reps := cfg.reps(10)
+	if cfg.Quick {
+		n = 10
+		ps = []int{4, 16}
+	}
+
+	res := &plot.Result{
+		ID:     "abl-lu",
+		Title:  fmt.Sprintf("tiled LU (%d×%d tiles): ready-task policies", n, n),
+		XLabel: "processors",
+		YLabel: "tiles shipped / total tiles; efficiency",
+	}
+
+	policies := []lu.Policy{lu.RandomReady, lu.LocalityReady, lu.CriticalPathReady}
+	commSeries := make([]*plot.Series, len(policies))
+	effSeries := make([]*plot.Series, len(policies))
+	for i, pol := range policies {
+		commSeries[i] = &plot.Series{Name: "comm " + pol.String()}
+		effSeries[i] = &plot.Series{Name: "eff " + pol.String()}
+	}
+
+	tiles := float64(n * n)
+	for _, p := range ps {
+		for i, pol := range policies {
+			var comm, eff stats.Accumulator
+			for rep := 0; rep < reps; rep++ {
+				init := defaultPlatform.gen(p, root.Split())
+				m := lu.Simulate(n, pol, speeds.NewFixed(init), root.Split())
+				comm.Add(float64(m.Blocks) / tiles)
+				eff.Add(m.Efficiency())
+			}
+			commSeries[i].Points = append(commSeries[i].Points, plot.Point{
+				X: float64(p), Y: comm.Mean(), StdDev: comm.StdDev(),
+			})
+			effSeries[i].Points = append(effSeries[i].Points, plot.Point{
+				X: float64(p), Y: eff.Mean(), StdDev: eff.StdDev(),
+			})
+		}
+	}
+	for _, s := range commSeries {
+		res.Series = append(res.Series, *s)
+	}
+	for _, s := range effSeries {
+		res.Series = append(res.Series, *s)
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("%d tasks, %d replications per point, speeds %s", lu.TaskCount(n), reps, defaultPlatform.name),
+		"comm normalized by the n² tile count (a full broadcast of the matrix = p)",
+	)
+	return res
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"hetsched/internal/analysis"
+	"hetsched/internal/plot"
+	"hetsched/internal/speeds"
+	"hetsched/internal/stats"
+)
+
+// Sec36 reproduces the runtime-estimation study of §3.6: over a grid
+// of (p, n) configurations it draws many random speed vectors from
+// [10, 100] (the paper's most heterogeneous distribution), computes
+// the analysis β* for each, and reports
+//
+//   - the spread of β* across speed draws (paper: at most 0.045),
+//   - the homogeneous β_hom for the same (p, n) and its relative
+//     difference to the mean β* (paper: below 5%),
+//   - the worst relative error on the predicted communication volume
+//     when β_hom is used instead of the per-platform β* (paper: at
+//     most 0.1%),
+//
+// establishing that the two-phase scheduler can be tuned while staying
+// agnostic to processor speeds.
+func Sec36(cfg Config) *plot.Result {
+	root := cfg.figSeed("sec36")
+	draws := cfg.reps(100)
+	if cfg.Quick {
+		draws = 15
+	}
+
+	type cell struct{ p, n int }
+	grid := []cell{
+		{10, 100}, {20, 100}, {50, 100}, {100, 100},
+		{100, 316}, {200, 316}, {500, 316},
+		{500, 1000}, {1000, 1000},
+	}
+	if cfg.Quick {
+		grid = []cell{{10, 100}, {100, 100}, {200, 316}}
+	}
+
+	res := &plot.Result{
+		ID:     "sec36",
+		Title:  "runtime estimation of beta: speed-agnostic tuning (§3.6)",
+		XLabel: "configuration",
+		YLabel: "value",
+		XTicks: map[float64]string{},
+	}
+
+	meanBeta := plot.Series{Name: "mean beta*"}
+	spread := plot.Series{Name: "beta* spread (max-min)"}
+	hom := plot.Series{Name: "beta_hom"}
+	relDiff := plot.Series{Name: "rel.diff beta_hom vs beta* (%)"}
+	volErr := plot.Series{Name: "worst volume error using beta_hom (%)"}
+
+	worstSpread, worstRelDiff, worstVolErr := 0.0, 0.0, 0.0
+	for idx, c := range grid {
+		x := float64(idx)
+		res.XTicks[x] = fmt.Sprintf("p=%d n=%d", c.p, c.n)
+
+		var betas stats.Accumulator
+		worstErrHere := 0.0
+		for d := 0; d < draws; d++ {
+			s := speeds.UniformRange(c.p, 10, 100, root.Split())
+			rs := speeds.Relative(s)
+			bStar, rStar := analysis.OptimalBetaOuter(rs, c.n)
+			betas.Add(bStar)
+			bHom, _ := analysis.OptimalBetaOuter(speeds.Homogeneous(c.p), c.n)
+			rHom := analysis.RatioOuter(bHom, rs, c.n)
+			if err := math.Abs(rHom-rStar) / rStar * 100; err > worstErrHere {
+				worstErrHere = err
+			}
+		}
+		bHom, _ := analysis.OptimalBetaOuter(speeds.Homogeneous(c.p), c.n)
+		sp := betas.Max() - betas.Min()
+		rd := math.Abs(bHom-betas.Mean()) / betas.Mean() * 100
+
+		meanBeta.Points = append(meanBeta.Points, plot.Point{X: x, Y: betas.Mean(), StdDev: betas.StdDev()})
+		spread.Points = append(spread.Points, plot.Point{X: x, Y: sp})
+		hom.Points = append(hom.Points, plot.Point{X: x, Y: bHom})
+		relDiff.Points = append(relDiff.Points, plot.Point{X: x, Y: rd})
+		volErr.Points = append(volErr.Points, plot.Point{X: x, Y: worstErrHere})
+
+		worstSpread = math.Max(worstSpread, sp)
+		worstRelDiff = math.Max(worstRelDiff, rd)
+		worstVolErr = math.Max(worstVolErr, worstErrHere)
+	}
+
+	res.Series = []plot.Series{meanBeta, hom, spread, relDiff, volErr}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("%d speed draws per configuration, speeds uniform in [10,100]", draws),
+		fmt.Sprintf("worst beta* spread %.4f (paper: <=0.045 with 100 tries)", worstSpread),
+		fmt.Sprintf("worst relative difference beta_hom vs mean beta*: %.2f%% (paper: <5%%)", worstRelDiff),
+		fmt.Sprintf("worst predicted-volume error using beta_hom: %.4f%% (paper: <=0.1%%)", worstVolErr),
+	)
+	return res
+}

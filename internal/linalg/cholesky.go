@@ -1,0 +1,195 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+
+	"hetsched/internal/rng"
+)
+
+// Block kernels for the tiled Cholesky factorization A = L·Lᵀ (lower
+// variant), the paper's suggested extension to kernels with
+// dependencies. The four kernels are the classic POTRF / TRSM / SYRK /
+// GEMM tile operations.
+
+// ErrNotPositiveDefinite is returned by CholBlock when a pivot is not
+// strictly positive.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// CholBlock factors the tile in place: a becomes its lower Cholesky
+// factor (the strictly upper triangle is zeroed). This is the POTRF
+// kernel.
+func CholBlock(a *Block) error {
+	l := a.L
+	for j := 0; j < l; j++ {
+		sum := a.At(j, j)
+		for k := 0; k < j; k++ {
+			sum -= a.At(j, k) * a.At(j, k)
+		}
+		if sum <= 0 {
+			return ErrNotPositiveDefinite
+		}
+		d := math.Sqrt(sum)
+		a.Set(j, j, d)
+		for i := j + 1; i < l; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= a.At(i, k) * a.At(j, k)
+			}
+			a.Set(i, j, s/d)
+		}
+		for i := 0; i < j; i++ {
+			a.Set(i, j, 0)
+		}
+	}
+	return nil
+}
+
+// TrsmBlock solves X·Lᵀ = A for X and stores X in a, where lkk is the
+// lower-triangular Cholesky factor of the diagonal tile. This is the
+// TRSM kernel of the tiled factorization: A(i,k) := A(i,k)·L(k,k)^(−T).
+func TrsmBlock(a, lkk *Block) {
+	l := a.L
+	if lkk.L != l {
+		panic("linalg: block size mismatch")
+	}
+	// Row r of X solves X[r,:]·Lᵀ = A[r,:], i.e. forward substitution
+	// against L column by column.
+	for r := 0; r < l; r++ {
+		for c := 0; c < l; c++ {
+			sum := a.At(r, c)
+			for k := 0; k < c; k++ {
+				sum -= a.At(r, k) * lkk.At(c, k)
+			}
+			a.Set(r, c, sum/lkk.At(c, c))
+		}
+	}
+}
+
+// SyrkBlock computes C := C − A·Aᵀ (symmetric rank-l update of a
+// diagonal tile).
+func SyrkBlock(c, a *Block) {
+	l := c.L
+	if a.L != l {
+		panic("linalg: block size mismatch")
+	}
+	for i := 0; i < l; i++ {
+		for j := 0; j < l; j++ {
+			sum := c.At(i, j)
+			for k := 0; k < l; k++ {
+				sum -= a.At(i, k) * a.At(j, k)
+			}
+			c.Set(i, j, sum)
+		}
+	}
+}
+
+// GemmTransBlock computes C := C − A·Bᵀ (off-diagonal trailing
+// update).
+func GemmTransBlock(c, a, b *Block) {
+	l := c.L
+	if a.L != l || b.L != l {
+		panic("linalg: block size mismatch")
+	}
+	for i := 0; i < l; i++ {
+		for j := 0; j < l; j++ {
+			sum := c.At(i, j)
+			for k := 0; k < l; k++ {
+				sum -= a.At(i, k) * b.At(j, k)
+			}
+			c.Set(i, j, sum)
+		}
+	}
+}
+
+// RandomSPD fills m with a random symmetric positive-definite matrix:
+// A = M·Mᵀ + dim·I for a random M, which is SPD with a comfortable
+// margin.
+func RandomSPD(m *BlockedMatrix, r *rng.PCG) {
+	n, l := m.N, m.L
+	dim := n * l
+	raw := make([][]float64, dim)
+	for i := range raw {
+		raw[i] = make([]float64, dim)
+		for j := range raw[i] {
+			raw[i][j] = r.UniformRange(-1, 1)
+		}
+	}
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			sum := 0.0
+			for k := 0; k < dim; k++ {
+				sum += raw[i][k] * raw[j][k]
+			}
+			if i == j {
+				sum += float64(dim)
+			}
+			m.Block(i/l, j/l).Set(i%l, j%l, sum)
+		}
+	}
+}
+
+// TiledCholesky factors a blocked SPD matrix in place into its lower
+// Cholesky factor using the right-looking tiled algorithm (the serial
+// reference for the DAG scheduler in package cholesky). Only the lower
+// block triangle is referenced and produced; upper tiles are zeroed.
+func TiledCholesky(m *BlockedMatrix) error {
+	n := m.N
+	for k := 0; k < n; k++ {
+		if err := CholBlock(m.Block(k, k)); err != nil {
+			return err
+		}
+		for i := k + 1; i < n; i++ {
+			TrsmBlock(m.Block(i, k), m.Block(k, k))
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j <= i; j++ {
+				if i == j {
+					SyrkBlock(m.Block(i, i), m.Block(i, k))
+				} else {
+					GemmTransBlock(m.Block(i, j), m.Block(i, k), m.Block(j, k))
+				}
+			}
+		}
+	}
+	// Zero the upper block triangle for a clean L.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			blk := m.Block(i, j)
+			for idx := range blk.Data {
+				blk.Data[idx] = 0
+			}
+		}
+	}
+	return nil
+}
+
+// CholeskyResidual returns max |A − L·Lᵀ| element-wise, used to verify
+// a factorization against the original matrix.
+func CholeskyResidual(a, lFactor *BlockedMatrix) float64 {
+	n, l := a.N, a.L
+	dim := n * l
+	worst := 0.0
+	get := func(m *BlockedMatrix, i, j int) float64 {
+		return m.Block(i/l, j/l).At(i%l, j%l)
+	}
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			sum := 0.0
+			for k := 0; k <= minInt(i, j); k++ {
+				sum += get(lFactor, i, k) * get(lFactor, j, k)
+			}
+			if d := math.Abs(get(a, i, j) - sum); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

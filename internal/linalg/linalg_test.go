@@ -1,0 +1,247 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hetsched/internal/rng"
+)
+
+func TestBlockAccessors(t *testing.T) {
+	b := NewBlock(3)
+	b.Set(1, 2, 7.5)
+	if b.At(1, 2) != 7.5 {
+		t.Fatalf("At(1,2) = %g", b.At(1, 2))
+	}
+	if b.At(2, 1) != 0 {
+		t.Fatal("unset element non-zero")
+	}
+}
+
+func TestOuterUpdate(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	m := NewBlock(3)
+	OuterUpdate(a, b, m)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if want := a[i] * b[j]; m.At(i, j) != want {
+				t.Fatalf("m[%d][%d] = %g, want %g", i, j, m.At(i, j), want)
+			}
+		}
+	}
+	// OuterUpdate overwrites: run twice, result unchanged.
+	OuterUpdate(a, b, m)
+	if m.At(2, 2) != 18 {
+		t.Fatalf("second OuterUpdate accumulated: %g", m.At(2, 2))
+	}
+}
+
+func TestGemmUpdateAgainstNaive(t *testing.T) {
+	const l = 7
+	r := rng.New(1)
+	a, b := NewBlock(l), NewBlock(l)
+	a.Fill(r)
+	b.Fill(r)
+	c := NewBlock(l)
+	GemmUpdate(c, a, b)
+
+	for i := 0; i < l; i++ {
+		for j := 0; j < l; j++ {
+			want := 0.0
+			for k := 0; k < l; k++ {
+				want += a.At(i, k) * b.At(k, j)
+			}
+			if math.Abs(c.At(i, j)-want) > 1e-12 {
+				t.Fatalf("c[%d][%d] = %g, want %g", i, j, c.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestGemmUpdateAccumulates(t *testing.T) {
+	const l = 4
+	r := rng.New(2)
+	a, b := NewBlock(l), NewBlock(l)
+	a.Fill(r)
+	b.Fill(r)
+	c1 := NewBlock(l)
+	GemmUpdate(c1, a, b)
+	GemmUpdate(c1, a, b)
+	c2 := NewBlock(l)
+	GemmUpdate(c2, a, b)
+	for i := range c1.Data {
+		if math.Abs(c1.Data[i]-2*c2.Data[i]) > 1e-12 {
+			t.Fatal("GemmUpdate does not accumulate additively")
+		}
+	}
+}
+
+func TestGemmIdentity(t *testing.T) {
+	const l = 5
+	r := rng.New(3)
+	a := NewBlock(l)
+	a.Fill(r)
+	id := NewBlock(l)
+	for i := 0; i < l; i++ {
+		id.Set(i, i, 1)
+	}
+	c := NewBlock(l)
+	GemmUpdate(c, a, id)
+	if d := c.MaxAbsDiff(a); d > 1e-15 {
+		t.Fatalf("A·I differs from A by %g", d)
+	}
+}
+
+func TestReferenceOuter(t *testing.T) {
+	const n, l = 4, 3
+	r := rng.New(4)
+	a, b := NewBlockedVector(n, l), NewBlockedVector(n, l)
+	a.Fill(r)
+	b.Fill(r)
+	m := ReferenceOuter(a, b)
+	// Element (bi*l+r1, bj*l+c1) = a[bi][r1] * b[bj][c1].
+	for bi := 0; bi < n; bi++ {
+		for bj := 0; bj < n; bj++ {
+			blk := m.Block(bi, bj)
+			for r1 := 0; r1 < l; r1++ {
+				for c1 := 0; c1 < l; c1++ {
+					want := a.Blocks[bi][r1] * b.Blocks[bj][c1]
+					if blk.At(r1, c1) != want {
+						t.Fatalf("outer block (%d,%d) element (%d,%d) wrong", bi, bj, r1, c1)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReferenceGemmSmall(t *testing.T) {
+	// 1-block matrices reduce to plain GEMM.
+	const l = 6
+	r := rng.New(5)
+	a, b := NewBlockedMatrix(1, l), NewBlockedMatrix(1, l)
+	a.Fill(r)
+	b.Fill(r)
+	c := ReferenceGemm(a, b)
+	want := NewBlock(l)
+	GemmUpdate(want, a.Block(0, 0), b.Block(0, 0))
+	if d := c.Block(0, 0).MaxAbsDiff(want); d > 1e-15 {
+		t.Fatalf("1-block ReferenceGemm differs by %g", d)
+	}
+}
+
+func TestGemmBlockedEqualsFlat(t *testing.T) {
+	// Blocked multiplication must equal the flat n·l × n·l product.
+	const n, l = 3, 4
+	r := rng.New(6)
+	a, b := NewBlockedMatrix(n, l), NewBlockedMatrix(n, l)
+	a.Fill(r)
+	b.Fill(r)
+	c := ReferenceGemm(a, b)
+
+	dim := n * l
+	flatA := make([][]float64, dim)
+	flatB := make([][]float64, dim)
+	for i := 0; i < dim; i++ {
+		flatA[i] = make([]float64, dim)
+		flatB[i] = make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			flatA[i][j] = a.Block(i/l, j/l).At(i%l, j%l)
+			flatB[i][j] = b.Block(i/l, j/l).At(i%l, j%l)
+		}
+	}
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			want := 0.0
+			for k := 0; k < dim; k++ {
+				want += flatA[i][k] * flatB[k][j]
+			}
+			got := c.Block(i/l, j/l).At(i%l, j%l)
+			if math.Abs(got-want) > 1e-10 {
+				t.Fatalf("flat vs blocked mismatch at (%d,%d): %g vs %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a, b := NewBlock(2), NewBlock(2)
+	a.Set(0, 0, 1)
+	b.Set(0, 0, 3)
+	b.Set(1, 1, -0.5)
+	if d := a.MaxAbsDiff(b); d != 2 {
+		t.Fatalf("MaxAbsDiff = %g, want 2", d)
+	}
+}
+
+func TestFillRange(t *testing.T) {
+	b := NewBlock(16)
+	b.Fill(rng.New(7))
+	for _, v := range b.Data {
+		if v < -1 || v >= 1 {
+			t.Fatalf("Fill produced %g outside [-1,1)", v)
+		}
+	}
+}
+
+func TestOuterLinearityProperty(t *testing.T) {
+	// (λa)·bᵀ = λ(a·bᵀ): scaling a scales the outer product.
+	f := func(seed uint64, lamRaw int8) bool {
+		lam := float64(lamRaw) / 16
+		r := rng.New(seed)
+		const l = 4
+		a := make([]float64, l)
+		b := make([]float64, l)
+		for i := range a {
+			a[i], b[i] = r.UniformRange(-1, 1), r.UniformRange(-1, 1)
+		}
+		scaled := make([]float64, l)
+		for i := range a {
+			scaled[i] = lam * a[i]
+		}
+		m1, m2 := NewBlock(l), NewBlock(l)
+		OuterUpdate(a, b, m1)
+		OuterUpdate(scaled, b, m2)
+		for i := range m1.Data {
+			if math.Abs(m2.Data[i]-lam*m1.Data[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapeValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"NewBlock(0)":        func() { NewBlock(0) },
+		"vector mismatch":    func() { OuterUpdate([]float64{1}, []float64{1, 2}, NewBlock(2)) },
+		"gemm mismatch":      func() { GemmUpdate(NewBlock(2), NewBlock(3), NewBlock(2)) },
+		"block out of range": func() { NewBlockedMatrix(2, 2).Block(2, 0) },
+		"diff mismatch":      func() { NewBlock(2).MaxAbsDiff(NewBlock(3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkGemmUpdate32(b *testing.B) {
+	r := rng.New(1)
+	x, y, c := NewBlock(32), NewBlock(32), NewBlock(32)
+	x.Fill(r)
+	y.Fill(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GemmUpdate(c, x, y)
+	}
+}

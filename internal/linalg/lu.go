@@ -1,0 +1,187 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+
+	"hetsched/internal/rng"
+)
+
+// Block kernels for the tiled LU factorization A = L·U without
+// pivoting (valid for diagonally dominant matrices), the second
+// dependency-rich kernel of the paper's future-work direction. The
+// four kernels are the classic GETRF / TRSM-L / TRSM-U / GEMM tile
+// operations.
+
+// ErrSingularPivot is returned by GetrfBlock when a pivot is too small
+// for the unpivoted factorization to proceed.
+var ErrSingularPivot = errors.New("linalg: singular pivot in unpivoted LU")
+
+// GetrfBlock factors the tile in place into L\U (unit lower triangle
+// implicit, upper triangle is U) without pivoting.
+func GetrfBlock(a *Block) error {
+	l := a.L
+	for k := 0; k < l; k++ {
+		piv := a.At(k, k)
+		if math.Abs(piv) < 1e-12 {
+			return ErrSingularPivot
+		}
+		for i := k + 1; i < l; i++ {
+			lik := a.At(i, k) / piv
+			a.Set(i, k, lik)
+			for j := k + 1; j < l; j++ {
+				a.Set(i, j, a.At(i, j)-lik*a.At(k, j))
+			}
+		}
+	}
+	return nil
+}
+
+// TrsmLowerUnitBlock solves L·X = A for X and stores X in a, where
+// lkk holds a unit-lower-triangular factor in its strictly lower
+// triangle (the L part of a GETRF'd tile). This is the TRSM-L kernel:
+// U(k,j) := L(k,k)⁻¹·A(k,j).
+func TrsmLowerUnitBlock(a, lkk *Block) {
+	l := a.L
+	if lkk.L != l {
+		panic("linalg: block size mismatch")
+	}
+	// Forward substitution, column by column of A.
+	for c := 0; c < l; c++ {
+		for r := 0; r < l; r++ {
+			sum := a.At(r, c)
+			for k := 0; k < r; k++ {
+				sum -= lkk.At(r, k) * a.At(k, c)
+			}
+			a.Set(r, c, sum) // unit diagonal: no division
+		}
+	}
+}
+
+// TrsmUpperBlock solves X·U = A for X and stores X in a, where ukk
+// holds an upper-triangular factor in its upper triangle (the U part
+// of a GETRF'd tile). This is the TRSM-U kernel:
+// L(i,k) := A(i,k)·U(k,k)⁻¹.
+func TrsmUpperBlock(a, ukk *Block) {
+	l := a.L
+	if ukk.L != l {
+		panic("linalg: block size mismatch")
+	}
+	// Forward substitution along columns of X (X·U = A ⇒ for column c:
+	// X[:,c] = (A[:,c] − Σ_{k<c} X[:,k]·U(k,c)) / U(c,c)).
+	for c := 0; c < l; c++ {
+		d := ukk.At(c, c)
+		for r := 0; r < l; r++ {
+			sum := a.At(r, c)
+			for k := 0; k < c; k++ {
+				sum -= a.At(r, k) * ukk.At(k, c)
+			}
+			a.Set(r, c, sum/d)
+		}
+	}
+}
+
+// GemmSubBlock computes C := C − A·B (trailing update of the LU
+// factorization).
+func GemmSubBlock(c, a, b *Block) {
+	l := c.L
+	if a.L != l || b.L != l {
+		panic("linalg: block size mismatch")
+	}
+	for i := 0; i < l; i++ {
+		crow := c.Data[i*l : (i+1)*l]
+		arow := a.Data[i*l : (i+1)*l]
+		for k := 0; k < l; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Data[k*l : (k+1)*l]
+			for j := 0; j < l; j++ {
+				crow[j] -= aik * brow[j]
+			}
+		}
+	}
+}
+
+// RandomDominant fills m with a random strictly diagonally dominant
+// matrix (safe for unpivoted LU).
+func RandomDominant(m *BlockedMatrix, r *rng.PCG) {
+	n, l := m.N, m.L
+	dim := n * l
+	for i := 0; i < dim; i++ {
+		rowSum := 0.0
+		for j := 0; j < dim; j++ {
+			if i == j {
+				continue
+			}
+			v := r.UniformRange(-1, 1)
+			m.Block(i/l, j/l).Set(i%l, j%l, v)
+			rowSum += math.Abs(v)
+		}
+		m.Block(i/l, i/l).Set(i%l, i%l, rowSum+1+r.Float64())
+	}
+}
+
+// TiledLU factors a blocked matrix in place into L\U (tile-wise
+// packed) using the right-looking tiled algorithm — the serial
+// reference for the DAG scheduler in package lu.
+func TiledLU(m *BlockedMatrix) error {
+	n := m.N
+	for k := 0; k < n; k++ {
+		if err := GetrfBlock(m.Block(k, k)); err != nil {
+			return err
+		}
+		for j := k + 1; j < n; j++ {
+			TrsmLowerUnitBlock(m.Block(k, j), m.Block(k, k))
+		}
+		for i := k + 1; i < n; i++ {
+			TrsmUpperBlock(m.Block(i, k), m.Block(k, k))
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j < n; j++ {
+				GemmSubBlock(m.Block(i, j), m.Block(i, k), m.Block(k, j))
+			}
+		}
+	}
+	return nil
+}
+
+// LUResidual returns max |A − L·U| element-wise, where factored holds
+// the packed L\U factors of a.
+func LUResidual(a, factored *BlockedMatrix) float64 {
+	n, l := a.N, a.L
+	dim := n * l
+	get := func(m *BlockedMatrix, i, j int) float64 {
+		return m.Block(i/l, j/l).At(i%l, j%l)
+	}
+	lOf := func(i, k int) float64 {
+		switch {
+		case i == k:
+			return 1
+		case i > k:
+			return get(factored, i, k)
+		default:
+			return 0
+		}
+	}
+	uOf := func(k, j int) float64 {
+		if k <= j {
+			return get(factored, k, j)
+		}
+		return 0
+	}
+	worst := 0.0
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			sum := 0.0
+			for k := 0; k <= minInt(i, j); k++ {
+				sum += lOf(i, k) * uOf(k, j)
+			}
+			if d := math.Abs(get(a, i, j) - sum); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,179 @@
+package lu
+
+import (
+	"math"
+	"testing"
+
+	"hetsched/internal/linalg"
+	"hetsched/internal/rng"
+	"hetsched/internal/speeds"
+)
+
+func TestTaskCount(t *testing.T) {
+	// n=1: 1 GETRF. n=2: 2 + 2 + 1 = 5. n=3: 3 + 6 + (4+1) = 14.
+	for _, c := range []struct{ n, want int }{{1, 1}, {2, 5}, {3, 14}} {
+		if got := TaskCount(c.n); got != c.want {
+			t.Fatalf("TaskCount(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestWorkAndCriticalPath(t *testing.T) {
+	// n=2: work = 2·(2/3) + 2·1 + 1·2 = 16/3.
+	if got, want := TotalWork(2), 16.0/3; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TotalWork(2) = %g, want %g", got, want)
+	}
+	// n=2 critical path: GETRF + TRSM + GEMM + GETRF = 2/3+1+2+2/3.
+	if got, want := CriticalPath(2), 2.0/3+1+2+2.0/3; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CriticalPath(2) = %g, want %g", got, want)
+	}
+}
+
+func allPolicies() []Policy {
+	return []Policy{RandomReady, LocalityReady, CriticalPathReady}
+}
+
+func TestSimulateCompletesAllTasks(t *testing.T) {
+	root := rng.New(1)
+	const n, p = 8, 4
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+	for _, pol := range allPolicies() {
+		m := Simulate(n, pol, speeds.NewFixed(s), root.Split())
+		if len(m.Schedule) != TaskCount(n) {
+			t.Fatalf("%v: %d tasks, want %d", pol, len(m.Schedule), TaskCount(n))
+		}
+		if m.Makespan < m.WorkBound-1e-9 || m.Makespan < m.CPBound-1e-9 {
+			t.Fatalf("%v: makespan %g below bounds (%g, %g)", pol, m.Makespan, m.WorkBound, m.CPBound)
+		}
+		if m.Efficiency() <= 0 || m.Efficiency() > 1 {
+			t.Fatalf("%v: efficiency %g", pol, m.Efficiency())
+		}
+	}
+}
+
+func TestScheduleRespectsDependencies(t *testing.T) {
+	root := rng.New(2)
+	const n, p = 10, 5
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+	for _, pol := range allPolicies() {
+		m := Simulate(n, pol, speeds.NewFixed(s), root.Split())
+		getrf := make([]bool, n)
+		rowDone := make([]bool, n*n)
+		colDone := make([]bool, n*n)
+		gemms := make([]int, n*n)
+		min := func(a, b int) int {
+			if a < b {
+				return a
+			}
+			return b
+		}
+		for _, task := range m.Schedule {
+			switch task.Kind {
+			case Getrf:
+				if gemms[task.K*n+task.K] != task.K {
+					t.Fatalf("%v: %s with %d/%d updates", pol, task, gemms[task.K*n+task.K], task.K)
+				}
+				getrf[task.K] = true
+			case TrsmRow:
+				if !getrf[task.K] || gemms[task.K*n+task.J] != task.K {
+					t.Fatalf("%v: %s premature", pol, task)
+				}
+				rowDone[task.K*n+task.J] = true
+			case TrsmCol:
+				if !getrf[task.K] || gemms[task.I*n+task.K] != task.K {
+					t.Fatalf("%v: %s premature", pol, task)
+				}
+				colDone[task.I*n+task.K] = true
+			case Gemm:
+				if !colDone[task.I*n+task.K] || !rowDone[task.K*n+task.J] {
+					t.Fatalf("%v: %s before its TRSMs", pol, task)
+				}
+				// Trailing updates of a tile commute (each subtracts a
+				// product of other tiles), so only the count matters —
+				// and it must not exceed min(i, j).
+				gemms[task.I*n+task.J]++
+				if gemms[task.I*n+task.J] > min(task.I, task.J) {
+					t.Fatalf("%v: %s exceeds the tile's update count", pol, task)
+				}
+			}
+		}
+	}
+}
+
+func TestNumericReplay(t *testing.T) {
+	root := rng.New(3)
+	const n, l, p = 6, 4, 3
+	a := linalg.NewBlockedMatrix(n, l)
+	linalg.RandomDominant(a, root.Split())
+
+	for _, pol := range allPolicies() {
+		work := linalg.NewBlockedMatrix(n, l)
+		for i, blk := range a.Blocks {
+			copy(work.Blocks[i].Data, blk.Data)
+		}
+		s := speeds.UniformRange(p, 10, 100, root.Split())
+		m := Simulate(n, pol, speeds.NewFixed(s), root.Split())
+		if err := Replay(m.Schedule, work); err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if res := linalg.LUResidual(a, work); res > 1e-8 {
+			t.Fatalf("%v: |A − L·U| = %g", pol, res)
+		}
+	}
+}
+
+func TestLocalityReducesComm(t *testing.T) {
+	root := rng.New(4)
+	const n, p = 14, 6
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+	rnd := Simulate(n, RandomReady, speeds.NewFixed(s), root.Split())
+	loc := Simulate(n, LocalityReady, speeds.NewFixed(s), root.Split())
+	if loc.Blocks >= rnd.Blocks {
+		t.Fatalf("LocalityReady shipped %d, RandomReady %d", loc.Blocks, rnd.Blocks)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int, float64) {
+		root := rng.New(9)
+		s := speeds.UniformRange(4, 10, 100, root.Split())
+		m := Simulate(10, CriticalPathReady, speeds.NewFixed(s), root.Split())
+		return m.Blocks, m.Makespan
+	}
+	b1, mk1 := run()
+	b2, mk2 := run()
+	if b1 != b2 || mk1 != mk2 {
+		t.Fatalf("non-deterministic: (%d,%g) vs (%d,%g)", b1, mk1, b2, mk2)
+	}
+}
+
+func TestSingleTile(t *testing.T) {
+	m := Simulate(1, RandomReady, speeds.NewFixed([]float64{5}), rng.New(5))
+	if len(m.Schedule) != 1 || m.Schedule[0].Kind != Getrf {
+		t.Fatalf("n=1 schedule = %v", m.Schedule)
+	}
+}
+
+func TestReplayRejectsBadSchedule(t *testing.T) {
+	m := linalg.NewBlockedMatrix(3, 2)
+	if err := Replay([]Task{{Kind: Getrf}}, m); err == nil {
+		t.Fatal("short schedule not rejected")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"n=0":     func() { NewCoordinator(0, 2, RandomReady, rng.New(1)) },
+		"p=0":     func() { NewCoordinator(2, 0, RandomReady, rng.New(1)) },
+		"nil rng": func() { NewCoordinator(2, 2, RandomReady, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

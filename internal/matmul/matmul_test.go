@@ -1,0 +1,292 @@
+package matmul
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hetsched/internal/core"
+	"hetsched/internal/rng"
+	"hetsched/internal/sim"
+	"hetsched/internal/speeds"
+)
+
+func TestTaskIDRoundTrip(t *testing.T) {
+	f := func(iRaw, jRaw, kRaw, nRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		i, j, k := int(iRaw)%n, int(jRaw)%n, int(kRaw)%n
+		gi, gj, gk := Decode(TaskID(i, j, k, n), n)
+		return gi == i && gj == j && gk == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func drain(t *testing.T, s core.Scheduler, check func(w int, a core.Assignment)) (tasks, blocks int) {
+	t.Helper()
+	p := s.P()
+	stuck := 0
+	for w := 0; s.Remaining() > 0; w = (w + 1) % p {
+		a, ok := s.Next(w)
+		if !ok {
+			stuck++
+			if stuck > p {
+				t.Fatalf("%s: no worker can make progress with %d tasks remaining", s.Name(), s.Remaining())
+			}
+			continue
+		}
+		stuck = 0
+		tasks += len(a.Tasks)
+		blocks += a.Blocks
+		if check != nil {
+			check(w, a)
+		}
+	}
+	if _, ok := s.Next(0); ok {
+		t.Fatalf("%s: Next succeeded on a drained scheduler", s.Name())
+	}
+	return tasks, blocks
+}
+
+func builders(n, p int) map[string]func(r *rng.PCG) core.Scheduler {
+	return map[string]func(r *rng.PCG) core.Scheduler{
+		"RandomMatrix":  func(r *rng.PCG) core.Scheduler { return NewRandom(n, p, r) },
+		"SortedMatrix":  func(r *rng.PCG) core.Scheduler { return NewSorted(n, p, r) },
+		"DynamicMatrix": func(r *rng.PCG) core.Scheduler { return NewDynamic(n, p, r) },
+		"DynamicMatrix2Phases": func(r *rng.PCG) core.Scheduler {
+			return NewTwoPhases(n, p, ThresholdFromBeta(3, n), r)
+		},
+	}
+}
+
+func TestEveryTaskAssignedExactlyOnce(t *testing.T) {
+	const n, p = 12, 5
+	for name, build := range builders(n, p) {
+		s := build(rng.New(42))
+		seen := make(map[core.Task]bool, n*n*n)
+		tasks, _ := drain(t, s, func(_ int, a core.Assignment) {
+			for _, task := range a.Tasks {
+				if seen[task] {
+					t.Fatalf("%s: task %d assigned twice", name, task)
+				}
+				if task < 0 || int(task) >= n*n*n {
+					t.Fatalf("%s: task %d out of range", name, task)
+				}
+				seen[task] = true
+			}
+		})
+		if tasks != n*n*n {
+			t.Fatalf("%s: %d tasks assigned, want %d", name, tasks, n*n*n)
+		}
+	}
+}
+
+func instanceOf(s core.Scheduler) *Instance {
+	switch sch := s.(type) {
+	case *Random:
+		return sch.inst
+	case *Sorted:
+		return sch.inst
+	case *Dynamic:
+		return sch.inst
+	case *TwoPhases:
+		return sch.dyn.inst
+	}
+	return nil
+}
+
+func TestWorkerAlwaysOwnsTaskInputs(t *testing.T) {
+	const n, p = 10, 4
+	for name, build := range builders(n, p) {
+		s := build(rng.New(7))
+		inst := instanceOf(s)
+		drain(t, s, func(w int, a core.Assignment) {
+			for _, task := range a.Tasks {
+				i, j, k := Decode(task, n)
+				if !inst.aKnown[w].Test(i*n+k) ||
+					!inst.bKnown[w].Test(k*n+j) ||
+					!inst.cKnown[w].Test(i*n+j) {
+					t.Fatalf("%s: worker %d assigned task (%d,%d,%d) without owning its blocks",
+						name, w, i, j, k)
+				}
+			}
+		})
+	}
+}
+
+func TestDynamicStepBlockAccounting(t *testing.T) {
+	// While all three pools are non-empty, step y of a worker must
+	// ship exactly 3·(2y+1) blocks (Algorithm 3's invariant).
+	const n, p = 15, 3
+	s := NewDynamic(n, p, rng.New(11))
+	steps := make([]int, p)
+	drain(t, s, func(w int, a core.Assignment) {
+		y := steps[w]
+		if y < n { // all pools non-empty until a worker exhausts them
+			if want := 3 * (2*y + 1); a.Blocks != want {
+				t.Fatalf("DynamicMatrix step %d of worker %d shipped %d blocks, want %d",
+					y, w, a.Blocks, want)
+			}
+		}
+		steps[w]++
+	})
+}
+
+func TestDynamicOwnershipIsCrossProduct(t *testing.T) {
+	// After a full Dynamic run, each worker's recorded per-block
+	// ownership must be exactly I×K, K×J and I×J.
+	const n, p = 12, 4
+	s := NewDynamic(n, p, rng.New(17))
+	drain(t, s, nil)
+	for w := 0; w < p; w++ {
+		st := &s.dyn[w]
+		inI := make([]bool, n)
+		inJ := make([]bool, n)
+		inK := make([]bool, n)
+		for _, i := range st.iKnown {
+			inI[i] = true
+		}
+		for _, j := range st.jKnown {
+			inJ[j] = true
+		}
+		for _, k := range st.kKnown {
+			inK[k] = true
+		}
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				if s.inst.aKnown[w].Test(r*n+c) != (inI[r] && inK[c]) {
+					t.Fatalf("worker %d A ownership (%d,%d) disagrees with I×K", w, r, c)
+				}
+				if s.inst.bKnown[w].Test(r*n+c) != (inK[r] && inJ[c]) {
+					t.Fatalf("worker %d B ownership (%d,%d) disagrees with K×J", w, r, c)
+				}
+				if s.inst.cKnown[w].Test(r*n+c) != (inI[r] && inJ[c]) {
+					t.Fatalf("worker %d C ownership (%d,%d) disagrees with I×J", w, r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestSortedOrder(t *testing.T) {
+	const n, p = 8, 3
+	s := NewSorted(n, p, rng.New(1))
+	last := core.Task(-1)
+	drain(t, s, func(_ int, a core.Assignment) {
+		if a.Tasks[0] <= last {
+			t.Fatalf("SortedMatrix out of order: %d after %d", a.Tasks[0], last)
+		}
+		last = a.Tasks[0]
+	})
+}
+
+func TestRandomBlocksPerTask(t *testing.T) {
+	const n, p = 10, 3
+	s := NewRandom(n, p, rng.New(2))
+	drain(t, s, func(_ int, a core.Assignment) {
+		if len(a.Tasks) != 1 {
+			t.Fatalf("RandomMatrix returned %d tasks", len(a.Tasks))
+		}
+		if a.Blocks < 0 || a.Blocks > 3 {
+			t.Fatalf("RandomMatrix shipped %d blocks for one task", a.Blocks)
+		}
+	})
+}
+
+func TestTwoPhasesPhaseAccounting(t *testing.T) {
+	const n, p = 12, 4
+	threshold := 400
+	s := NewTwoPhases(n, p, threshold, rng.New(13))
+	drain(t, s, nil)
+	phase1 := s.Phase1Tasks()
+	if phase1 < n*n*n-threshold || phase1 > n*n*n {
+		t.Fatalf("phase-1 task count %d inconsistent with threshold %d (total %d)",
+			phase1, threshold, n*n*n)
+	}
+	if !s.switched {
+		t.Fatal("two-phase scheduler never switched")
+	}
+}
+
+func TestThresholdHelpers(t *testing.T) {
+	if got := ThresholdFromBeta(0, 20); got != 20*20*20 {
+		t.Fatalf("ThresholdFromBeta(0) = %d, want n³", got)
+	}
+	if got := ThresholdFromBeta(60, 20); got != 0 {
+		t.Fatalf("ThresholdFromBeta(60) = %d, want 0", got)
+	}
+	if got := ThresholdFromPhase1Fraction(0.5, 10); got != 500 {
+		t.Fatalf("fraction 0.5 → threshold %d, want 500", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	const n, p = 10, 4
+	for name, build := range builders(n, p) {
+		run := func() (int, int) {
+			s := build(rng.New(99))
+			return drain(t, s, nil)
+		}
+		t1, b1 := run()
+		t2, b2 := run()
+		if t1 != t2 || b1 != b2 {
+			t.Fatalf("%s not deterministic: (%d,%d) vs (%d,%d)", name, t1, b1, t2, b2)
+		}
+	}
+}
+
+func TestSimulationIntegration(t *testing.T) {
+	const n, p = 16, 8
+	root := rng.New(123)
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+
+	metrics := map[string]*sim.Metrics{}
+	for name, build := range builders(n, p) {
+		m := sim.Run(build(root.Split()), speeds.NewFixed(s))
+		metrics[name] = m
+		total := 0
+		for _, v := range m.TasksPer {
+			total += v
+		}
+		if total != n*n*n {
+			t.Fatalf("%s: simulator processed %d tasks, want %d", name, total, n*n*n)
+		}
+	}
+	if metrics["DynamicMatrix"].Blocks >= metrics["RandomMatrix"].Blocks {
+		t.Fatalf("DynamicMatrix (%d) did not beat RandomMatrix (%d)",
+			metrics["DynamicMatrix"].Blocks, metrics["RandomMatrix"].Blocks)
+	}
+	if metrics["DynamicMatrix2Phases"].Blocks >= metrics["DynamicMatrix"].Blocks {
+		t.Fatalf("DynamicMatrix2Phases (%d) did not beat DynamicMatrix (%d)",
+			metrics["DynamicMatrix2Phases"].Blocks, metrics["DynamicMatrix"].Blocks)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"n=0":     func() { NewRandom(0, 3, rng.New(1)) },
+		"p=0":     func() { NewDynamic(10, 0, rng.New(1)) },
+		"nil rng": func() { NewSorted(10, 3, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("constructor with %s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTwoPhasesAutoCompetitive(t *testing.T) {
+	const n, p = 16, 10
+	root := rng.New(31)
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+	auto := sim.Run(NewTwoPhasesAuto(n, p, rng.New(77)), speeds.NewFixed(s))
+	dynamic := sim.Run(NewDynamic(n, p, rng.New(77)), speeds.NewFixed(s))
+	if auto.Blocks >= dynamic.Blocks {
+		t.Fatalf("speed-agnostic two-phase (%d blocks) did not beat DynamicMatrix (%d)",
+			auto.Blocks, dynamic.Blocks)
+	}
+}

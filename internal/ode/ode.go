@@ -1,0 +1,69 @@
+// Package ode provides a small fixed-step Runge-Kutta integrator used
+// to cross-validate the closed-form solutions of package analysis
+// against the raw ordinary differential equations of the paper:
+//
+//	outer:  g'(x) = −2·x·α · g(x)/(1−x²)     (Lemma 1)
+//	matrix: g'(x) = −3·x²·α · g(x)/(1−x³)    (Lemma 7)
+//
+// The integrator is generic over first-order systems y' = f(x, y).
+package ode
+
+import "fmt"
+
+// Func is the right-hand side of y' = f(x, y).
+type Func func(x, y float64) float64
+
+// RK4 integrates y' = f from (x0, y0) to x1 using n classical
+// fourth-order Runge-Kutta steps and returns y(x1).
+func RK4(f Func, x0, y0, x1 float64, n int) float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("ode: non-positive step count %d", n))
+	}
+	h := (x1 - x0) / float64(n)
+	x, y := x0, y0
+	for i := 0; i < n; i++ {
+		k1 := f(x, y)
+		k2 := f(x+h/2, y+h/2*k1)
+		k3 := f(x+h/2, y+h/2*k2)
+		k4 := f(x+h, y+h*k3)
+		y += h / 6 * (k1 + 2*k2 + 2*k3 + k4)
+		x += h
+	}
+	return y
+}
+
+// Solve integrates y' = f from (x0, y0) over the given grid of x
+// values (which must be increasing and start at x0) and returns y at
+// each grid point, using steps RK4 sub-steps between consecutive
+// points.
+func Solve(f Func, x0, y0 float64, grid []float64, steps int) []float64 {
+	out := make([]float64, len(grid))
+	x, y := x0, y0
+	for i, xg := range grid {
+		if xg < x {
+			panic("ode: grid must be non-decreasing from x0")
+		}
+		if xg > x {
+			y = RK4(f, x, y, xg, steps)
+			x = xg
+		}
+		out[i] = y
+	}
+	return out
+}
+
+// OuterRHS returns the right-hand side of the outer-product ODE for a
+// given α.
+func OuterRHS(alpha float64) Func {
+	return func(x, g float64) float64 {
+		return -2 * x * alpha * g / (1 - x*x)
+	}
+}
+
+// MatrixRHS returns the right-hand side of the matrix ODE for a given
+// α.
+func MatrixRHS(alpha float64) Func {
+	return func(x, g float64) float64 {
+		return -3 * x * x * alpha * g / (1 - x*x*x)
+	}
+}

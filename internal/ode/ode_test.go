@@ -1,0 +1,73 @@
+package ode
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRK4Exponential(t *testing.T) {
+	// y' = y, y(0) = 1 → y(1) = e.
+	got := RK4(func(x, y float64) float64 { return y }, 0, 1, 1, 100)
+	if math.Abs(got-math.E) > 1e-8 {
+		t.Fatalf("RK4 e = %.10f, want %.10f", got, math.E)
+	}
+}
+
+func TestRK4Linear(t *testing.T) {
+	// y' = 2x, y(0) = 0 → y(x) = x²; RK4 is exact for polynomials of
+	// degree ≤ 4.
+	got := RK4(func(x, y float64) float64 { return 2 * x }, 0, 0, 3, 10)
+	if math.Abs(got-9) > 1e-10 {
+		t.Fatalf("RK4 x² at 3 = %g, want 9", got)
+	}
+}
+
+func TestRK4BackwardIntegration(t *testing.T) {
+	// Integrating from 1 back to 0 must invert forward integration.
+	f := func(x, y float64) float64 { return -y }
+	fwd := RK4(f, 0, 1, 1, 200)
+	back := RK4(f, 1, fwd, 0, 200)
+	if math.Abs(back-1) > 1e-8 {
+		t.Fatalf("round-trip integration drifted: %g", back)
+	}
+}
+
+func TestSolveGrid(t *testing.T) {
+	grid := []float64{0, 0.5, 1, 2}
+	ys := Solve(func(x, y float64) float64 { return y }, 0, 1, grid, 200)
+	for i, x := range grid {
+		if want := math.Exp(x); math.Abs(ys[i]-want) > 1e-7 {
+			t.Fatalf("Solve at x=%g: %g, want %g", x, ys[i], want)
+		}
+	}
+}
+
+func TestSolveRejectsDecreasingGrid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("decreasing grid did not panic")
+		}
+	}()
+	Solve(func(x, y float64) float64 { return 0 }, 0, 0, []float64{1, 0.5}, 10)
+}
+
+func TestRK4PanicsOnBadSteps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n=0 did not panic")
+		}
+	}()
+	RK4(func(x, y float64) float64 { return 0 }, 0, 0, 1, 0)
+}
+
+func TestRHSSigns(t *testing.T) {
+	// Both RHS must be non-positive for g ≥ 0 (g decreases).
+	for _, alpha := range []float64{0.5, 2, 10} {
+		o, m := OuterRHS(alpha), MatrixRHS(alpha)
+		for x := 0.05; x < 0.95; x += 0.05 {
+			if o(x, 0.5) > 0 || m(x, 0.5) > 0 {
+				t.Fatalf("positive RHS at x=%g alpha=%g", x, alpha)
+			}
+		}
+	}
+}

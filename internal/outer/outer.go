@@ -1,0 +1,397 @@
+// Package outer implements the paper's outer-product kernel (§3): the
+// computation of M = a·bᵀ for two vectors split into n = N/l blocks,
+// i.e. n² independent block tasks T(i,j) = aᵢ·bⱼᵀ, and the four
+// scheduling strategies RandomOuter, SortedOuter, DynamicOuter and
+// DynamicOuter2Phases.
+//
+// All strategies are core.Scheduler state machines: they are driven by
+// the event simulator (package sim) or by the real runtime (package
+// exec). A data block is one block of a or one block of b; the
+// communication volume of a strategy is the total number of blocks the
+// master ships.
+package outer
+
+import (
+	"fmt"
+	"math"
+
+	"hetsched/internal/analysis"
+	"hetsched/internal/bitset"
+	"hetsched/internal/core"
+	"hetsched/internal/rng"
+	"hetsched/internal/speeds"
+)
+
+// TaskID encodes the block pair (i, j) of an n-block instance.
+func TaskID(i, j, n int) core.Task {
+	return core.Task(i*n + j)
+}
+
+// Decode returns the block pair encoded in t.
+func Decode(t core.Task, n int) (i, j int) {
+	return int(t) / n, int(t) % n
+}
+
+// Instance is the shared bookkeeping of one outer-product run: the
+// grid size, the global processed set and the per-processor data
+// ownership.
+type Instance struct {
+	n         int
+	p         int
+	processed *bitset.Bitset // n*n task bits
+	remaining int
+	r         *rng.PCG
+
+	aKnown []*bitset.Bitset // per processor, n bits
+	bKnown []*bitset.Bitset
+}
+
+func newInstance(n, p int, r *rng.PCG) *Instance {
+	if n <= 0 || p <= 0 {
+		panic(fmt.Sprintf("outer: invalid instance n=%d p=%d", n, p))
+	}
+	if r == nil {
+		panic("outer: nil rng")
+	}
+	inst := &Instance{
+		n:         n,
+		p:         p,
+		processed: bitset.New(n * n),
+		remaining: n * n,
+		r:         r,
+		aKnown:    make([]*bitset.Bitset, p),
+		bKnown:    make([]*bitset.Bitset, p),
+	}
+	for w := 0; w < p; w++ {
+		inst.aKnown[w] = bitset.New(n)
+		inst.bKnown[w] = bitset.New(n)
+	}
+	return inst
+}
+
+// N returns the per-dimension block count n = N/l.
+func (in *Instance) N() int { return in.n }
+
+// markProcessed marks task t processed if it was not; reports whether
+// it was fresh.
+func (in *Instance) markProcessed(t core.Task) bool {
+	if in.processed.SetIfClear(int(t)) {
+		in.remaining--
+		return true
+	}
+	return false
+}
+
+// receive gives worker w the blocks needed for task t and returns how
+// many had to be shipped.
+func (in *Instance) receive(w int, t core.Task) int {
+	i, j := Decode(t, in.n)
+	sent := 0
+	if in.aKnown[w].SetIfClear(i) {
+		sent++
+	}
+	if in.bKnown[w].SetIfClear(j) {
+		sent++
+	}
+	return sent
+}
+
+// unprocessedTasks returns all tasks not yet processed.
+func (in *Instance) unprocessedTasks() []core.Task {
+	tasks := make([]core.Task, 0, in.remaining)
+	in.processed.ForEachClear(func(i int) {
+		tasks = append(tasks, core.Task(i))
+	})
+	return tasks
+}
+
+// --- RandomOuter -----------------------------------------------------
+
+// Random allocates one uniformly random unprocessed task per request,
+// shipping whichever of its two input blocks the worker misses
+// (strategy RandomOuter).
+type Random struct {
+	inst *Instance
+	pool *core.TaskPool
+}
+
+// NewRandom builds a RandomOuter scheduler for an n-block instance on
+// p workers.
+func NewRandom(n, p int, r *rng.PCG) *Random {
+	inst := newInstance(n, p, r)
+	tasks := make([]core.Task, 0, n*n)
+	for t := 0; t < n*n; t++ {
+		tasks = append(tasks, core.Task(t))
+	}
+	return &Random{inst: inst, pool: core.NewTaskPool(tasks)}
+}
+
+// Next implements core.Scheduler.
+func (s *Random) Next(w int) (core.Assignment, bool) {
+	t, ok := s.pool.Draw(s.inst.r, nil)
+	if !ok {
+		return core.Assignment{}, false
+	}
+	s.inst.markProcessed(t)
+	return core.Assignment{Tasks: []core.Task{t}, Blocks: s.inst.receive(w, t)}, true
+}
+
+// Remaining implements core.Scheduler.
+func (s *Random) Remaining() int { return s.inst.remaining }
+
+// Total implements core.Scheduler.
+func (s *Random) Total() int { return s.inst.n * s.inst.n }
+
+// P implements core.Scheduler.
+func (s *Random) P() int { return s.inst.p }
+
+// Name implements core.Scheduler.
+func (s *Random) Name() string { return "RandomOuter" }
+
+// --- SortedOuter -----------------------------------------------------
+
+// Sorted allocates tasks in lexicographic (i, j) order, one per
+// request (strategy SortedOuter).
+type Sorted struct {
+	inst   *Instance
+	cursor int
+}
+
+// NewSorted builds a SortedOuter scheduler.
+func NewSorted(n, p int, r *rng.PCG) *Sorted {
+	return &Sorted{inst: newInstance(n, p, r)}
+}
+
+// Next implements core.Scheduler.
+func (s *Sorted) Next(w int) (core.Assignment, bool) {
+	n2 := s.inst.n * s.inst.n
+	for s.cursor < n2 && s.inst.processed.Test(s.cursor) {
+		s.cursor++
+	}
+	if s.cursor >= n2 {
+		return core.Assignment{}, false
+	}
+	t := core.Task(s.cursor)
+	s.cursor++
+	s.inst.markProcessed(t)
+	return core.Assignment{Tasks: []core.Task{t}, Blocks: s.inst.receive(w, t)}, true
+}
+
+// Remaining implements core.Scheduler.
+func (s *Sorted) Remaining() int { return s.inst.remaining }
+
+// Total implements core.Scheduler.
+func (s *Sorted) Total() int { return s.inst.n * s.inst.n }
+
+// P implements core.Scheduler.
+func (s *Sorted) P() int { return s.inst.p }
+
+// Name implements core.Scheduler.
+func (s *Sorted) Name() string { return "SortedOuter" }
+
+// --- DynamicOuter ----------------------------------------------------
+
+// dynState is the per-processor state of the data-aware strategy: the
+// index sets I and J of Algorithm 1 plus pools of still-unknown
+// indices for uniform fresh draws.
+type dynState struct {
+	iKnown []int32 // I: indices i with a_i on the worker
+	jKnown []int32 // J: indices j with b_j on the worker
+	iPool  *core.IndexPool
+	jPool  *core.IndexPool
+}
+
+// Dynamic is the data-aware strategy of Algorithm 1 (DynamicOuter):
+// each request ships one fresh block of a and one fresh block of b and
+// allocates every still-unprocessed task that the enlarged sets I×J
+// newly cover.
+type Dynamic struct {
+	inst *Instance
+	dyn  []dynState
+}
+
+// NewDynamic builds a DynamicOuter scheduler.
+func NewDynamic(n, p int, r *rng.PCG) *Dynamic {
+	inst := newInstance(n, p, r)
+	d := &Dynamic{inst: inst, dyn: make([]dynState, p)}
+	for w := 0; w < p; w++ {
+		d.dyn[w] = dynState{
+			iPool: core.NewIndexPool(n),
+			jPool: core.NewIndexPool(n),
+		}
+	}
+	return d
+}
+
+// Next implements core.Scheduler. It performs one step of Algorithm 1
+// for worker w.
+func (s *Dynamic) Next(w int) (core.Assignment, bool) {
+	if s.inst.remaining == 0 {
+		return core.Assignment{}, false
+	}
+	a, ok := s.step(w)
+	return a, ok
+}
+
+// step draws fresh indices for worker w, ships the corresponding
+// blocks and allocates the newly computable unprocessed tasks.
+func (s *Dynamic) step(w int) (core.Assignment, bool) {
+	st := &s.dyn[w]
+	i, okI := st.iPool.Draw(s.inst.r)
+	j, okJ := st.jPool.Draw(s.inst.r)
+	if !okI && !okJ {
+		// Worker knows every block: every task has necessarily been
+		// allocated already, so remaining must be zero.
+		return core.Assignment{}, false
+	}
+
+	var tasks []core.Task
+	blocks := 0
+	n := s.inst.n
+	if okI {
+		blocks++
+		s.inst.aKnown[w].Set(i)
+		// Row i against every known column (including the fresh j).
+		for _, jj := range st.jKnown {
+			t := TaskID(i, int(jj), n)
+			if s.inst.markProcessed(t) {
+				tasks = append(tasks, t)
+			}
+		}
+		if okJ {
+			t := TaskID(i, j, n)
+			if s.inst.markProcessed(t) {
+				tasks = append(tasks, t)
+			}
+		}
+	}
+	if okJ {
+		blocks++
+		s.inst.bKnown[w].Set(j)
+		// Column j against every previously known row (the pair (i,j)
+		// was handled above).
+		for _, ii := range st.iKnown {
+			t := TaskID(int(ii), j, n)
+			if s.inst.markProcessed(t) {
+				tasks = append(tasks, t)
+			}
+		}
+	}
+	if okI {
+		st.iKnown = append(st.iKnown, int32(i))
+	}
+	if okJ {
+		st.jKnown = append(st.jKnown, int32(j))
+	}
+	return core.Assignment{Tasks: tasks, Blocks: blocks}, true
+}
+
+// Known returns the number of a-blocks (equivalently b-blocks, up to
+// the end-game boundary) worker w currently holds. Used by the
+// mean-field convergence experiment to sample x = Known/n.
+func (s *Dynamic) Known(w int) int { return len(s.dyn[w].iKnown) }
+
+// Remaining implements core.Scheduler.
+func (s *Dynamic) Remaining() int { return s.inst.remaining }
+
+// Total implements core.Scheduler.
+func (s *Dynamic) Total() int { return s.inst.n * s.inst.n }
+
+// P implements core.Scheduler.
+func (s *Dynamic) P() int { return s.inst.p }
+
+// Name implements core.Scheduler.
+func (s *Dynamic) Name() string { return "DynamicOuter" }
+
+// --- DynamicOuter2Phases ----------------------------------------------
+
+// TwoPhases is Algorithm 2 (DynamicOuter2Phases): run DynamicOuter
+// until at most Threshold tasks remain, then fall back to random
+// single-task allocation for the end game.
+type TwoPhases struct {
+	dyn       *Dynamic
+	threshold int
+	switched  bool
+	pool      *core.TaskPool
+	phase1    int
+}
+
+// NewTwoPhases builds a DynamicOuter2Phases scheduler switching to the
+// random phase when at most threshold tasks remain. Use
+// ThresholdFromBeta to derive the threshold from the analysis.
+func NewTwoPhases(n, p int, threshold int, r *rng.PCG) *TwoPhases {
+	if threshold < 0 {
+		threshold = 0
+	}
+	return &TwoPhases{dyn: NewDynamic(n, p, r), threshold: threshold}
+}
+
+// ThresholdFromBeta converts the analysis parameter β into the task
+// threshold e^(−β)·n² of §3.3.
+func ThresholdFromBeta(beta float64, n int) int {
+	return int(math.Floor(math.Exp(-beta) * float64(n) * float64(n)))
+}
+
+// NewTwoPhasesAuto builds a DynamicOuter2Phases scheduler with the
+// speed-agnostic threshold of §3.6: β is optimized analytically for a
+// homogeneous platform with the same processor count, which the paper
+// shows costs at most ~0.1% extra predicted volume versus
+// per-platform tuning — so the scheduler needs to know only n and p.
+func NewTwoPhasesAuto(n, p int, r *rng.PCG) *TwoPhases {
+	beta, _ := analysis.OptimalBetaOuter(speeds.Homogeneous(p), n)
+	return NewTwoPhases(n, p, ThresholdFromBeta(beta, n), r)
+}
+
+// ThresholdFromPhase1Fraction returns the threshold such that a
+// fraction frac of the n² tasks is handled in phase 1 (Fig. 2's x
+// axis).
+func ThresholdFromPhase1Fraction(frac float64, n int) int {
+	if frac < 0 || frac > 1 {
+		panic("outer: phase-1 fraction must be in [0,1]")
+	}
+	return int(math.Round((1 - frac) * float64(n) * float64(n)))
+}
+
+// Next implements core.Scheduler.
+func (s *TwoPhases) Next(w int) (core.Assignment, bool) {
+	inst := s.dyn.inst
+	if !s.switched && inst.remaining > 0 && inst.remaining <= s.threshold {
+		s.switchPhase()
+	}
+	if !s.switched {
+		return s.dyn.Next(w)
+	}
+	t, ok := s.pool.Draw(inst.r, nil)
+	if !ok {
+		return core.Assignment{}, false
+	}
+	inst.markProcessed(t)
+	return core.Assignment{Tasks: []core.Task{t}, Blocks: inst.receive(w, t)}, true
+}
+
+func (s *TwoPhases) switchPhase() {
+	inst := s.dyn.inst
+	s.switched = true
+	s.phase1 = inst.n*inst.n - inst.remaining
+	s.pool = core.NewTaskPool(inst.unprocessedTasks())
+}
+
+// Phase1Tasks implements core.PhaseObserver.
+func (s *TwoPhases) Phase1Tasks() int {
+	if !s.switched {
+		return s.dyn.Total() - s.dyn.Remaining()
+	}
+	return s.phase1
+}
+
+// Remaining implements core.Scheduler.
+func (s *TwoPhases) Remaining() int { return s.dyn.Remaining() }
+
+// Total implements core.Scheduler.
+func (s *TwoPhases) Total() int { return s.dyn.Total() }
+
+// P implements core.Scheduler.
+func (s *TwoPhases) P() int { return s.dyn.P() }
+
+// Name implements core.Scheduler.
+func (s *TwoPhases) Name() string { return "DynamicOuter2Phases" }

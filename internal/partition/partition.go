@@ -1,0 +1,171 @@
+// Package partition implements the static baseline the paper compares
+// against (§3.2, reference [2]): partitioning the unit square into p
+// rectangles with prescribed areas (the relative speeds) while
+// minimizing the sum of half-perimeters, which is the communication
+// volume of a fully static allocation of the outer product.
+//
+// The implementation is the column-based family of partitions:
+// processors are sorted by area and assigned to contiguous groups, one
+// group per column; a column containing processors of total area w is
+// a vertical strip of width w sliced horizontally. For a column with
+// m rectangles the half-perimeter sum is m·w + 1, so the total cost of
+// a grouping is Σ_j m_j·w_j + c for c columns. The optimal contiguous
+// grouping is found by dynamic programming; Beaumont et al. prove the
+// best column partition is within 7/4 of the lower bound 2·Σ√area.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Rect is an axis-aligned rectangle of the unit square assigned to one
+// processor.
+type Rect struct {
+	Proc       int // processor index in the original speed order
+	X, Y, W, H float64
+}
+
+// HalfPerimeter returns w + h.
+func (r Rect) HalfPerimeter() float64 { return r.W + r.H }
+
+// Partition is a column partition of the unit square.
+type Partition struct {
+	Rects []Rect
+	// Cost is the sum of half-perimeters, Σ (w_i + h_i).
+	Cost float64
+	// Columns is the number of columns used.
+	Columns int
+}
+
+// LowerBound is the paper's communication lower bound in normalized
+// units: 2·Σ_k √rs_k (the half-perimeter sum if every processor could
+// get a square of its prescribed area).
+func LowerBound(rs []float64) float64 {
+	sum := 0.0
+	for _, r := range rs {
+		sum += math.Sqrt(r)
+	}
+	return 2 * sum
+}
+
+// Columnwise computes the optimal contiguous column partition for the
+// given relative speeds (areas summing to 1). Areas are sorted in
+// non-increasing order before grouping, as required by the 7/4
+// guarantee.
+func Columnwise(rs []float64) *Partition {
+	p := len(rs)
+	if p == 0 {
+		panic("partition: empty speed vector")
+	}
+	total := 0.0
+	for k, r := range rs {
+		if r <= 0 {
+			panic(fmt.Sprintf("partition: non-positive area %g for processor %d", r, k))
+		}
+		total += r
+	}
+	if math.Abs(total-1) > 1e-9 {
+		panic(fmt.Sprintf("partition: areas sum to %g, want 1", total))
+	}
+
+	// Sort processor indices by non-increasing area.
+	order := make([]int, p)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return rs[order[a]] > rs[order[b]] })
+	area := make([]float64, p)
+	for i, idx := range order {
+		area[i] = rs[idx]
+	}
+	prefix := make([]float64, p+1)
+	for i := 0; i < p; i++ {
+		prefix[i+1] = prefix[i] + area[i]
+	}
+
+	// dp[i] = minimal cost (Σ m_j·w_j + #columns) of partitioning the
+	// first i sorted processors into contiguous columns.
+	const inf = math.MaxFloat64
+	dp := make([]float64, p+1)
+	cut := make([]int, p+1)
+	cols := make([]int, p+1)
+	for i := 1; i <= p; i++ {
+		dp[i] = inf
+		for j := 0; j < i; j++ {
+			w := prefix[i] - prefix[j]
+			cost := dp[j] + float64(i-j)*w + 1
+			if cost < dp[i] {
+				dp[i] = cost
+				cut[i] = j
+				cols[i] = cols[j] + 1
+			}
+		}
+	}
+
+	// Reconstruct the grouping.
+	var bounds []int
+	for i := p; i > 0; i = cut[i] {
+		bounds = append(bounds, i)
+	}
+	// bounds holds column right-edges in reverse order.
+	for l, r := 0, len(bounds)-1; l < r; l, r = l+1, r-1 {
+		bounds[l], bounds[r] = bounds[r], bounds[l]
+	}
+
+	part := &Partition{Columns: len(bounds)}
+	x := 0.0
+	start := 0
+	for _, end := range bounds {
+		w := prefix[end] - prefix[start]
+		y := 0.0
+		for i := start; i < end; i++ {
+			h := area[i] / w
+			part.Rects = append(part.Rects, Rect{
+				Proc: order[i],
+				X:    x, Y: y, W: w, H: h,
+			})
+			y += h
+		}
+		x += w
+		start = end
+	}
+	for _, r := range part.Rects {
+		part.Cost += r.HalfPerimeter()
+	}
+	return part
+}
+
+// DiscreteComm maps the continuous partition onto an n×n block grid
+// and returns the total number of blocks a static allocation following
+// the partition would ship: each processor receives the a-blocks of
+// the rows and the b-blocks of the columns its rectangle intersects.
+// Row/column boundaries are rounded to whole blocks.
+func DiscreteComm(part *Partition, n int) int {
+	if n <= 0 {
+		panic("partition: non-positive grid size")
+	}
+	blocks := 0
+	for _, r := range part.Rects {
+		c0 := int(math.Floor(r.X * float64(n)))
+		c1 := int(math.Ceil((r.X + r.W) * float64(n)))
+		r0 := int(math.Floor(r.Y * float64(n)))
+		r1 := int(math.Ceil((r.Y + r.H) * float64(n)))
+		if c1 > n {
+			c1 = n
+		}
+		if r1 > n {
+			r1 = n
+		}
+		blocks += (c1 - c0) + (r1 - r0)
+	}
+	return blocks
+}
+
+// NormalizedCost returns Cost divided by the lower bound; the 7/4
+// theorem guarantees this is below 1.75 for the optimal column
+// partition.
+func (p *Partition) NormalizedCost(rs []float64) float64 {
+	return p.Cost / LowerBound(rs)
+}

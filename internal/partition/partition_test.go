@@ -1,0 +1,206 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hetsched/internal/rng"
+	"hetsched/internal/speeds"
+)
+
+func randomAreas(p int, seed uint64) []float64 {
+	r := rng.New(seed)
+	return speeds.Relative(speeds.UniformRange(p, 10, 100, r))
+}
+
+func TestAreasRespected(t *testing.T) {
+	rs := randomAreas(17, 1)
+	part := Columnwise(rs)
+	if len(part.Rects) != len(rs) {
+		t.Fatalf("%d rects for %d processors", len(part.Rects), len(rs))
+	}
+	seen := make([]bool, len(rs))
+	for _, rect := range part.Rects {
+		if seen[rect.Proc] {
+			t.Fatalf("processor %d assigned twice", rect.Proc)
+		}
+		seen[rect.Proc] = true
+		if got := rect.W * rect.H; math.Abs(got-rs[rect.Proc]) > 1e-9 {
+			t.Fatalf("processor %d got area %g, want %g", rect.Proc, got, rs[rect.Proc])
+		}
+	}
+}
+
+func TestRectsTileUnitSquare(t *testing.T) {
+	rs := randomAreas(23, 2)
+	part := Columnwise(rs)
+	// Total area is 1 and rectangles are disjoint: sample points and
+	// check each is covered exactly once.
+	total := 0.0
+	for _, rect := range part.Rects {
+		total += rect.W * rect.H
+		if rect.X < -1e-9 || rect.Y < -1e-9 ||
+			rect.X+rect.W > 1+1e-9 || rect.Y+rect.H > 1+1e-9 {
+			t.Fatalf("rect %+v leaves the unit square", rect)
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("areas sum to %g", total)
+	}
+	r := rng.New(3)
+	for s := 0; s < 2000; s++ {
+		x, y := r.Float64(), r.Float64()
+		covered := 0
+		for _, rect := range part.Rects {
+			if x >= rect.X && x < rect.X+rect.W && y >= rect.Y && y < rect.Y+rect.H {
+				covered++
+			}
+		}
+		if covered != 1 {
+			t.Fatalf("point (%g,%g) covered %d times", x, y, covered)
+		}
+	}
+}
+
+func TestCostWithinSevenFourths(t *testing.T) {
+	// The optimal column partition is a 7/4-approximation of the lower
+	// bound (Beaumont et al. 2002).
+	for seed := uint64(0); seed < 20; seed++ {
+		p := 2 + int(seed)%40
+		rs := randomAreas(p, seed)
+		part := Columnwise(rs)
+		lb := LowerBound(rs)
+		if part.Cost < lb-1e-9 {
+			t.Fatalf("cost %g below lower bound %g", part.Cost, lb)
+		}
+		if part.Cost > 1.75*lb+1e-9 {
+			t.Fatalf("cost %g exceeds 7/4 of lower bound %g (p=%d)", part.Cost, lb, p)
+		}
+	}
+}
+
+func TestHomogeneousSquareGrid(t *testing.T) {
+	// For p = q² equal processors the optimal column partition is the
+	// q×q grid with cost 2q.
+	for _, q := range []int{2, 3, 4, 5} {
+		p := q * q
+		rs := make([]float64, p)
+		for i := range rs {
+			rs[i] = 1 / float64(p)
+		}
+		part := Columnwise(rs)
+		if part.Columns != q {
+			t.Fatalf("p=%d: got %d columns, want %d", p, part.Columns, q)
+		}
+		if want := 2 * float64(q); math.Abs(part.Cost-want) > 1e-9 {
+			t.Fatalf("p=%d: cost %g, want %g", p, part.Cost, want)
+		}
+	}
+}
+
+func TestSingleProcessor(t *testing.T) {
+	part := Columnwise([]float64{1})
+	if part.Cost != 2 || part.Columns != 1 {
+		t.Fatalf("single processor: cost %g columns %d", part.Cost, part.Columns)
+	}
+}
+
+func TestColumnwiseBeatsSingleColumn(t *testing.T) {
+	// With many processors a single column (cost p·1 + 1) is terrible;
+	// the DP must do better.
+	rs := randomAreas(36, 7)
+	part := Columnwise(rs)
+	if part.Cost >= float64(len(rs))+1 {
+		t.Fatalf("DP cost %g not better than single column %g", part.Cost, float64(len(rs))+1)
+	}
+}
+
+func TestDPOptimalAgainstBruteForce(t *testing.T) {
+	// For small p, enumerate every contiguous grouping of the sorted
+	// areas and check the DP found the cheapest.
+	for seed := uint64(0); seed < 10; seed++ {
+		p := 3 + int(seed%5)
+		rs := randomAreas(p, 40+seed)
+		part := Columnwise(rs)
+
+		// Brute force over bitmask cut positions on sorted areas.
+		sorted := append([]float64(nil), rs...)
+		for i := 0; i < len(sorted); i++ {
+			for j := i + 1; j < len(sorted); j++ {
+				if sorted[j] > sorted[i] {
+					sorted[i], sorted[j] = sorted[j], sorted[i]
+				}
+			}
+		}
+		best := math.MaxFloat64
+		for mask := 0; mask < 1<<(p-1); mask++ {
+			cost, start := 0.0, 0
+			for end := 1; end <= p; end++ {
+				if end == p || mask&(1<<(end-1)) != 0 {
+					w := 0.0
+					for i := start; i < end; i++ {
+						w += sorted[i]
+					}
+					cost += float64(end-start)*w + 1
+					start = end
+				}
+			}
+			if cost < best {
+				best = cost
+			}
+		}
+		if math.Abs(part.Cost-best) > 1e-9 {
+			t.Fatalf("p=%d: DP cost %g, brute force %g", p, part.Cost, best)
+		}
+	}
+}
+
+func TestDiscreteComm(t *testing.T) {
+	rs := randomAreas(12, 9)
+	part := Columnwise(rs)
+	n := 100
+	blocks := DiscreteComm(part, n)
+	// Discretization rounds outward, so the block count is at least
+	// the continuous cost scaled by n, and within p·2 extra rows plus
+	// columns of it.
+	lo := part.Cost * float64(n)
+	if float64(blocks) < lo-1e-6 {
+		t.Fatalf("discrete comm %d below continuous %g", blocks, lo)
+	}
+	if float64(blocks) > lo+float64(4*len(rs)) {
+		t.Fatalf("discrete comm %d too far above continuous %g", blocks, lo)
+	}
+}
+
+func TestNormalizedCostProperty(t *testing.T) {
+	f := func(seed uint64, pRaw uint8) bool {
+		p := int(pRaw%64) + 1
+		rs := randomAreas(p, seed)
+		part := Columnwise(rs)
+		norm := part.NormalizedCost(rs)
+		return norm >= 1-1e-9 && norm <= 1.75+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":     func() { Columnwise(nil) },
+		"non-sum-1": func() { Columnwise([]float64{0.5, 0.4}) },
+		"non-positive": func() {
+			Columnwise([]float64{1.5, -0.5})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

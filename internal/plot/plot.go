@@ -1,0 +1,207 @@
+// Package plot renders experiment results as aligned text tables,
+// CSV files and quick ASCII line charts, so every figure of the paper
+// can be regenerated and eyeballed directly in a terminal (and the CSV
+// re-plotted with any external tool).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample with an optional spread.
+type Point struct {
+	X, Y   float64
+	StdDev float64
+}
+
+// Series is a named curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Result is a complete figure: several series over a common x axis.
+type Result struct {
+	ID     string // e.g. "fig4"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+	// XTicks optionally labels categorical x values (Fig 8 scenarios).
+	XTicks map[float64]string
+}
+
+// Table renders the result as an aligned text table: one row per x
+// value, one column per series.
+func (r *Result) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", r.ID, r.Title)
+	xs := r.xValues()
+
+	header := []string{r.XLabel}
+	for _, s := range r.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{r.xLabelFor(x)}
+		for _, s := range r.Series {
+			if y, sd, ok := s.at(x); ok {
+				if sd > 0 {
+					row = append(row, fmt.Sprintf("%.3f ±%.3f", y, sd))
+				} else {
+					row = append(row, fmt.Sprintf("%.3f", y))
+				}
+			} else {
+				row = append(row, "—")
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for c, cell := range row {
+			fmt.Fprintf(&sb, "%-*s", widths[c]+2, cell)
+		}
+		sb.WriteByte('\n')
+	}
+	for _, note := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", note)
+	}
+	return sb.String()
+}
+
+// WriteCSV emits the result as CSV with one row per x value.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cols := []string{r.XLabel}
+	for _, s := range r.Series {
+		cols = append(cols, s.Name, s.Name+"_stddev")
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, x := range r.xValues() {
+		row := []string{trimFloat(x)}
+		for _, s := range r.Series {
+			if y, sd, ok := s.at(x); ok {
+				row = append(row, trimFloat(y), trimFloat(sd))
+			} else {
+				row = append(row, "", "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ASCII renders a crude line chart of all series on a width×height
+// character canvas. Each series is drawn with its own glyph; a legend
+// follows the canvas.
+func (r *Result) ASCII(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			xmin, xmax = math.Min(xmin, p.X), math.Max(xmax, p.X)
+			ymin, ymax = math.Min(ymin, p.Y), math.Max(ymax, p.Y)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return "(empty figure)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	canvas := make([][]byte, height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range r.Series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			cx := int(math.Round((p.X - xmin) / (xmax - xmin) * float64(width-1)))
+			cy := int(math.Round((p.Y - ymin) / (ymax - ymin) * float64(height-1)))
+			row := height - 1 - cy
+			canvas[row][cx] = g
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", r.ID, r.Title)
+	fmt.Fprintf(&sb, "%s: %.3g .. %.3g (vertical)\n", r.YLabel, ymin, ymax)
+	for _, row := range canvas {
+		sb.WriteString("|")
+		sb.Write(row)
+		sb.WriteString("|\n")
+	}
+	fmt.Fprintf(&sb, "%s: %.3g .. %.3g (horizontal)\n", r.XLabel, xmin, xmax)
+	for si, s := range r.Series {
+		fmt.Fprintf(&sb, "  %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return sb.String()
+}
+
+func (r *Result) xValues() []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+func (r *Result) xLabelFor(x float64) string {
+	if r.XTicks != nil {
+		if lbl, isTick := r.XTicks[x]; isTick {
+			return lbl
+		}
+	}
+	return trimFloat(x)
+}
+
+func (s *Series) at(x float64) (y, sd float64, ok bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, p.StdDev, true
+		}
+	}
+	return 0, 0, false
+}
+
+func trimFloat(v float64) string {
+	str := fmt.Sprintf("%.6g", v)
+	return str
+}

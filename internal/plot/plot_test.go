@@ -1,0 +1,102 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Result {
+	return &Result{
+		ID:     "figX",
+		Title:  "sample figure",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "a", Points: []Point{{X: 1, Y: 2}, {X: 2, Y: 4, StdDev: 0.5}}},
+			{Name: "b", Points: []Point{{X: 1, Y: 3}, {X: 3, Y: 1}}},
+		},
+		Notes: []string{"a note"},
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := sample().Table()
+	for _, want := range []string{"figX", "sample figure", "a", "b", "2.000", "4.000 ±0.500", "—", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	// x = 3 exists only in series b; series a must show a dash there.
+	lines := strings.Split(out, "\n")
+	found := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "3") && strings.Contains(l, "—") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing-value dash not rendered:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + x∈{1,2,3}
+		t.Fatalf("CSV has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if lines[0] != "x,a,a_stddev,b,b_stddev" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,2,0,3,0") {
+		t.Fatalf("CSV row 1 = %q", lines[1])
+	}
+	// Missing values are empty fields.
+	if !strings.Contains(lines[3], ",,") {
+		t.Fatalf("CSV row for x=3 missing empty fields: %q", lines[3])
+	}
+}
+
+func TestASCII(t *testing.T) {
+	out := sample().ASCII(40, 10)
+	if !strings.Contains(out, "figX") {
+		t.Fatalf("ASCII missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("ASCII missing series glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Fatalf("ASCII missing legend:\n%s", out)
+	}
+}
+
+func TestASCIIEmpty(t *testing.T) {
+	r := &Result{ID: "empty"}
+	if out := r.ASCII(40, 10); !strings.Contains(out, "empty figure") {
+		t.Fatalf("empty figure not handled: %q", out)
+	}
+}
+
+func TestXTicks(t *testing.T) {
+	r := sample()
+	r.XTicks = map[float64]string{1: "one"}
+	out := r.Table()
+	if !strings.Contains(out, "one") {
+		t.Fatalf("XTicks label not rendered:\n%s", out)
+	}
+}
+
+func TestConstantSeries(t *testing.T) {
+	// A flat series must not crash the y-range computation.
+	r := &Result{
+		ID: "flat", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "c", Points: []Point{{X: 0, Y: 5}, {X: 1, Y: 5}}}},
+	}
+	if out := r.ASCII(20, 6); !strings.Contains(out, "*") {
+		t.Fatalf("flat series not drawn:\n%s", out)
+	}
+}

@@ -1,0 +1,189 @@
+// Package sim is the event-driven heterogeneous-platform simulator —
+// the paper's "ad-hoc event based simulation tool" (§3.4).
+//
+// Semantics: p processors, processor k performing Speed(k) elementary
+// block tasks per time unit. Communication is assumed perfectly
+// overlapped with computation (the paper's standing assumption), so
+// transfers cost no time and the simulator only accounts their
+// volume. Processors are demand-driven: whenever one finishes its
+// current batch it requests work from the master, which consults the
+// scheduler; the batch of tasks it receives occupies it for
+// Σ 1/speed time units (speed re-evaluated after every task so that
+// dynamically drifting speed models are honored).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"hetsched/internal/core"
+	"hetsched/internal/speeds"
+)
+
+// Metrics aggregates the outcome of one simulated run.
+type Metrics struct {
+	// Blocks is the total number of data blocks shipped by the master
+	// (the paper's communication volume).
+	Blocks int
+	// BlocksPer is the per-processor communication volume.
+	BlocksPer []int
+	// TasksPer is the number of tasks each processor executed.
+	TasksPer []int
+	// FinishPer is the virtual time at which each processor received
+	// its last assignment's completion.
+	FinishPer []float64
+	// Makespan is the maximum of FinishPer.
+	Makespan float64
+	// Requests is the number of master interactions (assignments
+	// granted, including empty ones).
+	Requests int
+	// Phase1Tasks is the number of tasks allocated in phase 1 when the
+	// scheduler is two-phase, -1 otherwise.
+	Phase1Tasks int
+}
+
+// Imbalance returns the maximum over processors of the relative
+// deviation between the work a processor performed and the work an
+// ideal speed-proportional split would have given it. With the
+// demand-driven model this stays small (at most about one batch).
+func (m *Metrics) Imbalance(model speeds.Model) float64 {
+	total := 0
+	for _, t := range m.TasksPer {
+		total += t
+	}
+	if total == 0 {
+		return 0
+	}
+	s := model.Initial()
+	rs := speeds.Relative(s)
+	worst := 0.0
+	for k, t := range m.TasksPer {
+		ideal := rs[k] * float64(total)
+		if ideal == 0 {
+			continue
+		}
+		dev := math.Abs(float64(t)-ideal) / ideal
+		if dev > worst {
+			worst = dev
+		}
+	}
+	return worst
+}
+
+// event is a processor becoming idle at a given virtual time.
+type event struct {
+	t    float64
+	proc int
+	seq  uint64 // tie-breaker: FIFO among equal times, deterministic
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Observation is passed to a RunObserved callback after every granted
+// assignment.
+type Observation struct {
+	// Time is the virtual time at which the assignment was granted
+	// (the requesting processor's idle instant).
+	Time float64
+	// Proc is the requesting processor.
+	Proc int
+	// Assignment is what the master granted.
+	Assignment core.Assignment
+}
+
+// Run simulates sched to exhaustion on a platform described by model.
+// The scheduler's P() must match model.P().
+func Run(sched core.Scheduler, model speeds.Model) *Metrics {
+	return RunObserved(sched, model, nil)
+}
+
+// RunObserved is Run with a per-assignment observer callback, used by
+// trace recording and by the mean-field convergence experiment. A nil
+// observer is allowed.
+func RunObserved(sched core.Scheduler, model speeds.Model, observe func(Observation)) *Metrics {
+	p := sched.P()
+	if p != model.P() {
+		panic(fmt.Sprintf("sim: scheduler has %d workers, model %d", p, model.P()))
+	}
+	m := &Metrics{
+		BlocksPer:   make([]int, p),
+		TasksPer:    make([]int, p),
+		FinishPer:   make([]float64, p),
+		Phase1Tasks: -1,
+	}
+
+	q := make(eventQueue, 0, p)
+	var seq uint64
+	for k := 0; k < p; k++ {
+		q = append(q, event{t: 0, proc: k, seq: seq})
+		seq++
+	}
+	heap.Init(&q)
+
+	for q.Len() > 0 {
+		e := heap.Pop(&q).(event)
+		if sched.Remaining() == 0 {
+			// Drained: the processor retires. Its finish time was
+			// recorded when its last batch completed.
+			continue
+		}
+		a, ok := sched.Next(e.proc)
+		if !ok {
+			continue
+		}
+		m.Requests++
+		m.Blocks += a.Blocks
+		m.BlocksPer[e.proc] += a.Blocks
+		m.TasksPer[e.proc] += len(a.Tasks)
+		if observe != nil {
+			observe(Observation{Time: e.t, Proc: e.proc, Assignment: a})
+		}
+
+		// Advance virtual time task by task so dynamic speed models
+		// drift exactly once per task, as in the paper's dyn.x
+		// scenarios.
+		t := e.t
+		for range a.Tasks {
+			s := model.Speed(e.proc)
+			if s <= 0 {
+				panic("sim: non-positive speed")
+			}
+			t += 1 / s
+			model.OnTaskDone(e.proc)
+		}
+		if len(a.Tasks) > 0 {
+			m.FinishPer[e.proc] = t
+			if t > m.Makespan {
+				m.Makespan = t
+			}
+		}
+		heap.Push(&q, event{t: t, proc: e.proc, seq: seq})
+		seq++
+	}
+
+	if sched.Remaining() != 0 {
+		panic("sim: run ended with unprocessed tasks")
+	}
+	if po, isTwoPhase := sched.(core.PhaseObserver); isTwoPhase {
+		m.Phase1Tasks = po.Phase1Tasks()
+	}
+	return m
+}

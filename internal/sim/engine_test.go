@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"hetsched/internal/core"
+	"hetsched/internal/outer"
+	"hetsched/internal/rng"
+	"hetsched/internal/speeds"
+)
+
+// stubScheduler hands out `total` single-task assignments, one block
+// each, round-robin irrespective of the requesting worker.
+type stubScheduler struct {
+	total, given, workers int
+}
+
+func (s *stubScheduler) Next(w int) (core.Assignment, bool) {
+	if s.given >= s.total {
+		return core.Assignment{}, false
+	}
+	t := core.Task(s.given)
+	s.given++
+	return core.Assignment{Tasks: []core.Task{t}, Blocks: 1}, true
+}
+func (s *stubScheduler) Remaining() int { return s.total - s.given }
+func (s *stubScheduler) Total() int     { return s.total }
+func (s *stubScheduler) P() int         { return s.workers }
+func (s *stubScheduler) Name() string   { return "stub" }
+
+func TestRunProcessesEverything(t *testing.T) {
+	sched := &stubScheduler{total: 1000, workers: 4}
+	m := Run(sched, speeds.NewFixed([]float64{1, 2, 3, 4}))
+	total := 0
+	for _, v := range m.TasksPer {
+		total += v
+	}
+	if total != 1000 {
+		t.Fatalf("processed %d tasks, want 1000", total)
+	}
+	if m.Blocks != 1000 {
+		t.Fatalf("blocks %d, want 1000", m.Blocks)
+	}
+	if m.Requests != 1000 {
+		t.Fatalf("requests %d, want 1000", m.Requests)
+	}
+}
+
+func TestFasterProcessorsDoMoreWork(t *testing.T) {
+	// With single-task demand-driven assignments, task counts must be
+	// nearly proportional to speeds.
+	sched := &stubScheduler{total: 10000, workers: 2}
+	m := Run(sched, speeds.NewFixed([]float64{10, 30}))
+	ratio := float64(m.TasksPer[1]) / float64(m.TasksPer[0])
+	if math.Abs(ratio-3) > 0.05 {
+		t.Fatalf("task ratio %.3f, want ~3 for a 3x faster processor", ratio)
+	}
+}
+
+func TestMakespanMatchesWork(t *testing.T) {
+	// Two processors of speeds 1 and 3 share 400 unit tasks: the
+	// demand-driven makespan must be close to 400/(1+3) = 100.
+	sched := &stubScheduler{total: 400, workers: 2}
+	m := Run(sched, speeds.NewFixed([]float64{1, 3}))
+	if math.Abs(m.Makespan-100) > 2 {
+		t.Fatalf("makespan %.2f, want ~100", m.Makespan)
+	}
+}
+
+func TestImbalanceSmallForManyTasks(t *testing.T) {
+	sched := &stubScheduler{total: 50000, workers: 5}
+	model := speeds.NewFixed([]float64{10, 20, 30, 40, 50}) // 15x total spread
+	m := Run(sched, model)
+	if imb := m.Imbalance(model); imb > 0.02 {
+		t.Fatalf("imbalance %.4f, want < 2%% with 50k single tasks", imb)
+	}
+}
+
+func TestPhase1ReportedOnlyForTwoPhase(t *testing.T) {
+	sched := &stubScheduler{total: 10, workers: 2}
+	m := Run(sched, speeds.NewFixed([]float64{1, 1}))
+	if m.Phase1Tasks != -1 {
+		t.Fatalf("Phase1Tasks = %d for non-two-phase scheduler, want -1", m.Phase1Tasks)
+	}
+
+	two := outer.NewTwoPhases(10, 2, outer.ThresholdFromBeta(3, 10), rng.New(1))
+	m2 := Run(two, speeds.NewFixed([]float64{1, 2}))
+	if m2.Phase1Tasks < 0 {
+		t.Fatal("Phase1Tasks not reported for two-phase scheduler")
+	}
+}
+
+func TestMismatchedPlatformPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched P did not panic")
+		}
+	}()
+	Run(&stubScheduler{total: 1, workers: 3}, speeds.NewFixed([]float64{1, 1}))
+}
+
+func TestDeterministicWithDynamicSpeeds(t *testing.T) {
+	run := func() int {
+		root := rng.New(5)
+		init := speeds.UniformRange(6, 80, 120, root.Split())
+		model := speeds.NewDrift(init, 0.2, root.Split())
+		m := Run(outer.NewDynamic(30, 6, root.Split()), model)
+		return m.Blocks
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("dynamic-speed simulation not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	q := eventQueue{}
+	// Same time → FIFO by sequence; otherwise by time.
+	events := []event{
+		{t: 2, proc: 0, seq: 0},
+		{t: 1, proc: 1, seq: 1},
+		{t: 1, proc: 2, seq: 2},
+		{t: 0.5, proc: 3, seq: 3},
+	}
+	for _, e := range events {
+		q = append(q, e)
+	}
+	// heap-ify by hand using the container/heap contract exercised in
+	// Run; here we only verify the Less relation.
+	if !q.Less(3, 1) {
+		t.Fatal("earlier time not ordered first")
+	}
+	if !q.Less(1, 2) {
+		t.Fatal("equal times not ordered by sequence")
+	}
+}

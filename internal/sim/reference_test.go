@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"testing"
+
+	"hetsched/internal/core"
+	"hetsched/internal/outer"
+	"hetsched/internal/rng"
+	"hetsched/internal/speeds"
+)
+
+// referenceRun is a deliberately naive re-implementation of the
+// demand-driven simulation semantics: instead of an event heap it
+// scans all processors for the earliest idle one at every step. It
+// exists only to cross-validate the production engine.
+func referenceRun(sched core.Scheduler, model speeds.Model) *Metrics {
+	p := sched.P()
+	m := &Metrics{
+		BlocksPer:   make([]int, p),
+		TasksPer:    make([]int, p),
+		FinishPer:   make([]float64, p),
+		Phase1Tasks: -1,
+	}
+	idleAt := make([]float64, p)
+	arrival := make([]uint64, p) // FIFO tie-break, mirroring the heap's seq
+	var stamp uint64
+	for w := range arrival {
+		arrival[w] = stamp
+		stamp++
+	}
+	retired := make([]bool, p)
+	for {
+		// Earliest idle processor, FIFO among ties.
+		w := -1
+		for k := 0; k < p; k++ {
+			if retired[k] {
+				continue
+			}
+			if w < 0 || idleAt[k] < idleAt[w] ||
+				(idleAt[k] == idleAt[w] && arrival[k] < arrival[w]) {
+				w = k
+			}
+		}
+		if w < 0 {
+			break
+		}
+		if sched.Remaining() == 0 {
+			retired[w] = true
+			continue
+		}
+		a, ok := sched.Next(w)
+		if !ok {
+			retired[w] = true
+			continue
+		}
+		m.Requests++
+		m.Blocks += a.Blocks
+		m.BlocksPer[w] += a.Blocks
+		m.TasksPer[w] += len(a.Tasks)
+		t := idleAt[w]
+		for range a.Tasks {
+			t += 1 / model.Speed(w)
+			model.OnTaskDone(w)
+		}
+		if len(a.Tasks) > 0 {
+			m.FinishPer[w] = t
+			if t > m.Makespan {
+				m.Makespan = t
+			}
+		}
+		idleAt[w] = t
+		arrival[w] = stamp
+		stamp++
+	}
+	return m
+}
+
+// TestEngineMatchesReference cross-validates the heap-based engine
+// against the naive scan-based reference on identical scheduler
+// streams: every aggregate and per-processor metric must agree
+// exactly.
+func TestEngineMatchesReference(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		root := rng.New(seed)
+		p := 2 + int(seed)%6
+		n := 10 + int(seed*3)%25
+		s := speeds.UniformRange(p, 10, 100, root.Split())
+
+		fast := Run(outer.NewDynamic(n, p, rng.New(100+seed)), speeds.NewFixed(s))
+		slow := referenceRun(outer.NewDynamic(n, p, rng.New(100+seed)), speeds.NewFixed(s))
+
+		if fast.Blocks != slow.Blocks || fast.Requests != slow.Requests {
+			t.Fatalf("seed %d: blocks/requests %d/%d vs reference %d/%d",
+				seed, fast.Blocks, fast.Requests, slow.Blocks, slow.Requests)
+		}
+		if fast.Makespan != slow.Makespan {
+			t.Fatalf("seed %d: makespan %g vs reference %g", seed, fast.Makespan, slow.Makespan)
+		}
+		for w := 0; w < p; w++ {
+			if fast.TasksPer[w] != slow.TasksPer[w] || fast.BlocksPer[w] != slow.BlocksPer[w] {
+				t.Fatalf("seed %d: per-proc metrics diverge at worker %d", seed, w)
+			}
+		}
+	}
+}
+
+// TestEngineMatchesReferenceRandomStrategy repeats the check with the
+// single-task random strategy, whose request pattern differs (many
+// small assignments).
+func TestEngineMatchesReferenceRandomStrategy(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		root := rng.New(200 + seed)
+		const p, n = 5, 20
+		s := speeds.UniformRange(p, 10, 100, root.Split())
+		fast := Run(outer.NewRandom(n, p, rng.New(300+seed)), speeds.NewFixed(s))
+		slow := referenceRun(outer.NewRandom(n, p, rng.New(300+seed)), speeds.NewFixed(s))
+		if fast.Blocks != slow.Blocks || fast.Makespan != slow.Makespan {
+			t.Fatalf("seed %d: engine and reference diverge", seed)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package speeds models the processing speeds of a heterogeneous
+// platform.
+//
+// In the paper a platform is a set of p processors where processor k
+// performs s_k elementary block tasks per time unit. Speeds may be
+// static (drawn once from a distribution) or dynamic (drifting after
+// every completed task, scenarios dyn.5 and dyn.20 of Fig. 8). The
+// randomized schedulers themselves are agnostic to speeds — they are
+// demand-driven — but the simulator and the analysis need them.
+package speeds
+
+import (
+	"fmt"
+
+	"hetsched/internal/rng"
+)
+
+// Model yields the current speed of each processor and is notified
+// when tasks complete so that dynamic models can drift.
+type Model interface {
+	// P returns the number of processors.
+	P() int
+	// Speed returns the current speed of processor k (always > 0).
+	Speed(k int) float64
+	// OnTaskDone notifies the model that processor k completed one
+	// task; dynamic models may update Speed(k).
+	OnTaskDone(k int)
+	// Initial returns a copy of the initial speed vector (the values
+	// the analysis sees; dynamic drift is invisible to the analysis).
+	Initial() []float64
+}
+
+// Fixed is a static speed vector.
+type Fixed struct {
+	s []float64
+}
+
+// NewFixed returns a static model with the given speeds.
+func NewFixed(s []float64) *Fixed {
+	if len(s) == 0 {
+		panic("speeds: empty speed vector")
+	}
+	for k, v := range s {
+		if v <= 0 {
+			panic(fmt.Sprintf("speeds: non-positive speed %g for processor %d", v, k))
+		}
+	}
+	c := make([]float64, len(s))
+	copy(c, s)
+	return &Fixed{s: c}
+}
+
+// P implements Model.
+func (f *Fixed) P() int { return len(f.s) }
+
+// Speed implements Model.
+func (f *Fixed) Speed(k int) float64 { return f.s[k] }
+
+// OnTaskDone implements Model; static speeds never change.
+func (f *Fixed) OnTaskDone(int) {}
+
+// Initial implements Model.
+func (f *Fixed) Initial() []float64 {
+	c := make([]float64, len(f.s))
+	copy(c, f.s)
+	return c
+}
+
+// Drift models the paper's dyn.5 / dyn.20 scenarios: after each task
+// the processor's speed is multiplied by a factor uniform in
+// [1-Amplitude, 1+Amplitude], clamped to stay within [Min, Max] of the
+// initial value so speeds remain positive and bounded.
+type Drift struct {
+	initial   []float64
+	current   []float64
+	amplitude float64
+	min, max  float64
+	r         *rng.PCG
+}
+
+// NewDrift returns a dynamic model starting from initial speeds with
+// the given relative drift amplitude (0.05 for dyn.5, 0.20 for
+// dyn.20). Speeds are clamped to [initial/4, initial*4].
+func NewDrift(initial []float64, amplitude float64, r *rng.PCG) *Drift {
+	f := NewFixed(initial) // validates
+	d := &Drift{
+		initial:   f.Initial(),
+		current:   f.Initial(),
+		amplitude: amplitude,
+		min:       0.25,
+		max:       4.0,
+		r:         r,
+	}
+	return d
+}
+
+// P implements Model.
+func (d *Drift) P() int { return len(d.current) }
+
+// Speed implements Model.
+func (d *Drift) Speed(k int) float64 { return d.current[k] }
+
+// OnTaskDone implements Model: multiplies speed k by a random factor
+// in [1-amplitude, 1+amplitude], clamped.
+func (d *Drift) OnTaskDone(k int) {
+	factor := 1 + d.r.UniformRange(-d.amplitude, d.amplitude)
+	v := d.current[k] * factor
+	lo, hi := d.initial[k]*d.min, d.initial[k]*d.max
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	d.current[k] = v
+}
+
+// Initial implements Model.
+func (d *Drift) Initial() []float64 {
+	c := make([]float64, len(d.initial))
+	copy(c, d.initial)
+	return c
+}
+
+// UniformRange draws p speeds uniformly in [lo, hi), the paper's
+// default being [10, 100].
+func UniformRange(p int, lo, hi float64, r *rng.PCG) []float64 {
+	if p <= 0 {
+		panic("speeds: non-positive processor count")
+	}
+	if lo <= 0 || hi < lo {
+		panic("speeds: invalid range")
+	}
+	s := make([]float64, p)
+	for k := range s {
+		s[k] = r.UniformRange(lo, hi)
+	}
+	return s
+}
+
+// Heterogeneity draws p speeds uniformly in [100-h, 100+h] as in
+// Fig. 7; h = 0 yields a perfectly homogeneous platform. h must lie in
+// [0, 100); h close to 100 gives a large max/min speed ratio.
+func Heterogeneity(p int, h float64, r *rng.PCG) []float64 {
+	if h < 0 || h >= 100 {
+		panic("speeds: heterogeneity must be in [0, 100)")
+	}
+	if h == 0 {
+		s := make([]float64, p)
+		for k := range s {
+			s[k] = 100
+		}
+		return s
+	}
+	return UniformRange(p, 100-h, 100+h, r)
+}
+
+// FromSet draws p speeds uniformly from a discrete set of speed
+// classes, as in the set.3 and set.5 scenarios of Fig. 8.
+func FromSet(p int, classes []float64, r *rng.PCG) []float64 {
+	if len(classes) == 0 {
+		panic("speeds: empty class set")
+	}
+	for _, v := range classes {
+		if v <= 0 {
+			panic("speeds: non-positive class speed")
+		}
+	}
+	s := make([]float64, p)
+	for k := range s {
+		s[k] = classes[r.Intn(len(classes))]
+	}
+	return s
+}
+
+// Relative converts absolute speeds into relative speeds
+// rs_k = s_k / Σ_i s_i.
+func Relative(s []float64) []float64 {
+	total := 0.0
+	for _, v := range s {
+		total += v
+	}
+	if total <= 0 {
+		panic("speeds: non-positive total speed")
+	}
+	rs := make([]float64, len(s))
+	for k, v := range s {
+		rs[k] = v / total
+	}
+	return rs
+}
+
+// Homogeneous returns the relative-speed vector of a homogeneous
+// platform with p processors, i.e. rs_k = 1/p. Used by the
+// speed-agnostic threshold estimation of §3.6.
+func Homogeneous(p int) []float64 {
+	if p <= 0 {
+		panic("speeds: non-positive processor count")
+	}
+	rs := make([]float64, p)
+	for k := range rs {
+		rs[k] = 1 / float64(p)
+	}
+	return rs
+}

@@ -1,0 +1,194 @@
+package speeds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hetsched/internal/rng"
+)
+
+func TestFixed(t *testing.T) {
+	m := NewFixed([]float64{10, 20, 30})
+	if m.P() != 3 {
+		t.Fatalf("P = %d", m.P())
+	}
+	if m.Speed(1) != 20 {
+		t.Fatalf("Speed(1) = %g", m.Speed(1))
+	}
+	m.OnTaskDone(1)
+	if m.Speed(1) != 20 {
+		t.Fatal("Fixed speed changed after OnTaskDone")
+	}
+	init := m.Initial()
+	init[0] = 999
+	if m.Speed(0) == 999 {
+		t.Fatal("Initial() aliases internal state")
+	}
+}
+
+func TestFixedValidates(t *testing.T) {
+	for name, s := range map[string][]float64{
+		"empty":    {},
+		"zero":     {10, 0, 20},
+		"negative": {10, -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewFixed(%s) did not panic", name)
+				}
+			}()
+			NewFixed(s)
+		}()
+	}
+}
+
+func TestUniformRangeBounds(t *testing.T) {
+	r := rng.New(1)
+	s := UniformRange(1000, 10, 100, r)
+	if len(s) != 1000 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for _, v := range s {
+		if v < 10 || v >= 100 {
+			t.Fatalf("speed %g out of [10,100)", v)
+		}
+	}
+}
+
+func TestHeterogeneity(t *testing.T) {
+	r := rng.New(2)
+	s := Heterogeneity(50, 0, r)
+	for _, v := range s {
+		if v != 100 {
+			t.Fatalf("h=0 produced speed %g, want 100", v)
+		}
+	}
+	s = Heterogeneity(1000, 40, r)
+	for _, v := range s {
+		if v < 60 || v >= 140 {
+			t.Fatalf("h=40 produced speed %g out of [60,140)", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Heterogeneity(·, 100) did not panic")
+		}
+	}()
+	Heterogeneity(10, 100, r)
+}
+
+func TestFromSet(t *testing.T) {
+	r := rng.New(3)
+	classes := []float64{80, 100, 150}
+	s := FromSet(500, classes, r)
+	seen := map[float64]int{}
+	for _, v := range s {
+		valid := false
+		for _, c := range classes {
+			if v == c {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("speed %g not in class set", v)
+		}
+		seen[v]++
+	}
+	for _, c := range classes {
+		if seen[c] == 0 {
+			t.Fatalf("class %g never drawn in 500 samples", c)
+		}
+	}
+}
+
+func TestRelative(t *testing.T) {
+	rs := Relative([]float64{10, 30, 60})
+	sum := 0.0
+	for _, v := range rs {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("relative speeds sum to %g", sum)
+	}
+	if math.Abs(rs[2]-0.6) > 1e-12 {
+		t.Fatalf("rs[2] = %g, want 0.6", rs[2])
+	}
+}
+
+func TestRelativeProperty(t *testing.T) {
+	f := func(seed uint64, pRaw uint8) bool {
+		p := int(pRaw%100) + 1
+		r := rng.New(seed)
+		s := UniformRange(p, 10, 100, r)
+		rs := Relative(s)
+		sum := 0.0
+		for k, v := range rs {
+			if v <= 0 || v > 1 {
+				return false
+			}
+			// Order is preserved.
+			if k > 0 && (s[k] > s[k-1]) != (rs[k] > rs[k-1]) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHomogeneous(t *testing.T) {
+	rs := Homogeneous(8)
+	for _, v := range rs {
+		if math.Abs(v-0.125) > 1e-15 {
+			t.Fatalf("homogeneous rs = %g, want 0.125", v)
+		}
+	}
+}
+
+func TestDriftStaysBoundedAndMoves(t *testing.T) {
+	r := rng.New(7)
+	init := []float64{100, 50}
+	d := NewDrift(init, 0.20, r)
+	moved := false
+	for i := 0; i < 10000; i++ {
+		d.OnTaskDone(0)
+		d.OnTaskDone(1)
+		for k := 0; k < 2; k++ {
+			v := d.Speed(k)
+			if v < init[k]*0.25-1e-9 || v > init[k]*4+1e-9 {
+				t.Fatalf("drifted speed %g outside clamp for initial %g", v, init[k])
+			}
+			if v != init[k] {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("drift never changed any speed")
+	}
+	// Initial() must report the original speeds.
+	for k, v := range d.Initial() {
+		if v != init[k] {
+			t.Fatalf("Initial()[%d] = %g, want %g", k, v, init[k])
+		}
+	}
+}
+
+func TestDriftStepBound(t *testing.T) {
+	// One drift step changes speed by at most the amplitude fraction.
+	r := rng.New(9)
+	d := NewDrift([]float64{100}, 0.05, r)
+	for i := 0; i < 1000; i++ {
+		before := d.Speed(0)
+		d.OnTaskDone(0)
+		after := d.Speed(0)
+		if ratio := after / before; ratio < 0.95-1e-9 || ratio > 1.05+1e-9 {
+			t.Fatalf("single dyn.5 step changed speed by factor %g", ratio)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment harness needs to aggregate replicated simulations: mean,
+// standard deviation and extrema, plus an incremental accumulator.
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (denominator
+// n-1), 0 for slices with fewer than two elements.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Min returns the minimum of xs, or NaN for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Accumulator collects samples incrementally using Welford's online
+// algorithm, which is numerically stable for long runs.
+type Accumulator struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add inserts a sample.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N returns the number of samples seen.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the running mean (NaN if empty).
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.mean
+}
+
+// StdDev returns the running sample standard deviation.
+func (a *Accumulator) StdDev() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return math.Sqrt(a.m2 / float64(a.n-1))
+}
+
+// Min returns the smallest sample (NaN if empty).
+func (a *Accumulator) Min() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.min
+}
+
+// Max returns the largest sample (NaN if empty).
+func (a *Accumulator) Max() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.max
+}
+
+// Summary is a frozen view of an Accumulator.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize freezes the accumulator state.
+func (a *Accumulator) Summarize() Summary {
+	return Summary{N: a.n, Mean: a.Mean(), StdDev: a.StdDev(), Min: a.Min(), Max: a.Max()}
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almost(m, 5, 1e-12) {
+		t.Fatalf("Mean = %g, want 5", m)
+	}
+	// Sample stddev of this classic dataset is sqrt(32/7).
+	if sd := StdDev(xs); !almost(sd, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("StdDev = %g, want %g", sd, math.Sqrt(32.0/7.0))
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) not NaN")
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("StdDev of single sample not 0")
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Fatal("Min/Max of empty slice not NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Min(xs) != -1 || Max(xs) != 5 {
+		t.Fatalf("Min/Max = %g/%g", Min(xs), Max(xs))
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			// Keep values sane to avoid float pathology in the check.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				continue
+			}
+			xs = append(xs, v)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		var a Accumulator
+		for _, v := range xs {
+			a.Add(v)
+		}
+		scale := math.Max(1, math.Abs(Mean(xs)))
+		return a.N() == len(xs) &&
+			almost(a.Mean(), Mean(xs), 1e-9*scale) &&
+			almost(a.StdDev(), StdDev(xs), 1e-6*scale+1e-9) &&
+			a.Min() == Min(xs) && a.Max() == Max(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var a Accumulator
+	for _, v := range []float64{1, 2, 3} {
+		a.Add(v)
+	}
+	s := a.Summarize()
+	if s.N != 3 || !almost(s.Mean, 2, 1e-12) || s.Min != 1 || s.Max != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if !almost(s.StdDev, 1, 1e-12) {
+		t.Fatalf("Summary.StdDev = %g, want 1", s.StdDev)
+	}
+}

@@ -1,0 +1,193 @@
+// Package trace records the timeline of a simulated run — who was
+// assigned what, when, and how much data it cost — and renders it as a
+// text Gantt chart and per-processor summaries. It plugs into the
+// simulator through sim.RunObserved.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hetsched/internal/sim"
+	"hetsched/internal/speeds"
+)
+
+// Segment is one assignment as seen by the trace: worker w received
+// Tasks tasks and Blocks blocks at virtual time Start and finished the
+// batch at End.
+type Segment struct {
+	Proc       int
+	Start, End float64
+	Tasks      int
+	Blocks     int
+}
+
+// Trace is a recorded run.
+type Trace struct {
+	P        int
+	Segments []Segment
+}
+
+// Recorder accumulates a Trace from simulator observations. Because
+// the simulator reports the assignment instant and the engine computes
+// durations from the speed model, the recorder re-derives batch end
+// times from the model itself.
+type Recorder struct {
+	model   speeds.Model
+	trace   *Trace
+	pending []float64 // per-proc clock
+}
+
+// NewRecorder returns a recorder for a platform model. The recorder's
+// Observe must be passed to sim.RunObserved with the same model.
+func NewRecorder(model speeds.Model) *Recorder {
+	return &Recorder{
+		model:   model,
+		trace:   &Trace{P: model.P()},
+		pending: make([]float64, model.P()),
+	}
+}
+
+// Observe implements the sim.RunObserved callback.
+//
+// Note: for dynamic speed models the durations recorded here re-drive
+// the model's drift, so pair a Recorder only with static models or
+// accept approximate segment lengths.
+func (r *Recorder) Observe(o sim.Observation) {
+	dur := 0.0
+	if n := len(o.Assignment.Tasks); n > 0 {
+		dur = float64(n) / r.model.Speed(o.Proc)
+	}
+	r.trace.Segments = append(r.trace.Segments, Segment{
+		Proc:   o.Proc,
+		Start:  o.Time,
+		End:    o.Time + dur,
+		Tasks:  len(o.Assignment.Tasks),
+		Blocks: o.Assignment.Blocks,
+	})
+}
+
+// Trace returns the recorded trace.
+func (r *Recorder) Trace() *Trace { return r.trace }
+
+// Makespan returns the latest segment end.
+func (t *Trace) Makespan() float64 {
+	worst := 0.0
+	for _, s := range t.Segments {
+		if s.End > worst {
+			worst = s.End
+		}
+	}
+	return worst
+}
+
+// PerProc returns per-processor totals (tasks, blocks, busy time).
+func (t *Trace) PerProc() (tasks, blocks []int, busy []float64) {
+	tasks = make([]int, t.P)
+	blocks = make([]int, t.P)
+	busy = make([]float64, t.P)
+	for _, s := range t.Segments {
+		tasks[s.Proc] += s.Tasks
+		blocks[s.Proc] += s.Blocks
+		busy[s.Proc] += s.End - s.Start
+	}
+	return
+}
+
+// Gantt renders the trace as a text chart with one row per processor
+// and width time buckets; each cell shows how busy the processor was
+// during the bucket (' ' idle, '░' <50%, '▒' <90%, '█' ≥90%).
+func (t *Trace) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	mk := t.Makespan()
+	if mk == 0 {
+		return "(empty trace)\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "gantt: %d processors, makespan %.3f, %d assignments\n", t.P, mk, len(t.Segments))
+
+	// Bucket busy-time per processor.
+	busy := make([][]float64, t.P)
+	for p := range busy {
+		busy[p] = make([]float64, width)
+	}
+	bucket := mk / float64(width)
+	for _, s := range t.Segments {
+		if s.End <= s.Start {
+			continue
+		}
+		first := int(s.Start / bucket)
+		last := int(s.End / bucket)
+		if last >= width {
+			last = width - 1
+		}
+		for b := first; b <= last; b++ {
+			lo := float64(b) * bucket
+			hi := lo + bucket
+			overlap := minF(hi, s.End) - maxF(lo, s.Start)
+			if overlap > 0 {
+				busy[s.Proc][b] += overlap
+			}
+		}
+	}
+	for p := 0; p < t.P; p++ {
+		fmt.Fprintf(&sb, "P%-3d |", p)
+		for b := 0; b < width; b++ {
+			frac := busy[p][b] / bucket
+			switch {
+			case frac < 0.05:
+				sb.WriteByte(' ')
+			case frac < 0.5:
+				sb.WriteRune('░')
+			case frac < 0.9:
+				sb.WriteRune('▒')
+			default:
+				sb.WriteRune('█')
+			}
+		}
+		sb.WriteString("|\n")
+	}
+	fmt.Fprintf(&sb, "time: 0 .. %.3f\n", mk)
+	return sb.String()
+}
+
+// CommTimeline returns cumulative communication volume sampled at the
+// given number of points across the makespan — the shape of the
+// master's outgoing traffic over time.
+func (t *Trace) CommTimeline(points int) []float64 {
+	if points <= 0 {
+		panic("trace: non-positive point count")
+	}
+	segs := append([]Segment(nil), t.Segments...)
+	sort.Slice(segs, func(a, b int) bool { return segs[a].Start < segs[b].Start })
+	mk := t.Makespan()
+	out := make([]float64, points)
+	cum := 0.0
+	si := 0
+	for i := 0; i < points; i++ {
+		tp := mk * float64(i+1) / float64(points)
+		for si < len(segs) && segs[si].Start <= tp {
+			cum += float64(segs[si].Blocks)
+			si++
+		}
+		out[i] = cum
+	}
+	return out
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
