@@ -6,14 +6,17 @@ package hetsched
 // schedulers at the paper's actual scales.
 
 import (
+	"sync"
 	"testing"
 
 	"hetsched/internal/analysis"
 	"hetsched/internal/cholesky"
+	"hetsched/internal/core"
 	"hetsched/internal/experiments"
 	"hetsched/internal/matmul"
 	"hetsched/internal/outer"
 	"hetsched/internal/rng"
+	"hetsched/internal/service"
 	"hetsched/internal/sim"
 	"hetsched/internal/speeds"
 )
@@ -163,4 +166,82 @@ func BenchmarkSimBandwidthTwoPhases(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sim.RunBandwidth(outer.NewTwoPhases(n, p, thr, rng.New(uint64(i))), speeds.NewFixed(s), 400, 2)
 	}
+}
+
+// BenchmarkServiceHostNext measures scheduler-as-a-service assignment
+// throughput at the transport-free limit: P=64 workers round-robin
+// against one mutex-guarded service.Host (outer 2phases, batch 4).
+// One op is one granted master interaction, so assignments/sec is
+// 1e9/(ns/op) — the baseline number future scaling PRs move.
+func BenchmarkServiceHostNext(b *testing.B) {
+	const n, p, batch = 128, 64, 4
+	newHost := func(seed uint64) *service.Host {
+		drv := core.NewSchedulerDriver(outer.NewTwoPhasesAuto(n, p, rng.New(seed).Split()))
+		return service.NewHost(drv, batch)
+	}
+	seed := uint64(1)
+	h := newHost(seed)
+	pending := make([][]core.Task, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := i % p
+		a, status, err := h.Next(w, pending[w])
+		if err != nil {
+			b.Fatal(err)
+		}
+		pending[w] = a.Tasks
+		if status == service.StatusDone {
+			b.StopTimer()
+			seed++
+			h = newHost(seed)
+			pending = make([][]core.Task, p)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkServiceHostNextParallel is the contended variant: 64
+// logical workers hammering the Host mutex from all procs.
+func BenchmarkServiceHostNextParallel(b *testing.B) {
+	const n, p, batch = 128, 64, 4
+	var mu sync.Mutex
+	var wseq int
+	var h *service.Host
+	reset := func(seed uint64) {
+		h = service.NewHost(core.NewSchedulerDriver(outer.NewTwoPhasesAuto(n, p, rng.New(seed).Split())), batch)
+	}
+	seed := uint64(1)
+	reset(seed)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		mu.Lock()
+		w := wseq % p
+		wseq++
+		mu.Unlock()
+		var pending []core.Task
+		var lastHost *service.Host
+		for pb.Next() {
+			mu.Lock()
+			host := h
+			mu.Unlock()
+			if host != lastHost { // fresh run: pending batches died with the old one
+				pending, lastHost = nil, host
+			}
+			a, status, err := host.Next(w, pending)
+			if err != nil {
+				b.Error(err) // Fatal must not be called off the benchmark goroutine
+				return
+			}
+			pending = a.Tasks
+			if status == service.StatusDone {
+				mu.Lock()
+				if h == host { // first retiree swaps in a fresh run
+					seed++
+					reset(seed)
+				}
+				mu.Unlock()
+				pending = nil
+			}
+		}
+	})
 }

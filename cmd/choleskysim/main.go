@@ -14,18 +14,14 @@ import (
 	"os"
 
 	"hetsched/internal/cholesky"
+	"hetsched/internal/experiments"
 	"hetsched/internal/linalg"
-	"hetsched/internal/rng"
 	"hetsched/internal/speeds"
 )
 
 func main() {
-	n := flag.Int("n", 24, "tiles per matrix dimension")
-	p := flag.Int("p", 16, "number of processors")
+	opts := experiments.RegisterSimFlags(flag.CommandLine, 24, 16, "tiles per matrix dimension")
 	policy := flag.String("policy", "locality", "random | locality | critpath")
-	seed := flag.Uint64("seed", 1, "random seed")
-	lo := flag.Float64("smin", 10, "minimum speed")
-	hi := flag.Float64("smax", 100, "maximum speed")
 	verify := flag.Bool("verify", false, "replay the schedule on a real SPD matrix (tile size 4)")
 	flag.Parse()
 
@@ -42,12 +38,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	root := rng.New(*seed)
-	init := speeds.UniformRange(*p, *lo, *hi, root.Split())
-	m := cholesky.Simulate(*n, pol, speeds.NewFixed(init), root.Split())
+	root, init, _ := opts.Platform()
+	m := cholesky.Simulate(opts.N, pol, speeds.NewFixed(init), root.Split())
 
 	fmt.Printf("policy              %s\n", pol)
-	fmt.Printf("tasks               %d\n", cholesky.TaskCount(*n))
+	fmt.Printf("tasks               %d\n", cholesky.TaskCount(opts.N))
 	fmt.Printf("communication       %d tile transfers\n", m.Blocks)
 	fmt.Printf("makespan            %.4f time units\n", m.Makespan)
 	fmt.Printf("work bound          %.4f (efficiency %.3f)\n", m.WorkBound, m.Efficiency())
@@ -56,9 +51,9 @@ func main() {
 
 	if *verify {
 		const l = 4
-		a := linalg.NewBlockedMatrix(*n, l)
+		a := linalg.NewBlockedMatrix(opts.N, l)
 		linalg.RandomSPD(a, root.Split())
-		work := linalg.NewBlockedMatrix(*n, l)
+		work := linalg.NewBlockedMatrix(opts.N, l)
 		for i, blk := range a.Blocks {
 			copy(work.Blocks[i].Data, blk.Data)
 		}

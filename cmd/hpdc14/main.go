@@ -16,11 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"time"
 
 	"hetsched/internal/experiments"
-	"hetsched/internal/plot"
 )
 
 func main() {
@@ -71,29 +69,14 @@ func main() {
 		fmt.Printf("(%s computed in %v)\n\n", id, elapsed.Round(time.Millisecond))
 
 		if *outDir != "" {
-			if err := writeCSV(*outDir, id, res); err != nil {
+			path, err := experiments.WriteResultCSV(*outDir, id, res)
+			if err != nil {
 				fmt.Fprintf(os.Stderr, "hpdc14: %v\n", err)
 				os.Exit(1)
 			}
+			fmt.Printf("wrote %s\n", path)
 		}
 	}
-}
-
-func writeCSV(dir, id string, res *plot.Result) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	path := filepath.Join(dir, id+".csv")
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := res.WriteCSV(f); err != nil {
-		return fmt.Errorf("writing %s: %w", path, err)
-	}
-	fmt.Printf("wrote %s\n", path)
-	return nil
 }
 
 func usage() {

@@ -11,43 +11,38 @@ import (
 
 	"hetsched/internal/analysis"
 	"hetsched/internal/core"
+	"hetsched/internal/experiments"
 	"hetsched/internal/matmul"
-	"hetsched/internal/rng"
 	"hetsched/internal/sim"
 	"hetsched/internal/speeds"
 )
 
 func main() {
-	n := flag.Int("n", 40, "blocks per matrix dimension (n = N/l)")
-	p := flag.Int("p", 100, "number of processors")
+	opts := experiments.RegisterSimFlags(flag.CommandLine, 40, 100, "blocks per matrix dimension (n = N/l)")
 	strategy := flag.String("strategy", "2phases", "random | sorted | dynamic | 2phases")
 	beta := flag.Float64("beta", 0, "two-phase beta (0 = optimize analytically)")
-	seed := flag.Uint64("seed", 1, "random seed")
-	lo := flag.Float64("smin", 10, "minimum speed")
-	hi := flag.Float64("smax", 100, "maximum speed")
 	flag.Parse()
 
-	root := rng.New(*seed)
-	init := speeds.UniformRange(*p, *lo, *hi, root.Split())
-	rs := speeds.Relative(init)
-	lb := analysis.LowerBoundMatrix(rs, *n)
+	n, p := opts.N, opts.P
+	root, init, rs := opts.Platform()
+	lb := analysis.LowerBoundMatrix(rs, n)
 
 	var sched core.Scheduler
 	schedRNG := root.Split()
 	switch *strategy {
 	case "random":
-		sched = matmul.NewRandom(*n, *p, schedRNG)
+		sched = matmul.NewRandom(n, p, schedRNG)
 	case "sorted":
-		sched = matmul.NewSorted(*n, *p, schedRNG)
+		sched = matmul.NewSorted(n, p, schedRNG)
 	case "dynamic":
-		sched = matmul.NewDynamic(*n, *p, schedRNG)
+		sched = matmul.NewDynamic(n, p, schedRNG)
 	case "2phases":
 		b := *beta
 		if b == 0 {
-			b, _ = analysis.OptimalBetaMatrix(rs, *n)
+			b, _ = analysis.OptimalBetaMatrix(rs, n)
 			fmt.Printf("analysis-optimal beta* = %.4f\n", b)
 		}
-		sched = matmul.NewTwoPhases(*n, *p, matmul.ThresholdFromBeta(b, *n), schedRNG)
+		sched = matmul.NewTwoPhases(n, p, matmul.ThresholdFromBeta(b, n), schedRNG)
 	default:
 		fmt.Fprintf(os.Stderr, "matsim: unknown strategy %q\n", *strategy)
 		os.Exit(2)

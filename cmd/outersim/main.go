@@ -12,45 +12,40 @@ import (
 
 	"hetsched/internal/analysis"
 	"hetsched/internal/core"
+	"hetsched/internal/experiments"
 	"hetsched/internal/outer"
-	"hetsched/internal/rng"
 	"hetsched/internal/sim"
 	"hetsched/internal/speeds"
 	"hetsched/internal/trace"
 )
 
 func main() {
-	n := flag.Int("n", 100, "blocks per vector (n = N/l)")
-	p := flag.Int("p", 20, "number of processors")
+	opts := experiments.RegisterSimFlags(flag.CommandLine, 100, 20, "blocks per vector (n = N/l)")
 	strategy := flag.String("strategy", "2phases", "random | sorted | dynamic | 2phases")
 	beta := flag.Float64("beta", 0, "two-phase beta (0 = optimize analytically)")
-	seed := flag.Uint64("seed", 1, "random seed")
-	lo := flag.Float64("smin", 10, "minimum speed")
-	hi := flag.Float64("smax", 100, "maximum speed")
 	gantt := flag.Bool("gantt", false, "render a text Gantt chart of the run")
 	flag.Parse()
 
-	root := rng.New(*seed)
-	init := speeds.UniformRange(*p, *lo, *hi, root.Split())
-	rs := speeds.Relative(init)
-	lb := analysis.LowerBoundOuter(rs, *n)
+	n, p := opts.N, opts.P
+	root, init, rs := opts.Platform()
+	lb := analysis.LowerBoundOuter(rs, n)
 
 	var sched core.Scheduler
 	schedRNG := root.Split()
 	switch *strategy {
 	case "random":
-		sched = outer.NewRandom(*n, *p, schedRNG)
+		sched = outer.NewRandom(n, p, schedRNG)
 	case "sorted":
-		sched = outer.NewSorted(*n, *p, schedRNG)
+		sched = outer.NewSorted(n, p, schedRNG)
 	case "dynamic":
-		sched = outer.NewDynamic(*n, *p, schedRNG)
+		sched = outer.NewDynamic(n, p, schedRNG)
 	case "2phases":
 		b := *beta
 		if b == 0 {
-			b, _ = analysis.OptimalBetaOuter(rs, *n)
+			b, _ = analysis.OptimalBetaOuter(rs, n)
 			fmt.Printf("analysis-optimal beta* = %.4f\n", b)
 		}
-		sched = outer.NewTwoPhases(*n, *p, outer.ThresholdFromBeta(b, *n), schedRNG)
+		sched = outer.NewTwoPhases(n, p, outer.ThresholdFromBeta(b, n), schedRNG)
 	default:
 		fmt.Fprintf(os.Stderr, "outersim: unknown strategy %q\n", *strategy)
 		os.Exit(2)

@@ -1,0 +1,63 @@
+// Command schedd serves the paper's demand-driven schedulers over
+// HTTP: clients create runs, workers poll for task batches and report
+// completions, observers read live statistics and traces.
+//
+//	schedd -addr :8080 -shards 16 -batch 4 -ttl 15m
+//
+// Create a run and pull one assignment:
+//
+//	curl -s -X POST localhost:8080/v1/runs \
+//	    -d '{"kernel":"outer","strategy":"2phases","n":100,"p":8,"seed":7}'
+//	curl -s -X POST localhost:8080/v1/runs/<id>/next -d '{"worker":0}'
+//	curl -s localhost:8080/v1/runs/<id>/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hetsched/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", 8, "run-registry shard count")
+	batch := flag.Int("batch", 1, "default tasks per worker request (the paper's batching knob)")
+	ttl := flag.Duration("ttl", 15*time.Minute, "expire runs idle for longer than this (0 = never)")
+	gc := flag.Duration("gc", time.Minute, "garbage-collection interval (0 = disabled)")
+	flag.Parse()
+
+	opts := service.Options{Shards: *shards, DefaultBatch: *batch, TTL: *ttl, GCInterval: *gc}
+	if *ttl == 0 {
+		opts.TTL = -1
+	}
+	if *gc == 0 {
+		opts.GCInterval = -1
+	}
+	svc := service.New(opts)
+	defer svc.Close()
+
+	srv := &http.Server{Addr: *addr, Handler: svc}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("schedd: listening on %s (shards=%d batch=%d ttl=%v)", *addr, *shards, *batch, *ttl)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("schedd: %v", err)
+	}
+	log.Printf("schedd: shut down")
+}

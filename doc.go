@@ -12,9 +12,10 @@
 //   - internal/analysis — closed-form ODE solutions, lower bounds, β optimization
 //   - internal/sim      — event-driven heterogeneous platform simulator
 //   - internal/exec     — real concurrent runtime executing block arithmetic
+//   - internal/service  — scheduler-as-a-service HTTP daemon (schedd)
 //   - internal/experiments — regeneration of every figure of the paper
 //
 // Entry points: cmd/hpdc14 (figures), cmd/outersim and cmd/matsim
-// (single runs), examples/ (library usage). See README.md, DESIGN.md
-// and EXPERIMENTS.md.
+// (single runs), cmd/schedd (the service daemon), examples/ (library
+// usage). See README.md and DESIGN.md.
 package hetsched

@@ -1,0 +1,119 @@
+// Example service demonstrates the scheduler-as-a-service daemon end
+// to end without any external setup: it starts an in-process schedd
+// handler on a loopback listener, creates an outer-product run over
+// the HTTP API, drains it with concurrent HTTP worker loops, and
+// prints the final statistics and a Gantt chart of the recorded trace.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"hetsched/internal/service"
+)
+
+const workers = 8
+
+func main() {
+	svc := service.New(service.Options{DefaultBatch: 4, GCInterval: -1})
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: svc}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("schedd listening on %s\n", base)
+
+	var info service.RunInfo
+	post(base+"/v1/runs", service.CreateRunRequest{
+		Kernel: "outer", Strategy: "2phases", N: 60, P: workers, Seed: 7,
+	}, &info)
+	fmt.Printf("created run %s: %s/%s n=%d p=%d (%d tasks, batch %d)\n",
+		info.ID, info.Kernel, info.Strategy, info.N, info.P, info.Total, info.Batch)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var completed []int64
+			for {
+				var next service.NextResponse
+				post(fmt.Sprintf("%s/v1/runs/%s/next", base, info.ID),
+					service.NextRequest{Worker: w, Completed: completed}, &next)
+				completed = nil
+				switch next.Status {
+				case service.StatusDone:
+					return
+				case service.StatusWait:
+					time.Sleep(time.Millisecond)
+				case service.StatusOK:
+					// "Execute" the batch; a real worker would do block
+					// arithmetic here (see internal/exec).
+					completed = next.Tasks
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var st service.StatsResponse
+	get(fmt.Sprintf("%s/v1/runs/%s/stats", base, info.ID), &st)
+	fmt.Printf("\nstate               %s\n", st.State)
+	fmt.Printf("tasks               %d assigned, %d completed, %d remaining\n",
+		st.Assigned, st.Completed, st.Remaining)
+	fmt.Printf("communication       %d blocks\n", st.Blocks)
+	fmt.Printf("master requests     %d (mean batch %.2f tasks)\n", st.Requests, st.BatchTasks.Mean)
+	fmt.Printf("phase-1 tasks       %d\n", st.Phase1Tasks)
+	fmt.Printf("makespan            %.1f ms wall clock\n", st.MakespanSeconds*1e3)
+
+	resp, err := http.Get(fmt.Sprintf("%s/v1/runs/%s/trace?gantt=1", base, info.ID))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	gantt, _ := io.ReadAll(resp.Body)
+	fmt.Printf("\n%s", gantt)
+}
+
+func post(url string, body, out any) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	decode(resp, out)
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	decode(resp, out)
+}
+
+func decode(resp *http.Response, out any) {
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(resp.Body)
+		log.Fatalf("%s: %s", resp.Status, msg)
+	}
+	if err := service.DecodeStrict(resp.Body, out); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+// Driver generalizes Scheduler to kernels whose allocation state
+// advances on completions as well as on requests. The flat kernels
+// (outer product, matrix multiplication) commit a task at assignment
+// time and never need to hear back; the DAG kernels (Cholesky, LU)
+// release dependent tasks only when a completion is reported. Network
+// hosts such as internal/service drive a Driver so both families speak
+// the same request/complete protocol.
+//
+// Like Scheduler, a Driver is a single-goroutine state machine: the
+// caller serializes access (the service wraps it in a mutex-guarded
+// Host, the simulator runs in one goroutine anyway).
+type Driver interface {
+	// Next computes the next assignment for worker w in [0, P()).
+	// ok=false with Remaining() > 0 means "nothing schedulable right
+	// now": the worker should retry after some completion is reported
+	// (DAG kernels only). ok=false with Remaining() == 0 means the run
+	// is drained and the worker can retire.
+	Next(w int) (a Assignment, ok bool)
+	// Complete reports that worker w finished executing ts. Flat
+	// schedulers ignore it; DAG drivers use it to bump tile versions
+	// and move newly ready tasks into the ready set. Every task must
+	// have been previously assigned to w by Next.
+	Complete(w int, ts []Task)
+	// Remaining returns the number of tasks not yet retired: not yet
+	// allocated for flat kernels, not yet completed for DAG kernels.
+	Remaining() int
+	// Total returns the total number of tasks of the instance.
+	Total() int
+	// P returns the number of workers.
+	P() int
+	// Name returns the strategy name as used in the paper's figures.
+	Name() string
+}
+
+// SchedulerDriver adapts a plain Scheduler to the Driver interface:
+// completions are no-ops because flat schedulers mark tasks processed
+// at assignment time.
+type SchedulerDriver struct {
+	s Scheduler
+}
+
+// NewSchedulerDriver wraps s. The wrapper owns no state of its own, so
+// the usual single-goroutine rule applies to the pair as a whole.
+func NewSchedulerDriver(s Scheduler) *SchedulerDriver {
+	if s == nil {
+		panic("core: nil scheduler")
+	}
+	return &SchedulerDriver{s: s}
+}
+
+// Next implements Driver.
+func (d *SchedulerDriver) Next(w int) (Assignment, bool) { return d.s.Next(w) }
+
+// Complete implements Driver as a no-op.
+func (d *SchedulerDriver) Complete(int, []Task) {}
+
+// Remaining implements Driver.
+func (d *SchedulerDriver) Remaining() int { return d.s.Remaining() }
+
+// Total implements Driver.
+func (d *SchedulerDriver) Total() int { return d.s.Total() }
+
+// P implements Driver.
+func (d *SchedulerDriver) P() int { return d.s.P() }
+
+// Name implements Driver.
+func (d *SchedulerDriver) Name() string { return d.s.Name() }
+
+// Phase1Tasks implements PhaseObserver by delegating to the wrapped
+// scheduler, returning -1 when it is not two-phase (the same sentinel
+// sim.Metrics uses).
+func (d *SchedulerDriver) Phase1Tasks() int {
+	if po, ok := d.s.(PhaseObserver); ok {
+		return po.Phase1Tasks()
+	}
+	return -1
+}
+
+// Unwrap returns the wrapped scheduler, for callers that need
+// kernel-specific inspection (e.g. the mean-field sampling hooks).
+func (d *SchedulerDriver) Unwrap() Scheduler { return d.s }

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"hetsched/internal/stats"
+	"hetsched/internal/trace"
+)
+
+// roundTrip marshals v, strictly decodes it into a fresh value of the
+// same type, and fails unless the result is deeply equal.
+func roundTrip(t *testing.T, v any) {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", v, err)
+	}
+	out := reflect.New(reflect.TypeOf(v).Elem())
+	if err := DecodeStrict(strings.NewReader(string(b)), out.Interface()); err != nil {
+		t.Fatalf("strict decode %T from %s: %v", v, b, err)
+	}
+	if !reflect.DeepEqual(v, out.Interface()) {
+		t.Fatalf("%T round trip mismatch:\n in  %+v\n out %+v", v, v, out.Elem().Interface())
+	}
+}
+
+func TestAPIRoundTrips(t *testing.T) {
+	created := time.Date(2026, 7, 28, 12, 0, 0, 0, time.UTC)
+	for _, v := range []any{
+		&CreateRunRequest{Kernel: KernelOuter, Strategy: "2phases", N: 100, P: 8, Seed: 7, Beta: 2.5, Batch: 4},
+		&CreateRunRequest{Kernel: KernelCholesky, Strategy: "locality", N: 24, P: 16, Seed: 1},
+		&RunInfo{ID: "r0001-deadbeef", Kernel: KernelMatmul, Strategy: "dynamic", N: 40, P: 100,
+			Seed: 9, Batch: 2, Total: 64000, State: StateDraining, Created: created},
+		&RunList{Runs: []RunInfo{{ID: "a", Kernel: KernelLU, Strategy: "critpath", N: 8, P: 2,
+			Batch: 1, Total: 120, State: StateCreated, Created: created}}},
+		&NextRequest{Worker: 3, Completed: []int64{1, 2, 99}},
+		&NextRequest{Worker: 0},
+		&NextResponse{Status: StatusOK, Tasks: []int64{10, 11}, Blocks: 3},
+		&NextResponse{Status: StatusWait},
+		&NextResponse{Status: StatusDone},
+		&StatsResponse{ID: "r", Kernel: KernelOuter, Strategy: "random", State: StateComplete,
+			Total: 100, Assigned: 100, Completed: 100, Remaining: 0, Blocks: 42, Requests: 17,
+			Phase1Tasks: -1, ElapsedSeconds: 1.5, MakespanSeconds: 1.25,
+			BatchTasks: stats.Summary{N: 17, Mean: 5.88, StdDev: 1.1, Min: 1, Max: 9},
+			Workers:    []WorkerStats{{Worker: 0, Requests: 17, Tasks: 100, Blocks: 42}}},
+		&TraceResponse{ID: "r", Trace: &trace.Trace{P: 2, Segments: []trace.Segment{
+			{Proc: 1, Start: 0.5, End: 0.75, Tasks: 4, Blocks: 2}}}},
+		&ErrorResponse{Error: "boom"},
+	} {
+		roundTrip(t, v)
+	}
+}
+
+func TestDecodeStrictRejections(t *testing.T) {
+	var q NextRequest
+	if err := DecodeStrict(strings.NewReader(`{"worker":1,"bogus":2}`), &q); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if err := DecodeStrict(strings.NewReader(`{"worker":1} {"worker":2}`), &q); err == nil {
+		t.Error("trailing data accepted")
+	}
+	if err := DecodeStrict(strings.NewReader(`{"worker":`), &q); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if err := DecodeStrict(strings.NewReader(`{"worker":1}`), &q); err != nil {
+		t.Errorf("valid body rejected: %v", err)
+	}
+}
+
+func TestCreateRunRequestValidate(t *testing.T) {
+	good := CreateRunRequest{Kernel: KernelOuter, N: 10, P: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	if good.Strategy != "2phases" {
+		t.Errorf("flat default strategy = %q, want 2phases", good.Strategy)
+	}
+	dag := CreateRunRequest{Kernel: KernelLU, N: 10, P: 2}
+	if err := dag.Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	if dag.Strategy != "locality" {
+		t.Errorf("DAG default strategy = %q, want locality", dag.Strategy)
+	}
+
+	bad := []CreateRunRequest{
+		{N: 10, P: 2},                                      // missing kernel
+		{Kernel: "fft", N: 10, P: 2},                       // unknown kernel
+		{Kernel: KernelOuter, N: 0, P: 2},                  // bad n
+		{Kernel: KernelOuter, N: 10, P: -1},                // bad p
+		{Kernel: KernelOuter, N: 10, P: 2, Batch: -1},      // bad batch
+		{Kernel: KernelOuter, N: 10, P: 2, Batch: 1 << 13}, // over batch cap
+		{Kernel: KernelOuter, N: 10, P: 2, Beta: -0.5},     // bad beta
+		{Kernel: KernelMatmul, N: 1 << 12, P: 2},           // over task cap
+		{Kernel: KernelOuter, N: 10, P: 1 << 20},           // over worker cap
+		{Kernel: KernelOuter, N: 1 << 30, P: 2},            // overflow guard
+	}
+	for _, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("invalid request %+v accepted", q)
+		}
+	}
+
+	// NewDriver rejects strategies foreign to the kernel.
+	mixed := CreateRunRequest{Kernel: KernelOuter, Strategy: "locality", N: 10, P: 2}
+	if err := mixed.Validate(); err != nil {
+		t.Fatalf("shape validation should pass: %v", err)
+	}
+	if _, err := NewDriver(&mixed); err == nil {
+		t.Error("outer/locality driver constructed")
+	}
+}

@@ -1,0 +1,250 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hetsched/internal/core"
+	"hetsched/internal/stats"
+	"hetsched/internal/trace"
+)
+
+// Host makes a single-goroutine core.Driver safe under concurrent
+// requests. One mutex guards the driver and all bookkeeping; a single
+// lock acquisition serves a whole batch of allocation steps (the
+// paper's multi-task-per-request knob), so the critical section
+// amortizes the synchronization cost exactly the way batching
+// amortizes the master round-trip in the paper.
+//
+// The Host also owns the run's collectors: the exactly-once
+// outstanding-task table (which shields the DAG coordinators from
+// invalid completion reports), the per-worker load counters, a
+// stats.Accumulator over served batch sizes, and a wall-clock
+// trace.Trace of every assignment.
+type Host struct {
+	mu    sync.Mutex
+	drv   core.Driver
+	batch int
+
+	// outstanding maps every assigned-but-unreported task to the
+	// worker executing it; completions not present here are rejected
+	// before they can reach (and panic) a DAG coordinator.
+	outstanding map[core.Task]int
+
+	assigned  int
+	completed int
+	blocks    int
+	requests  int
+	workers   []WorkerStats
+	batchAcc  stats.Accumulator
+
+	start time.Time
+	// last is the instant of the last granted assignment or applied
+	// completion (drives makespan-so-far); lastPoll additionally
+	// counts wait/done polls, so the TTL sweep never expires a run
+	// whose workers are still talking to the master.
+	last     time.Time
+	lastPoll time.Time
+	tr       *trace.Trace
+	open     []int // per-worker index into tr.Segments of the open segment, -1 when none
+
+	now func() time.Time // injectable for tests
+}
+
+// NewHost wraps drv, serving up to batch tasks per Next call (batch
+// < 1 is treated as 1).
+func NewHost(drv core.Driver, batch int) *Host {
+	if batch < 1 {
+		batch = 1
+	}
+	p := drv.P()
+	h := &Host{
+		drv:         drv,
+		batch:       batch,
+		outstanding: make(map[core.Task]int),
+		workers:     make([]WorkerStats, p),
+		tr:          trace.New(p),
+		open:        make([]int, p),
+		now:         time.Now,
+	}
+	for w := range h.workers {
+		h.workers[w].Worker = w
+		h.open[w] = -1
+	}
+	h.start = h.now()
+	h.last = h.start
+	h.lastPoll = h.start
+	return h
+}
+
+// Batch returns the configured batch size.
+func (h *Host) Batch() int { return h.batch }
+
+// Total returns the instance's task count (constant after
+// construction, so no lock is needed).
+func (h *Host) Total() int { return h.drv.Total() }
+
+// Next applies worker w's completion report, then computes its next
+// assignment: the driver is stepped until the accumulated batch
+// reaches the batch size or the driver has nothing more to give. The
+// returned status tells the worker whether to execute (StatusOK), back
+// off and retry (StatusWait) or retire (StatusDone). Errors indicate a
+// malformed request (bad worker index, completion of a task the worker
+// does not hold) and leave the run state untouched.
+func (h *Host) Next(w int, completed []core.Task) (core.Assignment, string, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	if w < 0 || w >= h.drv.P() {
+		return core.Assignment{}, "", fmt.Errorf("worker %d out of range [0, %d)", w, h.drv.P())
+	}
+	// Validate the whole report before applying any of it, so a
+	// partially bogus request has no effect. A duplicate within one
+	// report must be caught here too: the DAG coordinators would apply
+	// the first occurrence and panic on the second, leaving the run
+	// half-updated.
+	if len(completed) > 1 {
+		seen := make(map[core.Task]struct{}, len(completed))
+		for _, t := range completed {
+			if _, dup := seen[t]; dup {
+				return core.Assignment{}, "", fmt.Errorf("task %d reported complete twice in one request", t)
+			}
+			seen[t] = struct{}{}
+		}
+	}
+	for _, t := range completed {
+		owner, ok := h.outstanding[t]
+		if !ok {
+			return core.Assignment{}, "", fmt.Errorf("task %d is not outstanding", t)
+		}
+		if owner != w {
+			return core.Assignment{}, "", fmt.Errorf("task %d is outstanding for worker %d, not %d", t, owner, w)
+		}
+	}
+	now := h.now()
+	h.lastPoll = now
+	if len(completed) > 0 {
+		h.drv.Complete(w, completed)
+		for _, t := range completed {
+			delete(h.outstanding, t)
+		}
+		h.completed += len(completed)
+		h.workers[w].Tasks += len(completed)
+		if idx := h.open[w]; idx >= 0 {
+			h.tr.Segments[idx].End = now.Sub(h.start).Seconds()
+			h.open[w] = -1
+		}
+		h.last = now
+	}
+
+	var a core.Assignment
+	granted := false
+	for steps := 0; steps < h.batch && len(a.Tasks) < h.batch; steps++ {
+		na, ok := h.drv.Next(w)
+		if !ok {
+			break
+		}
+		granted = true
+		a.Tasks = append(a.Tasks, na.Tasks...)
+		a.Blocks += na.Blocks
+	}
+	if !granted {
+		if h.drv.Remaining() == 0 && len(h.outstanding) == 0 {
+			return core.Assignment{}, StatusDone, nil
+		}
+		return core.Assignment{}, StatusWait, nil
+	}
+
+	for _, t := range a.Tasks {
+		h.outstanding[t] = w
+	}
+	h.assigned += len(a.Tasks)
+	h.blocks += a.Blocks
+	h.requests++
+	h.workers[w].Requests++
+	h.workers[w].Blocks += a.Blocks
+	h.batchAcc.Add(float64(len(a.Tasks)))
+	h.last = now
+	if len(a.Tasks) > 0 {
+		at := now.Sub(h.start).Seconds()
+		// A worker that re-polls without reporting holds two batches at
+		// once; close the older segment now rather than orphaning it
+		// with End == Start forever.
+		if idx := h.open[w]; idx >= 0 {
+			h.tr.Segments[idx].End = at
+		}
+		h.tr.Add(trace.Segment{Proc: w, Start: at, End: at, Tasks: len(a.Tasks), Blocks: a.Blocks})
+		h.open[w] = len(h.tr.Segments) - 1
+	}
+	return a, StatusOK, nil
+}
+
+// State returns the host's lifecycle view: created before the first
+// granted assignment, complete once the driver is drained and every
+// assigned task has been reported back, draining in between.
+func (h *Host) State() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stateLocked()
+}
+
+func (h *Host) stateLocked() string {
+	switch {
+	case h.requests == 0:
+		return StateCreated
+	case h.drv.Remaining() == 0 && len(h.outstanding) == 0:
+		return StateComplete
+	default:
+		return StateDraining
+	}
+}
+
+// Stats snapshots the run's counters. ID, kernel and strategy are
+// filled in by the server, which owns the run metadata.
+func (h *Host) Stats() StatsResponse {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := h.now()
+	resp := StatsResponse{
+		State:           h.stateLocked(),
+		Total:           h.drv.Total(),
+		Assigned:        h.assigned,
+		Completed:       h.completed,
+		Outstanding:     len(h.outstanding),
+		Remaining:       h.drv.Remaining(),
+		Blocks:          h.blocks,
+		Requests:        h.requests,
+		Phase1Tasks:     -1,
+		ElapsedSeconds:  now.Sub(h.start).Seconds(),
+		MakespanSeconds: h.last.Sub(h.start).Seconds(),
+		Workers:         append([]WorkerStats(nil), h.workers...),
+	}
+	if h.batchAcc.N() > 0 { // Summary of an empty accumulator is NaN, which JSON rejects
+		resp.BatchTasks = h.batchAcc.Summarize()
+	}
+	if po, ok := h.drv.(core.PhaseObserver); ok {
+		resp.Phase1Tasks = po.Phase1Tasks()
+	}
+	return resp
+}
+
+// Trace returns a snapshot of the wall-clock assignment trace.
+// Segments of still-outstanding assignments have End == Start.
+func (h *Host) Trace() *trace.Trace {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	t := trace.New(h.tr.P)
+	t.Segments = append(t.Segments, h.tr.Segments...)
+	return t
+}
+
+// LastActivity returns the time of the last valid worker poll of any
+// kind (run creation time before any). The registry's TTL sweep keys
+// expiry on it, so a run whose workers are stuck in wait polls while
+// one long task executes never expires under them.
+func (h *Host) LastActivity() time.Time {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lastPoll
+}

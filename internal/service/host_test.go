@@ -1,0 +1,227 @@
+package service
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hetsched/internal/cholesky"
+	"hetsched/internal/core"
+	"hetsched/internal/outer"
+	"hetsched/internal/rng"
+)
+
+// hammer drains h with one goroutine per worker, each following the
+// poll → execute → report protocol, and returns the multiset of tasks
+// each worker was assigned.
+func hammer(t *testing.T, h *Host) [][]core.Task {
+	t.Helper()
+	p := len(h.workers)
+	got := make([][]core.Task, p)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var completed []core.Task
+			for {
+				a, status, err := h.Next(w, completed)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				completed = nil
+				switch status {
+				case StatusDone:
+					return
+				case StatusWait:
+					time.Sleep(50 * time.Microsecond)
+				case StatusOK:
+					got[w] = append(got[w], a.Tasks...)
+					completed = a.Tasks
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return got
+}
+
+// checkCoverage asserts that the per-worker assignments cover exactly
+// total distinct task encodings, each exactly once.
+func checkCoverage(t *testing.T, got [][]core.Task, total int, decode func(core.Task) int) {
+	t.Helper()
+	seen := make(map[int]int)
+	count := 0
+	for _, tasks := range got {
+		for _, task := range tasks {
+			seen[decode(task)]++
+			count++
+		}
+	}
+	if count != total {
+		t.Fatalf("assigned %d tasks, want %d", count, total)
+	}
+	for id, times := range seen {
+		if times != 1 {
+			t.Fatalf("task %d assigned %d times", id, times)
+		}
+	}
+}
+
+func TestHostConcurrentDrainOuter(t *testing.T) {
+	const n, p = 30, 10
+	drv := core.NewSchedulerDriver(outer.NewTwoPhasesAuto(n, p, rng.New(11).Split()))
+	h := NewHost(drv, 3)
+	got := hammer(t, h)
+	checkCoverage(t, got, n*n, func(task core.Task) int { return int(task) })
+
+	st := h.Stats()
+	if st.Remaining != 0 || st.Outstanding != 0 {
+		t.Errorf("remaining=%d outstanding=%d after drain", st.Remaining, st.Outstanding)
+	}
+	if st.Assigned != n*n || st.Completed != n*n {
+		t.Errorf("assigned=%d completed=%d, want %d", st.Assigned, st.Completed, n*n)
+	}
+	if st.State != StateComplete {
+		t.Errorf("state = %q, want %q", st.State, StateComplete)
+	}
+	if st.Blocks <= 0 {
+		t.Errorf("blocks = %d, want > 0", st.Blocks)
+	}
+	if st.Phase1Tasks < 0 {
+		t.Errorf("phase1 = %d for a two-phase run", st.Phase1Tasks)
+	}
+	wt := 0
+	for _, ws := range st.Workers {
+		wt += ws.Tasks
+	}
+	if wt != n*n {
+		t.Errorf("per-worker task sum = %d, want %d", wt, n*n)
+	}
+	tr := h.Trace()
+	if len(tr.Segments) == 0 || tr.P != p {
+		t.Errorf("trace has %d segments over %d procs", len(tr.Segments), tr.P)
+	}
+}
+
+func TestHostConcurrentDrainCholesky(t *testing.T) {
+	const n, p = 10, 5
+	drv := cholesky.NewDriver(n, p, cholesky.LocalityReady, rng.New(5).Split())
+	h := NewHost(drv, 2)
+	got := hammer(t, h)
+	total := cholesky.TaskCount(n)
+	seen := make(map[cholesky.Task]bool)
+	count := 0
+	for _, tasks := range got {
+		for _, task := range tasks {
+			dt := cholesky.DecodeTask(task, n)
+			if seen[dt] {
+				t.Fatalf("task %v assigned twice", dt)
+			}
+			seen[dt] = true
+			count++
+		}
+	}
+	if count != total {
+		t.Fatalf("assigned %d tasks, want %d", count, total)
+	}
+	st := h.Stats()
+	if st.State != StateComplete || st.Remaining != 0 {
+		t.Errorf("state=%q remaining=%d after drain", st.State, st.Remaining)
+	}
+	if st.Phase1Tasks != -1 {
+		t.Errorf("phase1 = %d for a non-two-phase run", st.Phase1Tasks)
+	}
+}
+
+func TestHostBatchingKnob(t *testing.T) {
+	// RandomOuter serves exactly one task per allocation step, so the
+	// batch size fully determines the assignment size until the pool
+	// drains: requests shrink by ~batch.
+	const n, p = 16, 1
+	requests := func(batch int) int {
+		drv := core.NewSchedulerDriver(outer.NewRandom(n, p, rng.New(3).Split()))
+		h := NewHost(drv, batch)
+		reqs := 0
+		var completed []core.Task
+		for {
+			a, status, err := h.Next(0, completed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			completed = a.Tasks
+			if status == StatusDone {
+				return reqs
+			}
+			if status == StatusOK {
+				reqs++
+				if len(a.Tasks) > batch {
+					t.Fatalf("batch %d overshot: %d tasks in one assignment", batch, len(a.Tasks))
+				}
+			}
+		}
+	}
+	r1, r8 := requests(1), requests(8)
+	if r1 != n*n {
+		t.Errorf("batch=1 took %d requests, want %d", r1, n*n)
+	}
+	if want := n * n / 8; r8 != want {
+		t.Errorf("batch=8 took %d requests, want %d", r8, want)
+	}
+}
+
+func TestHostRejectsMalformedRequests(t *testing.T) {
+	drv := core.NewSchedulerDriver(outer.NewRandom(4, 2, rng.New(1).Split()))
+	h := NewHost(drv, 1)
+
+	if _, _, err := h.Next(2, nil); err == nil {
+		t.Error("out-of-range worker accepted")
+	}
+	if _, _, err := h.Next(-1, nil); err == nil {
+		t.Error("negative worker accepted")
+	}
+	// Completing a task that was never assigned must fail...
+	if _, _, err := h.Next(0, []core.Task{99}); err == nil {
+		t.Error("completion of unassigned task accepted")
+	}
+	a, status, err := h.Next(0, nil)
+	if err != nil || status != StatusOK || len(a.Tasks) != 1 {
+		t.Fatalf("Next = %v/%v/%v", a, status, err)
+	}
+	// ...as must completing it from the wrong worker,
+	if _, _, err := h.Next(1, a.Tasks); err == nil {
+		t.Error("completion from wrong worker accepted")
+	}
+	// ...while the rightful owner still can (the failed attempt must
+	// not have consumed it).
+	if _, _, err := h.Next(0, a.Tasks); err != nil {
+		t.Errorf("rightful completion rejected: %v", err)
+	}
+	// Double completion is rejected.
+	if _, _, err := h.Next(0, a.Tasks); err == nil {
+		t.Error("double completion accepted")
+	}
+}
+
+// TestHostRejectsDuplicateInOneReport guards the DAG coordinators: a
+// completion report listing the same task twice would pass a naive
+// per-element check, then panic the coordinator on the second apply
+// and wedge the run with the mutex-protected state half-updated.
+func TestHostRejectsDuplicateInOneReport(t *testing.T) {
+	drv := cholesky.NewDriver(4, 2, cholesky.LocalityReady, rng.New(1).Split())
+	h := NewHost(drv, 1)
+	a, status, err := h.Next(0, nil)
+	if err != nil || status != StatusOK || len(a.Tasks) != 1 {
+		t.Fatalf("Next = %v/%v/%v", a, status, err)
+	}
+	dup := []core.Task{a.Tasks[0], a.Tasks[0]}
+	if _, _, err := h.Next(0, dup); err == nil {
+		t.Fatal("duplicate completion within one report accepted")
+	}
+	// The rejection must be atomic: the honest single report still
+	// works afterwards.
+	if _, _, err := h.Next(0, a.Tasks); err != nil {
+		t.Fatalf("honest completion rejected after failed duplicate report: %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+package service
+
+import (
+	"fmt"
+
+	"hetsched/internal/cholesky"
+	"hetsched/internal/core"
+	"hetsched/internal/lu"
+	"hetsched/internal/matmul"
+	"hetsched/internal/outer"
+	"hetsched/internal/rng"
+)
+
+// NewDriver constructs the core.Driver described by a validated
+// CreateRunRequest. The scheduler rng is derived as
+// rng.New(Seed).Split(), so any two drivers built from the same
+// request — in this process or another — make bit-identical
+// allocation decisions for equal request orders. (This is not the
+// same stream the cmd/ simulators use: they spend the root's first
+// split on platform speeds, which the service has no notion of.)
+func NewDriver(q *CreateRunRequest) (core.Driver, error) {
+	r := rng.New(q.Seed).Split()
+	switch q.Kernel {
+	case KernelOuter:
+		switch q.Strategy {
+		case "random":
+			return core.NewSchedulerDriver(outer.NewRandom(q.N, q.P, r)), nil
+		case "sorted":
+			return core.NewSchedulerDriver(outer.NewSorted(q.N, q.P, r)), nil
+		case "dynamic":
+			return core.NewSchedulerDriver(outer.NewDynamic(q.N, q.P, r)), nil
+		case "2phases":
+			if q.Beta > 0 {
+				return core.NewSchedulerDriver(outer.NewTwoPhases(q.N, q.P, outer.ThresholdFromBeta(q.Beta, q.N), r)), nil
+			}
+			return core.NewSchedulerDriver(outer.NewTwoPhasesAuto(q.N, q.P, r)), nil
+		}
+	case KernelMatmul:
+		switch q.Strategy {
+		case "random":
+			return core.NewSchedulerDriver(matmul.NewRandom(q.N, q.P, r)), nil
+		case "sorted":
+			return core.NewSchedulerDriver(matmul.NewSorted(q.N, q.P, r)), nil
+		case "dynamic":
+			return core.NewSchedulerDriver(matmul.NewDynamic(q.N, q.P, r)), nil
+		case "2phases":
+			if q.Beta > 0 {
+				return core.NewSchedulerDriver(matmul.NewTwoPhases(q.N, q.P, matmul.ThresholdFromBeta(q.Beta, q.N), r)), nil
+			}
+			return core.NewSchedulerDriver(matmul.NewTwoPhasesAuto(q.N, q.P, r)), nil
+		}
+	case KernelCholesky:
+		switch q.Strategy {
+		case "random":
+			return cholesky.NewDriver(q.N, q.P, cholesky.RandomReady, r), nil
+		case "locality":
+			return cholesky.NewDriver(q.N, q.P, cholesky.LocalityReady, r), nil
+		case "critpath":
+			return cholesky.NewDriver(q.N, q.P, cholesky.CriticalPathReady, r), nil
+		}
+	case KernelLU:
+		switch q.Strategy {
+		case "random":
+			return lu.NewDriver(q.N, q.P, lu.RandomReady, r), nil
+		case "locality":
+			return lu.NewDriver(q.N, q.P, lu.LocalityReady, r), nil
+		case "critpath":
+			return lu.NewDriver(q.N, q.P, lu.CriticalPathReady, r), nil
+		}
+	}
+	return nil, fmt.Errorf("kernel %q has no strategy %q", q.Kernel, q.Strategy)
+}

@@ -1,0 +1,199 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hetsched/internal/rng"
+)
+
+// Run is one registered scheduling run: immutable metadata plus the
+// mutable Host. The expired flag is the only state the registry owns;
+// everything else (created/draining/complete) derives from the Host.
+type Run struct {
+	ID       string
+	Kernel   string
+	Strategy string
+	N, P     int
+	Seed     uint64
+	Beta     float64
+	Created  time.Time
+
+	Host    *Host
+	expired atomic.Bool
+}
+
+// State returns the run's lifecycle state.
+func (r *Run) State() string {
+	if r.expired.Load() {
+		return StateExpired
+	}
+	return r.Host.State()
+}
+
+// Expire marks the run expired: subsequent API calls answer 410 Gone
+// and the next sweep removes it. Reports whether this call flipped it.
+func (r *Run) Expire() bool {
+	return r.expired.CompareAndSwap(false, true)
+}
+
+// Expired reports whether the run has been expired.
+func (r *Run) Expired() bool { return r.expired.Load() }
+
+// Info assembles the run's RunInfo.
+func (r *Run) Info() RunInfo {
+	return RunInfo{
+		ID:       r.ID,
+		Kernel:   r.Kernel,
+		Strategy: r.Strategy,
+		N:        r.N,
+		P:        r.P,
+		Seed:     r.Seed,
+		Beta:     r.Beta,
+		Batch:    r.Host.Batch(),
+		Total:    r.Host.Total(),
+		State:    r.State(),
+		Created:  r.Created,
+	}
+}
+
+// Registry is a sharded in-memory run table. Run IDs hash (FNV-1a) to
+// one of the shards, each guarded by its own RWMutex, so lookups on
+// the hot polling path contend neither with each other across runs nor
+// with creation traffic on other shards. TTL-based garbage collection
+// removes expired runs and runs idle for longer than the TTL.
+type Registry struct {
+	shards []*registryShard
+	ttl    time.Duration
+	now    func() time.Time
+
+	seq   atomic.Uint64
+	idmu  sync.Mutex
+	idrng *rng.PCG
+}
+
+type registryShard struct {
+	mu   sync.RWMutex
+	runs map[string]*Run
+}
+
+// NewRegistry builds a registry with the given shard count (minimum 1)
+// and idle TTL (0 disables time-based expiry; explicit Expire still
+// works).
+func NewRegistry(shards int, ttl time.Duration) *Registry {
+	if shards < 1 {
+		shards = 1
+	}
+	g := &Registry{
+		shards: make([]*registryShard, shards),
+		ttl:    ttl,
+		now:    time.Now,
+		idrng:  rng.New(uint64(time.Now().UnixNano())),
+	}
+	for i := range g.shards {
+		g.shards[i] = &registryShard{runs: make(map[string]*Run)}
+	}
+	return g
+}
+
+func (g *Registry) shardFor(id string) *registryShard {
+	// Inline FNV-1a: the stdlib hasher would allocate on every lookup,
+	// and this sits on the hot polling path.
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return g.shards[int(h%uint32(len(g.shards)))]
+}
+
+// NewID returns a fresh run identifier: a monotone sequence number
+// plus a random suffix so IDs are not guessable across restarts.
+func (g *Registry) NewID() string {
+	g.idmu.Lock()
+	suffix := g.idrng.Uint64()
+	g.idmu.Unlock()
+	return fmt.Sprintf("r%04x-%08x", g.seq.Add(1), uint32(suffix))
+}
+
+// Add registers run under its ID.
+func (g *Registry) Add(run *Run) {
+	s := g.shardFor(run.ID)
+	s.mu.Lock()
+	s.runs[run.ID] = run
+	s.mu.Unlock()
+}
+
+// Get returns the run with the given ID.
+func (g *Registry) Get(id string) (*Run, bool) {
+	s := g.shardFor(id)
+	s.mu.RLock()
+	run, ok := s.runs[id]
+	s.mu.RUnlock()
+	return run, ok
+}
+
+// Remove deletes the run with the given ID.
+func (g *Registry) Remove(id string) {
+	s := g.shardFor(id)
+	s.mu.Lock()
+	delete(s.runs, id)
+	s.mu.Unlock()
+}
+
+// Len returns the number of registered runs.
+func (g *Registry) Len() int {
+	n := 0
+	for _, s := range g.shards {
+		s.mu.RLock()
+		n += len(s.runs)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Runs returns every registered run, ordered by creation time then ID
+// for stable listings.
+func (g *Registry) Runs() []*Run {
+	var out []*Run
+	for _, s := range g.shards {
+		s.mu.RLock()
+		for _, run := range s.runs {
+			out = append(out, run)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Created.Equal(out[j].Created) {
+			return out[i].Created.Before(out[j].Created)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Sweep removes every expired run, and — when a TTL is configured —
+// expires and removes runs whose last master interaction is older than
+// the TTL. It returns the number of runs collected. The server's
+// janitor goroutine calls it periodically; tests call it directly.
+func (g *Registry) Sweep() int {
+	now := g.now()
+	collected := 0
+	for _, s := range g.shards {
+		s.mu.Lock()
+		for id, run := range s.runs {
+			if !run.Expired() && g.ttl > 0 && now.Sub(run.Host.LastActivity()) > g.ttl {
+				run.Expire()
+			}
+			if run.Expired() {
+				delete(s.runs, id)
+				collected++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return collected
+}

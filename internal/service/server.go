@@ -1,0 +1,274 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"hetsched/internal/core"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Shards is the run-registry shard count (default 8).
+	Shards int
+	// TTL expires runs idle for longer than this (default 15m; a
+	// negative value disables time-based expiry).
+	TTL time.Duration
+	// GCInterval is the janitor period (default 1m; a negative value
+	// disables the janitor — tests then call SweepNow directly).
+	GCInterval time.Duration
+	// DefaultBatch is the per-request task batch used when a run does
+	// not specify one (default 1 — the paper's baseline of one
+	// allocation step per master interaction).
+	DefaultBatch int
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (o *Options) fill() {
+	if o.Shards == 0 {
+		o.Shards = 8
+	}
+	if o.TTL == 0 {
+		o.TTL = 15 * time.Minute
+	} else if o.TTL < 0 {
+		o.TTL = 0
+	}
+	if o.GCInterval == 0 {
+		o.GCInterval = time.Minute
+	} else if o.GCInterval < 0 {
+		o.GCInterval = 0
+	}
+	if o.DefaultBatch < 1 {
+		o.DefaultBatch = 1
+	} else if o.DefaultBatch > maxBatch {
+		o.DefaultBatch = maxBatch
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+}
+
+// Server is the HTTP façade of the scheduler service. It is an
+// http.Handler; cmd/schedd mounts it on a net/http server.
+//
+//	POST   /v1/runs            create a run
+//	GET    /v1/runs            list runs
+//	GET    /v1/runs/{id}       run metadata
+//	DELETE /v1/runs/{id}       expire a run
+//	POST   /v1/runs/{id}/next  worker poll: report completions, get a batch
+//	GET    /v1/runs/{id}/stats run statistics
+//	GET    /v1/runs/{id}/trace recorded assignment trace (?gantt=1 for text)
+//	GET    /healthz            liveness probe
+type Server struct {
+	opts Options
+	reg  *Registry
+	mux  *http.ServeMux
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds a Server and starts its GC janitor (if enabled). Call
+// Close to stop the janitor.
+func New(opts Options) *Server {
+	opts.fill()
+	s := &Server{
+		opts: opts,
+		reg:  NewRegistry(opts.Shards, opts.TTL),
+		mux:  http.NewServeMux(),
+		stop: make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /v1/runs", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/runs", s.handleList)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleInfo)
+	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/runs/{id}/next", s.handleNext)
+	s.mux.HandleFunc("GET /v1/runs/{id}/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	if opts.GCInterval > 0 {
+		s.wg.Add(1)
+		go s.janitor()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops the GC janitor. The handler keeps working.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+// Registry exposes the run table (examples and tests use it).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// SweepNow runs one GC pass and returns the number of runs collected.
+func (s *Server) SweepNow() int { return s.reg.Sweep() }
+
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.opts.GCInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.reg.Sweep()
+		}
+	}
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var q CreateRunRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := DecodeStrict(r.Body, &q); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+	if err := q.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	drv, err := NewDriver(&q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	batch := q.Batch
+	if batch == 0 {
+		batch = s.opts.DefaultBatch
+	}
+	run := &Run{
+		ID:       s.reg.NewID(),
+		Kernel:   q.Kernel,
+		Strategy: q.Strategy,
+		N:        q.N,
+		P:        q.P,
+		Seed:     q.Seed,
+		Beta:     q.Beta,
+		Created:  time.Now(),
+		Host:     NewHost(drv, batch),
+	}
+	s.reg.Add(run)
+	writeJSON(w, http.StatusCreated, run.Info())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	runs := s.reg.Runs()
+	list := RunList{Runs: make([]RunInfo, 0, len(runs))}
+	for _, run := range runs {
+		list.Runs = append(list.Runs, run.Info())
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// lookup fetches the live run for a request, answering 404/410 itself
+// when there is none.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*Run, bool) {
+	id := r.PathValue("id")
+	run, ok := s.reg.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown run %q (expired runs are garbage collected)", id))
+		return nil, false
+	}
+	if run.Expired() {
+		writeError(w, http.StatusGone, fmt.Sprintf("run %q is expired", id))
+		return nil, false
+	}
+	return run, true
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if run, ok := s.lookup(w, r); ok {
+		writeJSON(w, http.StatusOK, run.Info())
+	}
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	run.Expire()
+	writeJSON(w, http.StatusOK, run.Info())
+}
+
+func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var q NextRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := DecodeStrict(r.Body, &q); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+	completed := make([]core.Task, len(q.Completed))
+	for i, t := range q.Completed {
+		completed[i] = core.Task(t)
+	}
+	a, status, err := run.Host.Next(q.Worker, completed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp := NextResponse{Status: status, Blocks: a.Blocks}
+	if len(a.Tasks) > 0 {
+		resp.Tasks = make([]int64, len(a.Tasks))
+		for i, t := range a.Tasks {
+			resp.Tasks[i] = int64(t)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	resp := run.Host.Stats()
+	resp.ID = run.ID
+	resp.Kernel = run.Kernel
+	resp.Strategy = run.Strategy
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	tr := run.Host.Trace()
+	if r.URL.Query().Get("gantt") != "" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, tr.Gantt(72))
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{ID: run.ID, Trace: tr})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}

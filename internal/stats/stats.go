@@ -121,13 +121,14 @@ func (a *Accumulator) Max() float64 {
 	return a.max
 }
 
-// Summary is a frozen view of an Accumulator.
+// Summary is a frozen view of an Accumulator. The JSON tags are part
+// of the schedd wire format (GET /v1/runs/{id}/stats).
 type Summary struct {
-	N      int
-	Mean   float64
-	StdDev float64
-	Min    float64
-	Max    float64
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
 }
 
 // Summarize freezes the accumulator state.

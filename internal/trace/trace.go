@@ -15,18 +15,32 @@ import (
 
 // Segment is one assignment as seen by the trace: worker w received
 // Tasks tasks and Blocks blocks at virtual time Start and finished the
-// batch at End.
+// batch at End. The JSON tags are part of the schedd wire format
+// (GET /v1/runs/{id}/trace).
 type Segment struct {
-	Proc       int
-	Start, End float64
-	Tasks      int
-	Blocks     int
+	Proc   int     `json:"proc"`
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
+	Tasks  int     `json:"tasks"`
+	Blocks int     `json:"blocks"`
 }
 
 // Trace is a recorded run.
 type Trace struct {
-	P        int
-	Segments []Segment
+	P        int       `json:"p"`
+	Segments []Segment `json:"segments"`
+}
+
+// New returns an empty trace over p processors, for collectors that
+// are not driven by the simulator (the service host records wall-clock
+// segments directly).
+func New(p int) *Trace {
+	return &Trace{P: p}
+}
+
+// Add appends one segment.
+func (t *Trace) Add(s Segment) {
+	t.Segments = append(t.Segments, s)
 }
 
 // Recorder accumulates a Trace from simulator observations. Because
