@@ -6,19 +6,10 @@ package hetsched
 // schedulers at the paper's actual scales.
 
 import (
-	"sync"
 	"testing"
 
-	"hetsched/internal/analysis"
-	"hetsched/internal/cholesky"
-	"hetsched/internal/core"
 	"hetsched/internal/experiments"
-	"hetsched/internal/matmul"
-	"hetsched/internal/outer"
-	"hetsched/internal/rng"
-	"hetsched/internal/service"
-	"hetsched/internal/sim"
-	"hetsched/internal/speeds"
+	"hetsched/internal/perf"
 )
 
 func benchFigure(b *testing.B, id string) {
@@ -60,188 +51,24 @@ func BenchmarkAblationSwitchTime(b *testing.B) { benchFigure(b, "abl-switchtime"
 func BenchmarkAblationLU(b *testing.B)         { benchFigure(b, "abl-lu") }
 
 // --- micro-benchmarks at the paper's scales ----------------------------
+//
+// The bodies live in internal/perf so cmd/benchjson can run the same
+// code and record the results as the repo's JSON perf baseline.
 
-func BenchmarkSimRandomOuter(b *testing.B) {
-	const n, p = 100, 100
-	root := rng.New(1)
-	s := speeds.UniformRange(p, 10, 100, root.Split())
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sim.Run(outer.NewRandom(n, p, rng.New(uint64(i))), speeds.NewFixed(s))
-	}
-}
-
-func BenchmarkSimDynamicOuter(b *testing.B) {
-	const n, p = 100, 100
-	root := rng.New(1)
-	s := speeds.UniformRange(p, 10, 100, root.Split())
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sim.Run(outer.NewDynamic(n, p, rng.New(uint64(i))), speeds.NewFixed(s))
-	}
-}
-
-func BenchmarkSimTwoPhasesOuter(b *testing.B) {
-	const n, p = 100, 100
-	root := rng.New(1)
-	s := speeds.UniformRange(p, 10, 100, root.Split())
-	rs := speeds.Relative(s)
-	beta, _ := analysis.OptimalBetaOuter(rs, n)
-	thr := outer.ThresholdFromBeta(beta, n)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sim.Run(outer.NewTwoPhases(n, p, thr, rng.New(uint64(i))), speeds.NewFixed(s))
-	}
-}
-
-func BenchmarkSimRandomMatrix(b *testing.B) {
-	const n, p = 40, 100
-	root := rng.New(1)
-	s := speeds.UniformRange(p, 10, 100, root.Split())
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sim.Run(matmul.NewRandom(n, p, rng.New(uint64(i))), speeds.NewFixed(s))
-	}
-}
-
-func BenchmarkSimDynamicMatrix(b *testing.B) {
-	const n, p = 40, 100
-	root := rng.New(1)
-	s := speeds.UniformRange(p, 10, 100, root.Split())
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sim.Run(matmul.NewDynamic(n, p, rng.New(uint64(i))), speeds.NewFixed(s))
-	}
-}
-
-func BenchmarkSimTwoPhasesMatrix(b *testing.B) {
-	const n, p = 40, 100
-	root := rng.New(1)
-	s := speeds.UniformRange(p, 10, 100, root.Split())
-	rs := speeds.Relative(s)
-	beta, _ := analysis.OptimalBetaMatrix(rs, n)
-	thr := matmul.ThresholdFromBeta(beta, n)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sim.Run(matmul.NewTwoPhases(n, p, thr, rng.New(uint64(i))), speeds.NewFixed(s))
-	}
-}
-
-func BenchmarkOptimalBetaOuter100(b *testing.B) {
-	root := rng.New(1)
-	rs := speeds.Relative(speeds.UniformRange(100, 10, 100, root))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		analysis.OptimalBetaOuter(rs, 100)
-	}
-}
-
-func BenchmarkOptimalBetaMatrix100(b *testing.B) {
-	root := rng.New(1)
-	rs := speeds.Relative(speeds.UniformRange(100, 10, 100, root))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		analysis.OptimalBetaMatrix(rs, 40)
-	}
-}
-
-func BenchmarkSimCholeskyLocality(b *testing.B) {
-	const n, p = 24, 16
-	root := rng.New(1)
-	s := speeds.UniformRange(p, 10, 100, root.Split())
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		cholesky.Simulate(n, cholesky.LocalityReady, speeds.NewFixed(s), rng.New(uint64(i)))
-	}
-}
-
-func BenchmarkSimBandwidthTwoPhases(b *testing.B) {
-	const n, p = 100, 20
-	root := rng.New(1)
-	s := speeds.UniformRange(p, 10, 100, root.Split())
-	rs := speeds.Relative(s)
-	beta, _ := analysis.OptimalBetaOuter(rs, n)
-	thr := outer.ThresholdFromBeta(beta, n)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sim.RunBandwidth(outer.NewTwoPhases(n, p, thr, rng.New(uint64(i))), speeds.NewFixed(s), 400, 2)
-	}
-}
+func BenchmarkSimRandomOuter(b *testing.B)        { perf.SimRandomOuter(b) }
+func BenchmarkSimDynamicOuter(b *testing.B)       { perf.SimDynamicOuter(b) }
+func BenchmarkSimTwoPhasesOuter(b *testing.B)     { perf.SimTwoPhasesOuter(b) }
+func BenchmarkSimRandomMatrix(b *testing.B)       { perf.SimRandomMatrix(b) }
+func BenchmarkSimDynamicMatrix(b *testing.B)      { perf.SimDynamicMatrix(b) }
+func BenchmarkSimTwoPhasesMatrix(b *testing.B)    { perf.SimTwoPhasesMatrix(b) }
+func BenchmarkOptimalBetaOuter100(b *testing.B)   { perf.OptimalBetaOuter100(b) }
+func BenchmarkOptimalBetaMatrix100(b *testing.B)  { perf.OptimalBetaMatrix100(b) }
+func BenchmarkSimCholeskyLocality(b *testing.B)   { perf.SimCholeskyLocality(b) }
+func BenchmarkSimBandwidthTwoPhases(b *testing.B) { perf.SimBandwidthTwoPhases(b) }
 
 // BenchmarkServiceHostNext measures scheduler-as-a-service assignment
-// throughput at the transport-free limit: P=64 workers round-robin
-// against one mutex-guarded service.Host (outer 2phases, batch 4).
-// One op is one granted master interaction, so assignments/sec is
-// 1e9/(ns/op) — the baseline number future scaling PRs move.
-func BenchmarkServiceHostNext(b *testing.B) {
-	const n, p, batch = 128, 64, 4
-	newHost := func(seed uint64) *service.Host {
-		drv := core.NewSchedulerDriver(outer.NewTwoPhasesAuto(n, p, rng.New(seed).Split()))
-		return service.NewHost(drv, batch)
-	}
-	seed := uint64(1)
-	h := newHost(seed)
-	pending := make([][]core.Task, p)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		w := i % p
-		a, status, err := h.Next(w, pending[w])
-		if err != nil {
-			b.Fatal(err)
-		}
-		pending[w] = a.Tasks
-		if status == service.StatusDone {
-			b.StopTimer()
-			seed++
-			h = newHost(seed)
-			pending = make([][]core.Task, p)
-			b.StartTimer()
-		}
-	}
-}
+// throughput; see perf.ServiceHostNext for the setup.
+func BenchmarkServiceHostNext(b *testing.B) { perf.ServiceHostNext(b) }
 
-// BenchmarkServiceHostNextParallel is the contended variant: 64
-// logical workers hammering the Host mutex from all procs.
-func BenchmarkServiceHostNextParallel(b *testing.B) {
-	const n, p, batch = 128, 64, 4
-	var mu sync.Mutex
-	var wseq int
-	var h *service.Host
-	reset := func(seed uint64) {
-		h = service.NewHost(core.NewSchedulerDriver(outer.NewTwoPhasesAuto(n, p, rng.New(seed).Split())), batch)
-	}
-	seed := uint64(1)
-	reset(seed)
-	b.ResetTimer()
-	b.RunParallel(func(pb *testing.PB) {
-		mu.Lock()
-		w := wseq % p
-		wseq++
-		mu.Unlock()
-		var pending []core.Task
-		var lastHost *service.Host
-		for pb.Next() {
-			mu.Lock()
-			host := h
-			mu.Unlock()
-			if host != lastHost { // fresh run: pending batches died with the old one
-				pending, lastHost = nil, host
-			}
-			a, status, err := host.Next(w, pending)
-			if err != nil {
-				b.Error(err) // Fatal must not be called off the benchmark goroutine
-				return
-			}
-			pending = a.Tasks
-			if status == service.StatusDone {
-				mu.Lock()
-				if h == host { // first retiree swaps in a fresh run
-					seed++
-					reset(seed)
-				}
-				mu.Unlock()
-				pending = nil
-			}
-		}
-	})
-}
+// BenchmarkServiceHostNextParallel is the contended variant.
+func BenchmarkServiceHostNextParallel(b *testing.B) { perf.ServiceHostNextParallel(b) }

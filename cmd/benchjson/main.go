@@ -1,0 +1,152 @@
+// Command benchjson records the repository's performance baseline as
+// machine-readable JSON: it runs the micro-benchmarks of internal/perf
+// through testing.Benchmark and wall-clock-times the full quick figure
+// suite serially (Workers=1) and in parallel (Workers=GOMAXPROCS),
+// then writes BENCH_sim.json and BENCH_service.json. Committing those
+// files gives every future performance PR a recorded before/after
+// trajectory.
+//
+// Usage:
+//
+//	benchjson [-out dir] [-benchtime 1s] [-skip-suite]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"hetsched/internal/experiments"
+	"hetsched/internal/perf"
+)
+
+// benchResult is one micro-benchmark measurement.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// suiteResult is the wall-clock timing of the full quick figure suite
+// under the serial and parallel replication engines.
+type suiteResult struct {
+	Figures         int     `json:"figures"`
+	Seed            uint64  `json:"seed"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	ParallelWorkers int     `json:"parallel_workers"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// report is the schema of a BENCH_*.json file.
+type report struct {
+	Timestamp  string        `json:"timestamp"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Benchmarks []benchResult `json:"benchmarks"`
+	Suite      *suiteResult  `json:"quick_suite,omitempty"`
+}
+
+func newReport() *report {
+	return &report{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+func runBenchmarks(bs []perf.Benchmark) []benchResult {
+	results := make([]benchResult, 0, len(bs))
+	for _, bench := range bs {
+		fmt.Fprintf(os.Stderr, "benchjson: running %s...\n", bench.Name)
+		r := testing.Benchmark(bench.F)
+		results = append(results, benchResult{
+			Name:        bench.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return results
+}
+
+// timeSuite runs every registry figure once in quick mode with the
+// given worker count and returns the total wall-clock time.
+func timeSuite(seed uint64, workers int) time.Duration {
+	cfg := experiments.Config{Seed: seed, Quick: true, Workers: workers}
+	start := time.Now()
+	for _, id := range experiments.IDs() {
+		experiments.Registry[id].Run(cfg)
+	}
+	return time.Since(start)
+}
+
+func writeReport(dir, name string, rep *report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func main() {
+	outDir := flag.String("out", ".", "directory for BENCH_*.json output")
+	benchtime := flag.String("benchtime", "1s", "per-benchmark measuring time (test.benchtime)")
+	skipSuite := flag.Bool("skip-suite", false, "skip the quick-suite wall-clock timing")
+	seed := flag.Uint64("seed", 1, "root seed for the quick-suite timing")
+	testing.Init()
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: bad -benchtime: %v\n", err)
+		os.Exit(2)
+	}
+
+	simRep := newReport()
+	simRep.Benchmarks = runBenchmarks(perf.SimBenchmarks)
+	if !*skipSuite {
+		fmt.Fprintln(os.Stderr, "benchjson: timing quick figure suite (serial)...")
+		serial := timeSuite(*seed, 1)
+		workers := runtime.GOMAXPROCS(0)
+		fmt.Fprintf(os.Stderr, "benchjson: timing quick figure suite (%d workers)...\n", workers)
+		parallel := timeSuite(*seed, 0)
+		simRep.Suite = &suiteResult{
+			Figures:         len(experiments.IDs()),
+			Seed:            *seed,
+			SerialSeconds:   serial.Seconds(),
+			ParallelSeconds: parallel.Seconds(),
+			ParallelWorkers: workers,
+			Speedup:         serial.Seconds() / parallel.Seconds(),
+		}
+	}
+	if err := writeReport(*outDir, "BENCH_sim.json", simRep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	svcRep := newReport()
+	svcRep.Benchmarks = runBenchmarks(perf.ServiceBenchmarks)
+	if err := writeReport(*outDir, "BENCH_service.json", svcRep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

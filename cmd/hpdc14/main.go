@@ -22,9 +22,7 @@ import (
 )
 
 func main() {
-	seed := flag.Uint64("seed", 1, "root random seed")
-	reps := flag.Int("reps", 0, "override replication count (0 = figure default)")
-	quick := flag.Bool("quick", false, "shrink problem sizes for a fast smoke run")
+	cfg := experiments.RegisterConfigFlags(flag.CommandLine)
 	outDir := flag.String("out", "results", "directory for CSV output (empty = no CSV)")
 	ascii := flag.Bool("ascii", true, "print ASCII charts")
 	flag.Usage = usage
@@ -55,11 +53,10 @@ func main() {
 		}
 	}
 
-	cfg := experiments.Config{Seed: *seed, Reps: *reps, Quick: *quick}
 	for _, id := range ids {
 		exp := experiments.Registry[id]
 		start := time.Now()
-		res := exp.Run(cfg)
+		res := exp.Run(*cfg)
 		elapsed := time.Since(start)
 
 		fmt.Println(res.Table())

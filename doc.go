@@ -13,9 +13,12 @@
 //   - internal/sim      — event-driven heterogeneous platform simulator
 //   - internal/exec     — real concurrent runtime executing block arithmetic
 //   - internal/service  — scheduler-as-a-service HTTP daemon (schedd)
-//   - internal/experiments — regeneration of every figure of the paper
+//   - internal/experiments — regeneration of every figure of the paper,
+//     with deterministic parallel replication (replicate.go)
+//   - internal/perf     — shared micro-benchmark bodies
 //
 // Entry points: cmd/hpdc14 (figures), cmd/outersim and cmd/matsim
-// (single runs), cmd/schedd (the service daemon), examples/ (library
-// usage). See README.md and DESIGN.md.
+// (single runs), cmd/schedd (the service daemon), cmd/benchjson (the
+// recorded perf baseline), examples/ (library usage). See README.md
+// and DESIGN.md.
 package hetsched

@@ -50,6 +50,30 @@ type Scheduler interface {
 	Name() string
 }
 
+// TaskBuf is a reusable assignment-task buffer. A driver loop that
+// calls a BufferedScheduler keeps one TaskBuf per worker and passes it
+// to NextInto on every request, so the scheduler appends tasks into
+// recycled capacity instead of allocating a fresh slice per
+// assignment. The zero value is ready to use.
+type TaskBuf []Task
+
+// BufferedScheduler is an optional extension of Scheduler for
+// allocation-free driver loops: NextInto behaves exactly like Next but
+// builds the assignment's Tasks slice in buf[:0], growing it when the
+// capacity is insufficient.
+//
+// Ownership contract: the returned Assignment.Tasks aliases buf (or
+// its regrown replacement, which the caller should store back for
+// reuse), so it is only valid until the next NextInto call with the
+// same buffer. Callers that retain assignments must copy the slice —
+// or simply call Next, which always allocates.
+type BufferedScheduler interface {
+	Scheduler
+	// NextInto computes the next assignment for worker w, appending
+	// the batch's tasks to buf[:0].
+	NextInto(w int, buf TaskBuf) (a Assignment, ok bool)
+}
+
 // PhaseObserver is implemented by two-phase schedulers that want to
 // report when they switched strategies; the experiment harness uses it
 // to report the fraction of tasks processed in phase 1.

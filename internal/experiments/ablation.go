@@ -4,9 +4,11 @@ import (
 	"fmt"
 
 	"hetsched/internal/analysis"
+	"hetsched/internal/core"
 	"hetsched/internal/outer"
 	"hetsched/internal/partition"
 	"hetsched/internal/plot"
+	"hetsched/internal/rng"
 	"hetsched/internal/sim"
 	"hetsched/internal/speeds"
 	"hetsched/internal/stats"
@@ -38,24 +40,37 @@ func AblationStatic(cfg Config) *plot.Result {
 	staticCont := plot.Series{Name: "StaticColumn (continuous)"}
 	anaSeries := plot.Series{Name: "Analysis"}
 
-	for _, p := range ps {
-		var accDyn, accStatic, accCont, accAna stats.Accumulator
-		for rep := 0; rep < reps; rep++ {
-			init := defaultPlatform.gen(p, root.Split())
+	type out struct{ dyn, static, cont, ana float64 }
+	pl := cfg.pool()
+	futs := make([]*rep[out], len(ps))
+	for i, p := range ps {
+		futs[i] = replicate(pl, reps, 2, root, func(_ int, streams []*rng.PCG) out {
+			init := defaultPlatform.gen(p, streams[0])
 			rs := speeds.Relative(init)
 			lb := analysis.LowerBoundOuter(rs, n)
 
 			beta, ratio := analysis.OptimalBetaOuter(rs, n)
-			sched := outer.NewTwoPhases(n, p, outer.ThresholdFromBeta(beta, n), root.Split())
+			sched := outer.NewTwoPhases(n, p, outer.ThresholdFromBeta(beta, n), streams[1])
 			m := sim.Run(sched, speeds.NewFixed(init))
-			accDyn.Add(float64(m.Blocks) / lb)
-			accAna.Add(ratio)
 
 			part := partition.Columnwise(rs)
-			accStatic.Add(float64(partition.DiscreteComm(part, n)) / lb)
-			// Continuous cost is in unit-square units; scale to blocks
-			// (×n) for the same normalization.
-			accCont.Add(part.Cost * float64(n) / lb)
+			return out{
+				dyn:    float64(m.Blocks) / lb,
+				static: float64(partition.DiscreteComm(part, n)) / lb,
+				// Continuous cost is in unit-square units; scale to
+				// blocks (×n) for the same normalization.
+				cont: part.Cost * float64(n) / lb,
+				ana:  ratio,
+			}
+		})
+	}
+	for i, p := range ps {
+		var accDyn, accStatic, accCont, accAna stats.Accumulator
+		for _, o := range futs[i].Wait() {
+			accDyn.Add(o.dyn)
+			accAna.Add(o.ana)
+			accStatic.Add(o.static)
+			accCont.Add(o.cont)
 		}
 		x := float64(p)
 		twoPhases.Points = append(twoPhases.Points, plot.Point{X: x, Y: accDyn.Mean(), StdDev: accDyn.StdDev()})
@@ -102,17 +117,20 @@ func AblationPhase2(cfg Config) *plot.Result {
 		YLabel: "normalized communication",
 	}
 
+	pl := cfg.pool()
+	futs := make([]*rep[float64], len(betas))
+	for i, b := range betas {
+		futs[i] = measureNorm(pl, reps, root, init, lb, func(r *rng.PCG) core.Scheduler {
+			return outer.NewTwoPhases(n, p, outer.ThresholdFromBeta(b, n), r)
+		})
+	}
+
 	simSeries := plot.Series{Name: "DynamicOuter2Phases"}
 	frozen := plot.Series{Name: "Analysis (frozen x)"}
 	refined := plot.Series{Name: "Analysis (accumulating x)"}
-	for _, b := range betas {
-		var acc stats.Accumulator
-		for rep := 0; rep < reps; rep++ {
-			sched := outer.NewTwoPhases(n, p, outer.ThresholdFromBeta(b, n), root.Split())
-			m := sim.Run(sched, speeds.NewFixed(init))
-			acc.Add(float64(m.Blocks) / lb)
-		}
-		simSeries.Points = append(simSeries.Points, plot.Point{X: b, Y: acc.Mean(), StdDev: acc.StdDev()})
+	for i, b := range betas {
+		s := summarize(futs[i].Wait())
+		simSeries.Points = append(simSeries.Points, plot.Point{X: b, Y: s.Mean, StdDev: s.StdDev})
 		frozen.Points = append(frozen.Points, plot.Point{X: b, Y: analysis.RatioOuter(b, rs, n)})
 		refined.Points = append(refined.Points, plot.Point{X: b, Y: analysis.RefinedRatioOuter(b, rs, n)})
 	}

@@ -41,6 +41,19 @@ func RegisterSimFlags(fs *flag.FlagSet, defN, defP int, nUsage string) *SimFlags
 	return f
 }
 
+// RegisterConfigFlags registers the experiment-harness flags (-seed,
+// -reps, -quick, -workers) on fs and returns a Config bound to them,
+// to be read after fs.Parse. Used by cmd/hpdc14; cmd/benchjson pins
+// Quick and sweeps Workers itself, so it only shares -seed.
+func RegisterConfigFlags(fs *flag.FlagSet) *Config {
+	cfg := &Config{}
+	fs.Uint64Var(&cfg.Seed, "seed", 1, "root random seed")
+	fs.IntVar(&cfg.Reps, "reps", 0, "override replication count (0 = figure default)")
+	fs.BoolVar(&cfg.Quick, "quick", false, "shrink problem sizes for a fast smoke run")
+	fs.IntVar(&cfg.Workers, "workers", 0, "replication worker goroutines (0 = GOMAXPROCS); results are identical for every value")
+	return cfg
+}
+
 // Platform derives the run's randomness and platform exactly the way
 // every binary did individually: a root rng from the seed, initial
 // speeds drawn uniformly from [SMin, SMax] on the first split, and the

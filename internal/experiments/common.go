@@ -34,6 +34,10 @@ type Config struct {
 	// suite runs in seconds; used by tests and smoke runs. Shapes are
 	// preserved, absolute values move slightly.
 	Quick bool
+	// Workers bounds the goroutines replications run on; 0 means
+	// GOMAXPROCS. Results are bit-for-bit identical for every value
+	// (see replicate.go), so this is purely a throughput knob.
+	Workers int
 }
 
 func (c Config) reps(def int) int {
@@ -205,29 +209,52 @@ var matrixKernel = kernel{
 	strategyName: matrixName,
 }
 
-// sweepStrategies measures the given strategies (plus the analysis
-// prediction) at one (n, p) point with reps replications, drawing a
-// fresh platform per replication.
-func sweepStrategies(k kernel, sts []strategyID, n, p, reps int, spec platformSpec, root *rng.PCG, withAnalysis bool) (map[strategyID]*stats.Summary, stats.Summary) {
+// sweepOut is one replication's contribution to a strategy sweep: the
+// normalized communication volume per strategy (indexed like sts) and
+// the analysis prediction.
+type sweepOut struct {
+	vals []float64
+	ana  float64
+}
+
+// sweepStrategiesAsync schedules the replicated measurement of the
+// given strategies (plus the analysis prediction) at one (n, p) point
+// on the pool, drawing a fresh platform per replication. Each
+// replication consumes 1+2·len(sts) streams in the serial loop's
+// order: platform speeds, then scheduler and model per strategy.
+func sweepStrategiesAsync(pl *pool, k kernel, sts []strategyID, n, p, reps int, spec platformSpec, root *rng.PCG, withAnalysis bool) *rep[sweepOut] {
+	return replicate(pl, reps, 1+2*len(sts), root, func(_ int, streams []*rng.PCG) sweepOut {
+		init := spec.gen(p, streams[0])
+		rs := speeds.Relative(init)
+		lb := k.lowerBound(rs, n)
+		out := sweepOut{vals: make([]float64, len(sts))}
+		for si, st := range sts {
+			schedRNG, modelRNG := streams[1+2*si], streams[2+2*si]
+			sched := k.newScheduler(st, n, p, rs, schedRNG)
+			m := sim.Run(sched, spec.model(init, modelRNG))
+			out.vals[si] = float64(m.Blocks) / lb
+		}
+		if withAnalysis {
+			out.ana = k.ratioAtOpt(rs, n)
+		}
+		return out
+	})
+}
+
+// finishSweep folds a sweep future's per-replication results, in
+// replication order, into per-strategy summaries.
+func finishSweep(sts []strategyID, fut *rep[sweepOut], withAnalysis bool) (map[strategyID]*stats.Summary, stats.Summary) {
 	accs := make(map[strategyID]*measurement, len(sts))
 	for _, st := range sts {
 		accs[st] = &measurement{}
 	}
 	var ana stats.Accumulator
-	for rep := 0; rep < reps; rep++ {
-		speedRNG := root.Split()
-		init := spec.gen(p, speedRNG)
-		rs := speeds.Relative(init)
-		lb := k.lowerBound(rs, n)
-		for _, st := range sts {
-			schedRNG := root.Split()
-			modelRNG := root.Split()
-			sched := k.newScheduler(st, n, p, rs, schedRNG)
-			m := sim.Run(sched, spec.model(init, modelRNG))
-			accs[st].sim.Add(float64(m.Blocks) / lb)
+	for _, o := range fut.Wait() {
+		for si, st := range sts {
+			accs[st].sim.Add(o.vals[si])
 		}
 		if withAnalysis {
-			ana.Add(k.ratioAtOpt(rs, n))
+			ana.Add(o.ana)
 		}
 	}
 	out := make(map[strategyID]*stats.Summary, len(sts))
@@ -261,8 +288,16 @@ func pSweepFigure(cfg Config, id, title string, k kernel, n int, ps []int, sts [
 		anaSeries = &plot.Series{Name: "Analysis"}
 		order = append(order, anaSeries)
 	}
-	for _, p := range ps {
-		sums, ana := sweepStrategies(k, sts, n, p, reps, defaultPlatform, root, withAnalysis)
+	// All points' replications are scheduled before any is awaited, so
+	// the whole p-sweep fans out across the pool at once; stream
+	// derivation in the submission loop keeps the serial draw order.
+	pl := cfg.pool()
+	futs := make([]*rep[sweepOut], len(ps))
+	for i, p := range ps {
+		futs[i] = sweepStrategiesAsync(pl, k, sts, n, p, reps, defaultPlatform, root, withAnalysis)
+	}
+	for i, p := range ps {
+		sums, ana := finishSweep(sts, futs[i], withAnalysis)
 		for _, st := range sts {
 			series[st].Points = append(series[st].Points, plot.Point{
 				X: float64(p), Y: sums[st].Mean, StdDev: sums[st].StdDev,

@@ -8,6 +8,7 @@ import (
 	"hetsched/internal/matmul"
 	"hetsched/internal/outer"
 	"hetsched/internal/plot"
+	"hetsched/internal/rng"
 	"hetsched/internal/sim"
 	"hetsched/internal/speeds"
 	"hetsched/internal/stats"
@@ -45,19 +46,27 @@ func Convergence(cfg Config) *plot.Result {
 	grid := []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50}
 
 	reps := cfg.reps(5)
-	for _, n := range ns {
+	pl := cfg.pool()
+	type out struct {
+		vals []float64 // per grid index, valid where set
+		set  []bool
+	}
+	futs := make([]*rep[out], len(ns))
+	alphas := make([]float64, len(ns))
+	for ni, n := range ns {
 		init := defaultPlatform.gen(p, root.Split())
 		rs := speeds.Relative(init)
-		alpha := analysis.Alpha(rs[tracked])
+		alphas[ni] = analysis.Alpha(rs[tracked])
 
-		// Average the measured trajectory over reps runs on the same
-		// platform (the ODE describes the expectation of the process).
-		accs := make([]stats.Accumulator, len(grid))
-		for rep := 0; rep < reps; rep++ {
-			sched := outer.NewDynamic(n, p, root.Split())
+		// Measure each run's trajectory independently; the per-grid
+		// averaging over reps (the ODE describes the expectation of
+		// the process) happens at merge time, in replication order.
+		futs[ni] = replicate(pl, reps, 1, root, func(_ int, streams []*rng.PCG) out {
+			o := out{vals: make([]float64, len(grid)), set: make([]bool, len(grid))}
+			sched := outer.NewDynamic(n, p, streams[0])
 			next := 0
-			sim.RunObserved(sched, speeds.NewFixed(init), func(o sim.Observation) {
-				if o.Proc != tracked || next >= len(grid) {
+			sim.RunObserved(sched, speeds.NewFixed(init), func(ob sim.Observation) {
+				if ob.Proc != tracked || next >= len(grid) {
 					return
 				}
 				y := sched.Known(tracked)
@@ -69,9 +78,22 @@ func Convergence(cfg Config) *plot.Result {
 				if denom <= 0 {
 					return
 				}
-				accs[next].Add(float64(sched.Remaining()) / denom)
+				o.vals[next] = float64(sched.Remaining()) / denom
+				o.set[next] = true
 				next++
 			})
+			return o
+		})
+	}
+	for ni, n := range ns {
+		alpha := alphas[ni]
+		accs := make([]stats.Accumulator, len(grid))
+		for _, o := range futs[ni].Wait() {
+			for i := range grid {
+				if o.set[i] {
+					accs[i].Add(o.vals[i])
+				}
+			}
 		}
 		measured := plot.Series{Name: fmt.Sprintf("measured n=%d", n)}
 		for i, x := range grid {
@@ -124,18 +146,24 @@ func ConvergenceMatrix(cfg Config) *plot.Result {
 	const tracked = 0
 	grid := []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50}
 	reps := cfg.reps(5)
-
-	for _, n := range ns {
+	pl := cfg.pool()
+	type out struct {
+		vals []float64
+		set  []bool
+	}
+	futs := make([]*rep[out], len(ns))
+	alphas := make([]float64, len(ns))
+	for ni, n := range ns {
 		init := defaultPlatform.gen(p, root.Split())
 		rs := speeds.Relative(init)
-		alpha := analysis.Alpha(rs[tracked])
+		alphas[ni] = analysis.Alpha(rs[tracked])
 
-		accs := make([]stats.Accumulator, len(grid))
-		for rep := 0; rep < reps; rep++ {
-			sched := matmul.NewDynamic(n, p, root.Split())
+		futs[ni] = replicate(pl, reps, 1, root, func(_ int, streams []*rng.PCG) out {
+			o := out{vals: make([]float64, len(grid)), set: make([]bool, len(grid))}
+			sched := matmul.NewDynamic(n, p, streams[0])
 			next := 0
-			sim.RunObserved(sched, speeds.NewFixed(init), func(o sim.Observation) {
-				if o.Proc != tracked || next >= len(grid) {
+			sim.RunObserved(sched, speeds.NewFixed(init), func(ob sim.Observation) {
+				if ob.Proc != tracked || next >= len(grid) {
 					return
 				}
 				y := sched.Known(tracked)
@@ -148,9 +176,22 @@ func ConvergenceMatrix(cfg Config) *plot.Result {
 				if denom <= 0 {
 					return
 				}
-				accs[next].Add(float64(sched.Remaining()) / denom)
+				o.vals[next] = float64(sched.Remaining()) / denom
+				o.set[next] = true
 				next++
 			})
+			return o
+		})
+	}
+	for ni, n := range ns {
+		alpha := alphas[ni]
+		accs := make([]stats.Accumulator, len(grid))
+		for _, o := range futs[ni].Wait() {
+			for i := range grid {
+				if o.set[i] {
+					accs[i].Add(o.vals[i])
+				}
+			}
 		}
 		measured := plot.Series{Name: fmt.Sprintf("measured n=%d", n)}
 		for i, x := range grid {

@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelReplicationDeterminism is the regression guard for the
+// replication engine's core promise: Workers is purely a throughput
+// knob. It covers the four distinct replication-loop shapes —
+// a p-sweep without analysis (fig1), one with the analysis series
+// (fig4), the nested point×policy DAG-kernel sweep (abl-cholesky) and
+// the observer-sampled mean-field trajectory (abl-ode) — and requires
+// the full plot.Result (every Series value, tick and note) to be
+// bit-for-bit identical between a serial and a heavily parallel run.
+func TestParallelReplicationDeterminism(t *testing.T) {
+	for _, id := range []string{"fig1", "fig4", "abl-cholesky", "abl-ode"} {
+		t.Run(id, func(t *testing.T) {
+			run := Registry[id].Run
+			serial := run(Config{Seed: 7, Quick: true, Workers: 1})
+			parallel := run(Config{Seed: 7, Quick: true, Workers: 8})
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("Workers: 1 and Workers: 8 disagree for %s:\nserial:   %+v\nparallel: %+v", id, serial, parallel)
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"hetsched/internal/lu"
 	"hetsched/internal/plot"
+	"hetsched/internal/rng"
 	"hetsched/internal/speeds"
 	"hetsched/internal/stats"
 )
@@ -39,14 +40,25 @@ func LU(cfg Config) *plot.Result {
 	}
 
 	tiles := float64(n * n)
-	for _, p := range ps {
+	type out struct{ comm, eff float64 }
+	pl := cfg.pool()
+	futs := make([][]*rep[out], len(ps))
+	for pi, p := range ps {
+		futs[pi] = make([]*rep[out], len(policies))
 		for i, pol := range policies {
+			futs[pi][i] = replicate(pl, reps, 2, root, func(_ int, streams []*rng.PCG) out {
+				init := defaultPlatform.gen(p, streams[0])
+				m := lu.Simulate(n, pol, speeds.NewFixed(init), streams[1])
+				return out{comm: float64(m.Blocks) / tiles, eff: m.Efficiency()}
+			})
+		}
+	}
+	for pi, p := range ps {
+		for i := range policies {
 			var comm, eff stats.Accumulator
-			for rep := 0; rep < reps; rep++ {
-				init := defaultPlatform.gen(p, root.Split())
-				m := lu.Simulate(n, pol, speeds.NewFixed(init), root.Split())
-				comm.Add(float64(m.Blocks) / tiles)
-				eff.Add(m.Efficiency())
+			for _, o := range futs[pi][i].Wait() {
+				comm.Add(o.comm)
+				eff.Add(o.eff)
 			}
 			commSeries[i].Points = append(commSeries[i].Points, plot.Point{
 				X: float64(p), Y: comm.Mean(), StdDev: comm.StdDev(),

@@ -6,6 +6,7 @@ import (
 	"hetsched/internal/analysis"
 	"hetsched/internal/outer"
 	"hetsched/internal/plot"
+	"hetsched/internal/rng"
 	"hetsched/internal/sim"
 	"hetsched/internal/speeds"
 	"hetsched/internal/stats"
@@ -41,24 +42,34 @@ func MapReduce(cfg Config) *plot.Result {
 	random := plot.Series{Name: "RandomOuter"}
 	two := plot.Series{Name: "DynamicOuter2Phases"}
 
-	for _, p := range ps {
-		var accE, acc1, accR, accT stats.Accumulator
-		for rep := 0; rep < reps; rep++ {
-			init := defaultPlatform.gen(p, root.Split())
+	type out struct{ emit, oneD, random, two float64 }
+	pl := cfg.pool()
+	futs := make([]*rep[out], len(ps))
+	for i, p := range ps {
+		futs[i] = replicate(pl, reps, 4, root, func(_ int, streams []*rng.PCG) out {
+			init := defaultPlatform.gen(p, streams[0])
 			rs := speeds.Relative(init)
 			lb := analysis.LowerBoundOuter(rs, n)
 
-			// Emit-all-pairs ships 2 blocks per task, unconditionally.
-			accE.Add(2 * float64(n) * float64(n) / lb)
-
-			m1 := sim.Run(outer.NewDynamic1D(n, p, root.Split()), speeds.NewFixed(init))
-			acc1.Add(float64(m1.Blocks) / lb)
-
-			mR := sim.Run(newOuterScheduler(stRandom, n, p, rs, root.Split()), speeds.NewFixed(init))
-			accR.Add(float64(mR.Blocks) / lb)
-
-			mT := sim.Run(newOuterScheduler(stTwoPhases, n, p, rs, root.Split()), speeds.NewFixed(init))
-			accT.Add(float64(mT.Blocks) / lb)
+			m1 := sim.Run(outer.NewDynamic1D(n, p, streams[1]), speeds.NewFixed(init))
+			mR := sim.Run(newOuterScheduler(stRandom, n, p, rs, streams[2]), speeds.NewFixed(init))
+			mT := sim.Run(newOuterScheduler(stTwoPhases, n, p, rs, streams[3]), speeds.NewFixed(init))
+			return out{
+				// Emit-all-pairs ships 2 blocks per task, unconditionally.
+				emit:   2 * float64(n) * float64(n) / lb,
+				oneD:   float64(m1.Blocks) / lb,
+				random: float64(mR.Blocks) / lb,
+				two:    float64(mT.Blocks) / lb,
+			}
+		})
+	}
+	for i, p := range ps {
+		var accE, acc1, accR, accT stats.Accumulator
+		for _, o := range futs[i].Wait() {
+			accE.Add(o.emit)
+			acc1.Add(o.oneD)
+			accR.Add(o.random)
+			accT.Add(o.two)
 		}
 		x := float64(p)
 		emit.Points = append(emit.Points, plot.Point{X: x, Y: accE.Mean(), StdDev: accE.StdDev()})

@@ -4,11 +4,11 @@ import (
 	"fmt"
 
 	"hetsched/internal/analysis"
+	"hetsched/internal/core"
 	"hetsched/internal/matmul"
 	"hetsched/internal/plot"
-	"hetsched/internal/sim"
+	"hetsched/internal/rng"
 	"hetsched/internal/speeds"
-	"hetsched/internal/stats"
 )
 
 // matrixPs is the processor grid of Figs 9 and 10.
@@ -77,27 +77,29 @@ func Fig11(cfg Config) *plot.Result {
 		YLabel: "normalized communication",
 	}
 
+	pl := cfg.pool()
+	betaFuts := make([]*rep[float64], len(betas))
+	for i, b := range betas {
+		betaFuts[i] = measureNorm(pl, reps, root, init, lb, func(r *rng.PCG) core.Scheduler {
+			return matmul.NewTwoPhases(n, p, matmul.ThresholdFromBeta(b, n), r)
+		})
+	}
+	dynFut := measureNorm(pl, reps, root, init, lb, func(r *rng.PCG) core.Scheduler {
+		return matmul.NewDynamic(n, p, r)
+	})
+
 	simSeries := plot.Series{Name: "DynamicMatrix2Phases"}
 	anaSeries := plot.Series{Name: "Analysis"}
-	for _, b := range betas {
-		var acc stats.Accumulator
-		for rep := 0; rep < reps; rep++ {
-			sched := matmul.NewTwoPhases(n, p, matmul.ThresholdFromBeta(b, n), root.Split())
-			m := sim.Run(sched, speeds.NewFixed(init))
-			acc.Add(float64(m.Blocks) / lb)
-		}
-		simSeries.Points = append(simSeries.Points, plot.Point{X: b, Y: acc.Mean(), StdDev: acc.StdDev()})
+	for i, b := range betas {
+		s := summarize(betaFuts[i].Wait())
+		simSeries.Points = append(simSeries.Points, plot.Point{X: b, Y: s.Mean, StdDev: s.StdDev})
 		anaSeries.Points = append(anaSeries.Points, plot.Point{X: b, Y: analysis.RatioMatrix(b, rs, n)})
 	}
 
 	dynSeries := plot.Series{Name: "DynamicMatrix"}
-	var dynAcc stats.Accumulator
-	for rep := 0; rep < reps; rep++ {
-		m := sim.Run(matmul.NewDynamic(n, p, root.Split()), speeds.NewFixed(init))
-		dynAcc.Add(float64(m.Blocks) / lb)
-	}
+	dynSum := summarize(dynFut.Wait())
 	for _, b := range betas {
-		dynSeries.Points = append(dynSeries.Points, plot.Point{X: b, Y: dynAcc.Mean(), StdDev: dynAcc.StdDev()})
+		dynSeries.Points = append(dynSeries.Points, plot.Point{X: b, Y: dynSum.Mean, StdDev: dynSum.StdDev})
 	}
 
 	res.Series = []plot.Series{anaSeries, simSeries, dynSeries}

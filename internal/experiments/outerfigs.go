@@ -4,12 +4,11 @@ import (
 	"fmt"
 
 	"hetsched/internal/analysis"
+	"hetsched/internal/core"
 	"hetsched/internal/outer"
 	"hetsched/internal/plot"
 	"hetsched/internal/rng"
-	"hetsched/internal/sim"
 	"hetsched/internal/speeds"
-	"hetsched/internal/stats"
 )
 
 // outerPs is the processor grid of Figs 1, 4 and 5.
@@ -89,29 +88,33 @@ func Fig2(cfg Config) *plot.Result {
 		YLabel: "normalized communication",
 	}
 
+	pl := cfg.pool()
+	twoFuts := make([]*rep[float64], len(fracs))
+	for i, frac := range fracs {
+		twoFuts[i] = measureNorm(pl, reps, root, init, lb, func(r *rng.PCG) core.Scheduler {
+			return outer.NewTwoPhases(n, p, outer.ThresholdFromPhase1Fraction(frac, n), r)
+		})
+	}
+	// Reference lines for the pure strategies on the same platform.
+	refSts := []strategyID{stDynamic, stSorted, stRandom}
+	refFuts := make([]*rep[float64], len(refSts))
+	for i, st := range refSts {
+		refFuts[i] = measureNorm(pl, reps, root, init, lb, func(r *rng.PCG) core.Scheduler {
+			return newOuterScheduler(st, n, p, rs, r)
+		})
+	}
+
 	twoPhase := plot.Series{Name: "DynamicOuter2Phases"}
-	for _, frac := range fracs {
-		var acc stats.Accumulator
-		for rep := 0; rep < reps; rep++ {
-			sched := outer.NewTwoPhases(n, p, outer.ThresholdFromPhase1Fraction(frac, n), root.Split())
-			m := sim.Run(sched, speeds.NewFixed(init))
-			acc.Add(float64(m.Blocks) / lb)
-		}
-		twoPhase.Points = append(twoPhase.Points, plot.Point{X: frac * 100, Y: acc.Mean(), StdDev: acc.StdDev()})
+	for i, frac := range fracs {
+		s := summarize(twoFuts[i].Wait())
+		twoPhase.Points = append(twoPhase.Points, plot.Point{X: frac * 100, Y: s.Mean, StdDev: s.StdDev})
 	}
 	res.Series = append(res.Series, twoPhase)
-
-	// Reference lines for the pure strategies on the same platform.
-	for _, st := range []strategyID{stDynamic, stSorted, stRandom} {
-		var acc stats.Accumulator
-		for rep := 0; rep < reps; rep++ {
-			sched := newOuterScheduler(st, n, p, rs, root.Split())
-			m := sim.Run(sched, speeds.NewFixed(init))
-			acc.Add(float64(m.Blocks) / lb)
-		}
+	for i, st := range refSts {
+		s := summarize(refFuts[i].Wait())
 		ref := plot.Series{Name: outerName(st)}
 		for _, frac := range fracs {
-			ref.Points = append(ref.Points, plot.Point{X: frac * 100, Y: acc.Mean(), StdDev: acc.StdDev()})
+			ref.Points = append(ref.Points, plot.Point{X: frac * 100, Y: s.Mean, StdDev: s.StdDev})
 		}
 		res.Series = append(res.Series, ref)
 	}
@@ -151,27 +154,29 @@ func Fig6(cfg Config) *plot.Result {
 		YLabel: "normalized communication",
 	}
 
+	pl := cfg.pool()
+	betaFuts := make([]*rep[float64], len(betas))
+	for i, b := range betas {
+		betaFuts[i] = measureNorm(pl, reps, root, init, lb, func(r *rng.PCG) core.Scheduler {
+			return outer.NewTwoPhases(n, p, outer.ThresholdFromBeta(b, n), r)
+		})
+	}
+	dynFut := measureNorm(pl, reps, root, init, lb, func(r *rng.PCG) core.Scheduler {
+		return outer.NewDynamic(n, p, r)
+	})
+
 	simSeries := plot.Series{Name: "DynamicOuter2Phases"}
 	anaSeries := plot.Series{Name: "Analysis"}
-	for _, b := range betas {
-		var acc stats.Accumulator
-		for rep := 0; rep < reps; rep++ {
-			sched := outer.NewTwoPhases(n, p, outer.ThresholdFromBeta(b, n), root.Split())
-			m := sim.Run(sched, speeds.NewFixed(init))
-			acc.Add(float64(m.Blocks) / lb)
-		}
-		simSeries.Points = append(simSeries.Points, plot.Point{X: b, Y: acc.Mean(), StdDev: acc.StdDev()})
+	for i, b := range betas {
+		s := summarize(betaFuts[i].Wait())
+		simSeries.Points = append(simSeries.Points, plot.Point{X: b, Y: s.Mean, StdDev: s.StdDev})
 		anaSeries.Points = append(anaSeries.Points, plot.Point{X: b, Y: analysis.RatioOuter(b, rs, n)})
 	}
 
 	dynSeries := plot.Series{Name: "DynamicOuter"}
-	var dynAcc stats.Accumulator
-	for rep := 0; rep < reps; rep++ {
-		m := sim.Run(outer.NewDynamic(n, p, root.Split()), speeds.NewFixed(init))
-		dynAcc.Add(float64(m.Blocks) / lb)
-	}
+	dynSum := summarize(dynFut.Wait())
 	for _, b := range betas {
-		dynSeries.Points = append(dynSeries.Points, plot.Point{X: b, Y: dynAcc.Mean(), StdDev: dynAcc.StdDev()})
+		dynSeries.Points = append(dynSeries.Points, plot.Point{X: b, Y: dynSum.Mean, StdDev: dynSum.StdDev})
 	}
 
 	res.Series = []plot.Series{anaSeries, simSeries, dynSeries}
@@ -211,12 +216,17 @@ func Fig7(cfg Config) *plot.Result {
 	}
 	anaSeries := &plot.Series{Name: "Analysis"}
 
-	for _, h := range hs {
+	pl := cfg.pool()
+	futs := make([]*rep[sweepOut], len(hs))
+	for i, h := range hs {
 		spec := platformSpec{
 			name: fmt.Sprintf("unif[%g,%g]", 100-h, 100+h),
 			gen:  func(p int, r *rng.PCG) []float64 { return speeds.Heterogeneity(p, h, r) },
 		}
-		sums, ana := sweepStrategies(outerKernel, sts, n, p, reps, spec, root, true)
+		futs[i] = sweepStrategiesAsync(pl, outerKernel, sts, n, p, reps, spec, root, true)
+	}
+	for i, h := range hs {
+		sums, ana := finishSweep(sts, futs[i], true)
 		for _, st := range sts {
 			series[st].Points = append(series[st].Points, plot.Point{X: h, Y: sums[st].Mean, StdDev: sums[st].StdDev})
 		}
@@ -291,10 +301,15 @@ func Fig8(cfg Config) *plot.Result {
 	}
 	anaSeries := &plot.Series{Name: "Analysis"}
 
+	pl := cfg.pool()
+	futs := make([]*rep[sweepOut], len(scenarios))
+	for idx, spec := range scenarios {
+		futs[idx] = sweepStrategiesAsync(pl, outerKernel, sts, n, p, reps, spec, root, true)
+	}
 	for idx, spec := range scenarios {
 		x := float64(idx)
 		res.XTicks[x] = spec.name
-		sums, ana := sweepStrategies(outerKernel, sts, n, p, reps, spec, root, true)
+		sums, ana := finishSweep(sts, futs[idx], true)
 		for _, st := range sts {
 			series[st].Points = append(series[st].Points, plot.Point{X: x, Y: sums[st].Mean, StdDev: sums[st].StdDev})
 		}

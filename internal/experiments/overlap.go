@@ -6,9 +6,9 @@ import (
 
 	"hetsched/internal/analysis"
 	"hetsched/internal/plot"
+	"hetsched/internal/rng"
 	"hetsched/internal/sim"
 	"hetsched/internal/speeds"
-	"hetsched/internal/stats"
 )
 
 // Overlap probes the paper's standing assumption that communication
@@ -42,49 +42,64 @@ func Overlap(cfg Config) *plot.Result {
 		lookaheads = []int{0, 2}
 	}
 
-	measure := func(st strategyID, bw float64, la int) (mean, sd float64) {
-		var acc stats.Accumulator
-		for rep := 0; rep < reps; rep++ {
-			init := defaultPlatform.gen(p, root.Split())
+	pl := cfg.pool()
+	measure := func(st strategyID, bw float64, la int) *rep[float64] {
+		return replicate(pl, reps, 2, root, func(_ int, streams []*rng.PCG) float64 {
+			init := defaultPlatform.gen(p, streams[0])
 			rs := speeds.Relative(init)
 			sumS := 0.0
 			for _, v := range init {
 				sumS += v
 			}
 			ideal := float64(n*n) / sumS
-			sched := newOuterScheduler(st, n, p, rs, root.Split())
+			sched := newOuterScheduler(st, n, p, rs, streams[1])
 			m := sim.RunBandwidth(sched, speeds.NewFixed(init), bw, la)
-			acc.Add(m.Makespan / ideal)
-		}
-		return acc.Mean(), acc.StdDev()
+			return m.Makespan / ideal
+		})
 	}
+
+	sts := []strategyID{stTwoPhases, stRandom}
 
 	// (a) bandwidth sweep at lookahead 2. Infinite bandwidth is
 	// plotted at twice the largest finite value.
+	bwFuts := make([][]*rep[float64], len(sts))
+	for si, st := range sts {
+		bwFuts[si] = make([]*rep[float64], len(bandwidths))
+		for bi, bw := range bandwidths {
+			bwFuts[si][bi] = measure(st, bw, 2)
+		}
+	}
+	// (b) lookahead sweep at a bandwidth that is tight but feasible
+	// for the data-aware strategy.
+	const tightBW = 400
+	laFuts := make([][]*rep[float64], len(sts))
+	for si, st := range sts {
+		laFuts[si] = make([]*rep[float64], len(lookaheads))
+		for li, la := range lookaheads {
+			laFuts[si][li] = measure(st, tightBW, la)
+		}
+	}
+
 	xInf := 2 * bandwidths[len(bandwidths)-2]
-	for _, st := range []strategyID{stTwoPhases, stRandom} {
+	for si, st := range sts {
 		s := plot.Series{Name: outerName(st) + " (lookahead 2)"}
-		for _, bw := range bandwidths {
+		for bi, bw := range bandwidths {
 			x := bw
 			if math.IsInf(bw, 1) {
 				x = xInf
 			}
-			mean, sd := measure(st, bw, 2)
-			s.Points = append(s.Points, plot.Point{X: x, Y: mean, StdDev: sd})
+			sum := summarize(bwFuts[si][bi].Wait())
+			s.Points = append(s.Points, plot.Point{X: x, Y: sum.Mean, StdDev: sum.StdDev})
 		}
 		res.Series = append(res.Series, s)
 	}
-
-	// (b) lookahead sweep at a bandwidth that is tight but feasible
-	// for the data-aware strategy.
-	const tightBW = 400
-	for _, st := range []strategyID{stTwoPhases, stRandom} {
+	for si, st := range sts {
 		s := plot.Series{Name: fmt.Sprintf("%s (B=%d, vs lookahead)", outerName(st), tightBW)}
-		for _, la := range lookaheads {
-			mean, sd := measure(st, tightBW, la)
+		for li, la := range lookaheads {
 			// Encode lookahead on the same x axis, scaled for
 			// readability in the combined chart.
-			s.Points = append(s.Points, plot.Point{X: float64(la), Y: mean, StdDev: sd})
+			sum := summarize(laFuts[si][li].Wait())
+			s.Points = append(s.Points, plot.Point{X: float64(la), Y: sum.Mean, StdDev: sum.StdDev})
 		}
 		res.Series = append(res.Series, s)
 	}

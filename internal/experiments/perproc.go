@@ -7,6 +7,7 @@ import (
 	"hetsched/internal/analysis"
 	"hetsched/internal/outer"
 	"hetsched/internal/plot"
+	"hetsched/internal/rng"
 	"hetsched/internal/sim"
 	"hetsched/internal/speeds"
 	"hetsched/internal/stats"
@@ -47,12 +48,15 @@ func PerProcessor(cfg Config) *plot.Result {
 		}
 	}
 
-	accs := make([]stats.Accumulator, p)
-	for rep := 0; rep < reps; rep++ {
-		sched := outer.NewTwoPhases(n, p, outer.ThresholdFromBeta(beta, n), root.Split())
+	fut := replicate(cfg.pool(), reps, 1, root, func(_ int, streams []*rng.PCG) []int {
+		sched := outer.NewTwoPhases(n, p, outer.ThresholdFromBeta(beta, n), streams[0])
 		m := sim.Run(sched, speeds.NewFixed(init))
+		return m.BlocksPer
+	})
+	accs := make([]stats.Accumulator, p)
+	for _, blocksPer := range fut.Wait() {
 		for k := 0; k < p; k++ {
-			accs[k].Add(float64(m.BlocksPer[k]))
+			accs[k].Add(float64(blocksPer[k]))
 		}
 	}
 

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"hetsched/internal/core"
+	"hetsched/internal/rng"
+	"hetsched/internal/sim"
+	"hetsched/internal/speeds"
+	"hetsched/internal/stats"
+)
+
+// Parallel replication engine. Every figure of the paper is a Monte
+// Carlo estimate — reps × (draw platform → build scheduler → sim.Run)
+// — and the replications are independent by construction, so they can
+// run on all cores. Determinism is preserved by splitting the work in
+// three phases:
+//
+//  1. Stream pre-derivation (sequential): each replication's rng
+//     streams are derived from the figure's root generator up front,
+//     in exactly the order the serial loop would have drawn them, so
+//     the root's state after scheduling equals its state after the
+//     serial loop and every replication sees the same streams it
+//     always did.
+//  2. Fan-out: the replication bodies run on a bounded worker pool;
+//     they share no state (each owns its streams and its scheduler).
+//  3. Ordered merge: per-replication results land in a slice indexed
+//     by replication, and the caller folds them into its accumulators
+//     in replication order — float accumulation order is fixed, so
+//     means and standard deviations are bit-for-bit identical to the
+//     serial output for any worker count.
+//
+// pool is the bounded worker pool one figure run shares across all of
+// its replicate calls; it is a semaphore, not a goroutine set, so an
+// idle pool costs nothing and needs no shutdown.
+type pool struct {
+	sem chan struct{}
+}
+
+func newPool(workers int) *pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &pool{sem: make(chan struct{}, workers)}
+}
+
+// pool returns the figure-scoped worker pool for the configuration:
+// Workers goroutines, or GOMAXPROCS when Workers is 0.
+func (c Config) pool() *pool {
+	return newPool(c.Workers)
+}
+
+// rep is the future of one replicated measurement: a per-replication
+// result slice that Wait hands back in replication order.
+type rep[T any] struct {
+	wg   sync.WaitGroup
+	vals []T
+}
+
+// Wait blocks until every replication has finished and returns the
+// results indexed by replication.
+func (r *rep[T]) Wait() []T {
+	r.wg.Wait()
+	return r.vals
+}
+
+// replicate schedules body(rep, streams) for reps replications on pl
+// and returns the future of the per-replication results. Each
+// replication receives nStreams fresh rng streams, pre-derived
+// sequentially from root before anything runs (phase 1 above): a
+// serial loop calling root.Split() nStreams times per iteration sees
+// exactly the same streams. The body must derive all of its
+// randomness from its streams and touch no shared state.
+func replicate[T any](pl *pool, reps, nStreams int, root *rng.PCG, body func(rep int, streams []*rng.PCG) T) *rep[T] {
+	streams := make([]*rng.PCG, reps*nStreams)
+	for i := range streams {
+		streams[i] = root.Split()
+	}
+	r := &rep[T]{vals: make([]T, reps)}
+	r.wg.Add(reps)
+	for i := 0; i < reps; i++ {
+		i := i
+		go func() {
+			pl.sem <- struct{}{}
+			defer func() {
+				<-pl.sem
+				r.wg.Done()
+			}()
+			r.vals[i] = body(i, streams[i*nStreams:(i+1)*nStreams])
+		}()
+	}
+	return r
+}
+
+// summarize folds per-replication values in replication order.
+func summarize(vals []float64) stats.Summary {
+	var acc stats.Accumulator
+	for _, v := range vals {
+		acc.Add(v)
+	}
+	return acc.Summarize()
+}
+
+// measureNorm is the replicated measurement loop shared by the
+// fixed-platform figures (Figs 2, 6, 11, the phase-2 ablation): run a
+// freshly seeded scheduler from newSched reps times on the fixed
+// speeds init and summarize the communication volume normalized by
+// lb. One stream per replication, consumed by the scheduler.
+func measureNorm(pl *pool, reps int, root *rng.PCG, init []float64, lb float64, newSched func(r *rng.PCG) core.Scheduler) *rep[float64] {
+	return replicate(pl, reps, 1, root, func(_ int, streams []*rng.PCG) float64 {
+		m := sim.Run(newSched(streams[0]), speeds.NewFixed(init))
+		return float64(m.Blocks) / lb
+	})
+}

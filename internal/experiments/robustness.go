@@ -49,12 +49,13 @@ func Robustness(cfg Config) *plot.Result {
 	static := plot.Series{Name: "StaticColumn (estimated speeds)"}
 	dynamic := plot.Series{Name: "DynamicOuter2Phases"}
 
-	for _, eps := range epsilons {
-		var accS, accD stats.Accumulator
-		for rep := 0; rep < reps; rep++ {
-			speedRNG := root.Split()
-			trueSpeeds := defaultPlatform.gen(p, speedRNG)
-			estimated := misestimate(trueSpeeds, eps, root.Split())
+	type out struct{ static, dynamic float64 }
+	pl := cfg.pool()
+	futs := make([]*rep[out], len(epsilons))
+	for i, eps := range epsilons {
+		futs[i] = replicate(pl, reps, 3, root, func(_ int, streams []*rng.PCG) out {
+			trueSpeeds := defaultPlatform.gen(p, streams[0])
+			estimated := misestimate(trueSpeeds, eps, streams[1])
 
 			sumTrue := 0.0
 			for _, s := range trueSpeeds {
@@ -72,14 +73,20 @@ func Robustness(cfg Config) *plot.Result {
 				finish := tasks / trueSpeeds[rect.Proc]
 				worst = math.Max(worst, finish)
 			}
-			accS.Add(worst / ideal)
 
 			// Dynamic: speed-agnostic; tuned with the homogeneous β
 			// (§3.6) so it uses no speed information at all.
 			beta, _ := analysis.OptimalBetaOuter(speeds.Homogeneous(p), n)
-			sched := outer.NewTwoPhases(n, p, outer.ThresholdFromBeta(beta, n), root.Split())
+			sched := outer.NewTwoPhases(n, p, outer.ThresholdFromBeta(beta, n), streams[2])
 			m := sim.Run(sched, speeds.NewFixed(trueSpeeds))
-			accD.Add(m.Makespan / ideal)
+			return out{static: worst / ideal, dynamic: m.Makespan / ideal}
+		})
+	}
+	for i, eps := range epsilons {
+		var accS, accD stats.Accumulator
+		for _, o := range futs[i].Wait() {
+			accS.Add(o.static)
+			accD.Add(o.dynamic)
 		}
 		static.Points = append(static.Points, plot.Point{X: eps, Y: accS.Mean(), StdDev: accS.StdDev()})
 		dynamic.Points = append(dynamic.Points, plot.Point{X: eps, Y: accD.Mean(), StdDev: accD.StdDev()})

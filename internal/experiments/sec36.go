@@ -6,6 +6,7 @@ import (
 
 	"hetsched/internal/analysis"
 	"hetsched/internal/plot"
+	"hetsched/internal/rng"
 	"hetsched/internal/speeds"
 	"hetsched/internal/stats"
 )
@@ -55,6 +56,20 @@ func Sec36(cfg Config) *plot.Result {
 	relDiff := plot.Series{Name: "rel.diff beta_hom vs beta* (%)"}
 	volErr := plot.Series{Name: "worst volume error using beta_hom (%)"}
 
+	type out struct{ bStar, err float64 }
+	pl := cfg.pool()
+	futs := make([]*rep[out], len(grid))
+	for idx, c := range grid {
+		futs[idx] = replicate(pl, draws, 1, root, func(_ int, streams []*rng.PCG) out {
+			s := speeds.UniformRange(c.p, 10, 100, streams[0])
+			rs := speeds.Relative(s)
+			bStar, rStar := analysis.OptimalBetaOuter(rs, c.n)
+			bHom, _ := analysis.OptimalBetaOuter(speeds.Homogeneous(c.p), c.n)
+			rHom := analysis.RatioOuter(bHom, rs, c.n)
+			return out{bStar: bStar, err: math.Abs(rHom-rStar) / rStar * 100}
+		})
+	}
+
 	worstSpread, worstRelDiff, worstVolErr := 0.0, 0.0, 0.0
 	for idx, c := range grid {
 		x := float64(idx)
@@ -62,15 +77,10 @@ func Sec36(cfg Config) *plot.Result {
 
 		var betas stats.Accumulator
 		worstErrHere := 0.0
-		for d := 0; d < draws; d++ {
-			s := speeds.UniformRange(c.p, 10, 100, root.Split())
-			rs := speeds.Relative(s)
-			bStar, rStar := analysis.OptimalBetaOuter(rs, c.n)
-			betas.Add(bStar)
-			bHom, _ := analysis.OptimalBetaOuter(speeds.Homogeneous(c.p), c.n)
-			rHom := analysis.RatioOuter(bHom, rs, c.n)
-			if err := math.Abs(rHom-rStar) / rStar * 100; err > worstErrHere {
-				worstErrHere = err
+		for _, o := range futs[idx].Wait() {
+			betas.Add(o.bStar)
+			if o.err > worstErrHere {
+				worstErrHere = o.err
 			}
 		}
 		bHom, _ := analysis.OptimalBetaOuter(speeds.Homogeneous(c.p), c.n)

@@ -7,6 +7,7 @@ import (
 	"hetsched/internal/analysis"
 	"hetsched/internal/outer"
 	"hetsched/internal/plot"
+	"hetsched/internal/rng"
 	"hetsched/internal/sim"
 	"hetsched/internal/speeds"
 	"hetsched/internal/stats"
@@ -43,20 +44,32 @@ func SwitchTime(cfg Config) *plot.Result {
 		target[k] = int(math.Ceil(analysis.XOuter(beta, rs[k]) * float64(n)))
 	}
 
-	accs := make([]stats.Accumulator, p)
-	for rep := 0; rep < reps; rep++ {
-		sched := outer.NewDynamic(n, p, root.Split())
-		recorded := make([]bool, p)
-		sim.RunObserved(sched, speeds.NewFixed(init), func(o sim.Observation) {
-			w := o.Proc
-			if recorded[w] {
+	type out struct {
+		times    []float64
+		recorded []bool
+	}
+	fut := replicate(cfg.pool(), reps, 1, root, func(_ int, streams []*rng.PCG) out {
+		o := out{times: make([]float64, p), recorded: make([]bool, p)}
+		sched := outer.NewDynamic(n, p, streams[0])
+		sim.RunObserved(sched, speeds.NewFixed(init), func(ob sim.Observation) {
+			w := ob.Proc
+			if o.recorded[w] {
 				return
 			}
 			if sched.Known(w) >= target[w] {
-				recorded[w] = true
-				accs[w].Add(o.Time)
+				o.recorded[w] = true
+				o.times[w] = ob.Time
 			}
 		})
+		return o
+	})
+	accs := make([]stats.Accumulator, p)
+	for _, o := range fut.Wait() {
+		for w := 0; w < p; w++ {
+			if o.recorded[w] {
+				accs[w].Add(o.times[w])
+			}
+		}
 	}
 
 	// Sort processors by relative speed for the x axis.

@@ -143,13 +143,16 @@ func NewRandom(n, p int, r *rng.PCG) *Random {
 }
 
 // Next implements core.Scheduler.
-func (s *Random) Next(w int) (core.Assignment, bool) {
+func (s *Random) Next(w int) (core.Assignment, bool) { return s.NextInto(w, nil) }
+
+// NextInto implements core.BufferedScheduler.
+func (s *Random) NextInto(w int, buf core.TaskBuf) (core.Assignment, bool) {
 	t, ok := s.pool.Draw(s.inst.r, nil)
 	if !ok {
 		return core.Assignment{}, false
 	}
 	s.inst.markProcessed(t)
-	return core.Assignment{Tasks: []core.Task{t}, Blocks: s.inst.receive(w, t)}, true
+	return core.Assignment{Tasks: append(buf[:0], t), Blocks: s.inst.receive(w, t)}, true
 }
 
 // Remaining implements core.Scheduler.
@@ -179,7 +182,10 @@ func NewSorted(n, p int, r *rng.PCG) *Sorted {
 }
 
 // Next implements core.Scheduler.
-func (s *Sorted) Next(w int) (core.Assignment, bool) {
+func (s *Sorted) Next(w int) (core.Assignment, bool) { return s.NextInto(w, nil) }
+
+// NextInto implements core.BufferedScheduler.
+func (s *Sorted) NextInto(w int, buf core.TaskBuf) (core.Assignment, bool) {
 	n3 := s.inst.n * s.inst.n * s.inst.n
 	for s.cursor < n3 && s.inst.processed.Test(s.cursor) {
 		s.cursor++
@@ -190,7 +196,7 @@ func (s *Sorted) Next(w int) (core.Assignment, bool) {
 	t := core.Task(s.cursor)
 	s.cursor++
 	s.inst.markProcessed(t)
-	return core.Assignment{Tasks: []core.Task{t}, Blocks: s.inst.receive(w, t)}, true
+	return core.Assignment{Tasks: append(buf[:0], t), Blocks: s.inst.receive(w, t)}, true
 }
 
 // Remaining implements core.Scheduler.
@@ -236,15 +242,19 @@ func NewDynamic(n, p int, r *rng.PCG) *Dynamic {
 }
 
 // Next implements core.Scheduler.
-func (s *Dynamic) Next(w int) (core.Assignment, bool) {
+func (s *Dynamic) Next(w int) (core.Assignment, bool) { return s.NextInto(w, nil) }
+
+// NextInto implements core.BufferedScheduler.
+func (s *Dynamic) NextInto(w int, buf core.TaskBuf) (core.Assignment, bool) {
 	if s.inst.remaining == 0 {
 		return core.Assignment{}, false
 	}
-	return s.step(w)
+	return s.step(w, buf)
 }
 
-// step performs one extension step of Algorithm 3 for worker w.
-func (s *Dynamic) step(w int) (core.Assignment, bool) {
+// step performs one extension step of Algorithm 3 for worker w,
+// appending the allocated tasks to buf[:0].
+func (s *Dynamic) step(w int, buf core.TaskBuf) (core.Assignment, bool) {
 	st := &s.dyn[w]
 	i, okI := st.iPool.Draw(s.inst.r)
 	j, okJ := st.jPool.Draw(s.inst.r)
@@ -309,7 +319,7 @@ func (s *Dynamic) step(w int) (core.Assignment, bool) {
 
 	// Enumerate the newly covered cube region I'×J'×K' \ I×J×K as
 	// three disjoint slabs (fresh-i slab, fresh-j slab, fresh-k slab).
-	var tasks []core.Task
+	tasks := buf[:0]
 	try := func(ti, tj, tk int) {
 		t := TaskID(ti, tj, tk, n)
 		if s.inst.markProcessed(t) {
@@ -425,20 +435,23 @@ func ThresholdFromPhase1Fraction(frac float64, n int) int {
 }
 
 // Next implements core.Scheduler.
-func (s *TwoPhases) Next(w int) (core.Assignment, bool) {
+func (s *TwoPhases) Next(w int) (core.Assignment, bool) { return s.NextInto(w, nil) }
+
+// NextInto implements core.BufferedScheduler.
+func (s *TwoPhases) NextInto(w int, buf core.TaskBuf) (core.Assignment, bool) {
 	inst := s.dyn.inst
 	if !s.switched && inst.remaining > 0 && inst.remaining <= s.threshold {
 		s.switchPhase()
 	}
 	if !s.switched {
-		return s.dyn.Next(w)
+		return s.dyn.NextInto(w, buf)
 	}
 	t, ok := s.pool.Draw(inst.r, nil)
 	if !ok {
 		return core.Assignment{}, false
 	}
 	inst.markProcessed(t)
-	return core.Assignment{Tasks: []core.Task{t}, Blocks: inst.receive(w, t)}, true
+	return core.Assignment{Tasks: append(buf[:0], t), Blocks: inst.receive(w, t)}, true
 }
 
 func (s *TwoPhases) switchPhase() {

@@ -30,7 +30,10 @@ func NewDynamic1D(n, p int, r *rng.PCG) *Dynamic1D {
 // Next implements core.Scheduler: ships one fresh row block a_i plus
 // whichever b blocks the worker misses, and allocates the whole row of
 // tasks.
-func (s *Dynamic1D) Next(w int) (core.Assignment, bool) {
+func (s *Dynamic1D) Next(w int) (core.Assignment, bool) { return s.NextInto(w, nil) }
+
+// NextInto implements core.BufferedScheduler.
+func (s *Dynamic1D) NextInto(w int, buf core.TaskBuf) (core.Assignment, bool) {
 	if s.inst.remaining == 0 {
 		return core.Assignment{}, false
 	}
@@ -43,7 +46,7 @@ func (s *Dynamic1D) Next(w int) (core.Assignment, bool) {
 	if s.inst.aKnown[w].SetIfClear(i) {
 		blocks++
 	}
-	tasks := make([]core.Task, 0, n)
+	tasks := buf[:0]
 	for j := 0; j < n; j++ {
 		t := TaskID(i, j, n)
 		if s.inst.markProcessed(t) {

@@ -127,13 +127,16 @@ func NewRandom(n, p int, r *rng.PCG) *Random {
 }
 
 // Next implements core.Scheduler.
-func (s *Random) Next(w int) (core.Assignment, bool) {
+func (s *Random) Next(w int) (core.Assignment, bool) { return s.NextInto(w, nil) }
+
+// NextInto implements core.BufferedScheduler.
+func (s *Random) NextInto(w int, buf core.TaskBuf) (core.Assignment, bool) {
 	t, ok := s.pool.Draw(s.inst.r, nil)
 	if !ok {
 		return core.Assignment{}, false
 	}
 	s.inst.markProcessed(t)
-	return core.Assignment{Tasks: []core.Task{t}, Blocks: s.inst.receive(w, t)}, true
+	return core.Assignment{Tasks: append(buf[:0], t), Blocks: s.inst.receive(w, t)}, true
 }
 
 // Remaining implements core.Scheduler.
@@ -163,7 +166,10 @@ func NewSorted(n, p int, r *rng.PCG) *Sorted {
 }
 
 // Next implements core.Scheduler.
-func (s *Sorted) Next(w int) (core.Assignment, bool) {
+func (s *Sorted) Next(w int) (core.Assignment, bool) { return s.NextInto(w, nil) }
+
+// NextInto implements core.BufferedScheduler.
+func (s *Sorted) NextInto(w int, buf core.TaskBuf) (core.Assignment, bool) {
 	n2 := s.inst.n * s.inst.n
 	for s.cursor < n2 && s.inst.processed.Test(s.cursor) {
 		s.cursor++
@@ -174,7 +180,7 @@ func (s *Sorted) Next(w int) (core.Assignment, bool) {
 	t := core.Task(s.cursor)
 	s.cursor++
 	s.inst.markProcessed(t)
-	return core.Assignment{Tasks: []core.Task{t}, Blocks: s.inst.receive(w, t)}, true
+	return core.Assignment{Tasks: append(buf[:0], t), Blocks: s.inst.receive(w, t)}, true
 }
 
 // Remaining implements core.Scheduler.
@@ -225,17 +231,20 @@ func NewDynamic(n, p int, r *rng.PCG) *Dynamic {
 
 // Next implements core.Scheduler. It performs one step of Algorithm 1
 // for worker w.
-func (s *Dynamic) Next(w int) (core.Assignment, bool) {
+func (s *Dynamic) Next(w int) (core.Assignment, bool) { return s.NextInto(w, nil) }
+
+// NextInto implements core.BufferedScheduler.
+func (s *Dynamic) NextInto(w int, buf core.TaskBuf) (core.Assignment, bool) {
 	if s.inst.remaining == 0 {
 		return core.Assignment{}, false
 	}
-	a, ok := s.step(w)
-	return a, ok
+	return s.step(w, buf)
 }
 
 // step draws fresh indices for worker w, ships the corresponding
-// blocks and allocates the newly computable unprocessed tasks.
-func (s *Dynamic) step(w int) (core.Assignment, bool) {
+// blocks and allocates the newly computable unprocessed tasks,
+// appending them to buf[:0].
+func (s *Dynamic) step(w int, buf core.TaskBuf) (core.Assignment, bool) {
 	st := &s.dyn[w]
 	i, okI := st.iPool.Draw(s.inst.r)
 	j, okJ := st.jPool.Draw(s.inst.r)
@@ -245,7 +254,7 @@ func (s *Dynamic) step(w int) (core.Assignment, bool) {
 		return core.Assignment{}, false
 	}
 
-	var tasks []core.Task
+	tasks := buf[:0]
 	blocks := 0
 	n := s.inst.n
 	if okI {
@@ -353,20 +362,23 @@ func ThresholdFromPhase1Fraction(frac float64, n int) int {
 }
 
 // Next implements core.Scheduler.
-func (s *TwoPhases) Next(w int) (core.Assignment, bool) {
+func (s *TwoPhases) Next(w int) (core.Assignment, bool) { return s.NextInto(w, nil) }
+
+// NextInto implements core.BufferedScheduler.
+func (s *TwoPhases) NextInto(w int, buf core.TaskBuf) (core.Assignment, bool) {
 	inst := s.dyn.inst
 	if !s.switched && inst.remaining > 0 && inst.remaining <= s.threshold {
 		s.switchPhase()
 	}
 	if !s.switched {
-		return s.dyn.Next(w)
+		return s.dyn.NextInto(w, buf)
 	}
 	t, ok := s.pool.Draw(inst.r, nil)
 	if !ok {
 		return core.Assignment{}, false
 	}
 	inst.markProcessed(t)
-	return core.Assignment{Tasks: []core.Task{t}, Blocks: inst.receive(w, t)}, true
+	return core.Assignment{Tasks: append(buf[:0], t), Blocks: inst.receive(w, t)}, true
 }
 
 func (s *TwoPhases) switchPhase() {

@@ -1,0 +1,255 @@
+// Package perf holds the repository's micro-benchmark bodies in plain
+// (non-test) code so two drivers can share them: the go-test harness
+// (bench_test.go wraps each body in a BenchmarkXxx function for
+// `go test -bench`) and cmd/benchjson, which runs them through
+// testing.Benchmark and records the results as the repo's machine-
+// readable perf baseline (BENCH_sim.json / BENCH_service.json).
+//
+// The scales mirror the paper's evaluation: n=100 outer-product and
+// n=40 matrix instances on p=100 processors.
+package perf
+
+import (
+	"sync"
+	"testing"
+
+	"hetsched/internal/analysis"
+	"hetsched/internal/cholesky"
+	"hetsched/internal/core"
+	"hetsched/internal/matmul"
+	"hetsched/internal/outer"
+	"hetsched/internal/rng"
+	"hetsched/internal/service"
+	"hetsched/internal/sim"
+	"hetsched/internal/speeds"
+)
+
+// Benchmark is a named micro-benchmark body.
+type Benchmark struct {
+	Name string
+	F    func(*testing.B)
+}
+
+// SimBenchmarks are the simulator-path micro-benchmarks recorded in
+// BENCH_sim.json, in a stable order.
+var SimBenchmarks = []Benchmark{
+	{"SimRandomOuter", SimRandomOuter},
+	{"SimDynamicOuter", SimDynamicOuter},
+	{"SimTwoPhasesOuter", SimTwoPhasesOuter},
+	{"SimRandomMatrix", SimRandomMatrix},
+	{"SimDynamicMatrix", SimDynamicMatrix},
+	{"SimTwoPhasesMatrix", SimTwoPhasesMatrix},
+	{"SimBandwidthTwoPhases", SimBandwidthTwoPhases},
+	{"SimCholeskyLocality", SimCholeskyLocality},
+	{"OptimalBetaOuter100", OptimalBetaOuter100},
+	{"OptimalBetaMatrix100", OptimalBetaMatrix100},
+}
+
+// ServiceBenchmarks are the scheduler-as-a-service benchmarks recorded
+// in BENCH_service.json.
+var ServiceBenchmarks = []Benchmark{
+	{"ServiceHostNext", ServiceHostNext},
+	{"ServiceHostNextParallel", ServiceHostNextParallel},
+}
+
+// SimRandomOuter simulates RandomOuter at the paper's scale (n=100,
+// p=100); one op is one full run.
+func SimRandomOuter(b *testing.B) {
+	const n, p = 100, 100
+	root := rng.New(1)
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(outer.NewRandom(n, p, rng.New(uint64(i))), speeds.NewFixed(s))
+	}
+}
+
+// SimDynamicOuter simulates DynamicOuter (n=100, p=100).
+func SimDynamicOuter(b *testing.B) {
+	const n, p = 100, 100
+	root := rng.New(1)
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(outer.NewDynamic(n, p, rng.New(uint64(i))), speeds.NewFixed(s))
+	}
+}
+
+// SimTwoPhasesOuter simulates DynamicOuter2Phases at the analysis β*
+// (n=100, p=100).
+func SimTwoPhasesOuter(b *testing.B) {
+	const n, p = 100, 100
+	root := rng.New(1)
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+	rs := speeds.Relative(s)
+	beta, _ := analysis.OptimalBetaOuter(rs, n)
+	thr := outer.ThresholdFromBeta(beta, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(outer.NewTwoPhases(n, p, thr, rng.New(uint64(i))), speeds.NewFixed(s))
+	}
+}
+
+// SimRandomMatrix simulates RandomMatrix (n=40, p=100; 64,000 tasks).
+func SimRandomMatrix(b *testing.B) {
+	const n, p = 40, 100
+	root := rng.New(1)
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(matmul.NewRandom(n, p, rng.New(uint64(i))), speeds.NewFixed(s))
+	}
+}
+
+// SimDynamicMatrix simulates DynamicMatrix (n=40, p=100).
+func SimDynamicMatrix(b *testing.B) {
+	const n, p = 40, 100
+	root := rng.New(1)
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(matmul.NewDynamic(n, p, rng.New(uint64(i))), speeds.NewFixed(s))
+	}
+}
+
+// SimTwoPhasesMatrix simulates DynamicMatrix2Phases at β* (n=40,
+// p=100).
+func SimTwoPhasesMatrix(b *testing.B) {
+	const n, p = 40, 100
+	root := rng.New(1)
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+	rs := speeds.Relative(s)
+	beta, _ := analysis.OptimalBetaMatrix(rs, n)
+	thr := matmul.ThresholdFromBeta(beta, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(matmul.NewTwoPhases(n, p, thr, rng.New(uint64(i))), speeds.NewFixed(s))
+	}
+}
+
+// SimBandwidthTwoPhases simulates the finite-bandwidth engine with the
+// overlap experiment's tight settings (B=400, lookahead 2).
+func SimBandwidthTwoPhases(b *testing.B) {
+	const n, p = 100, 20
+	root := rng.New(1)
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+	rs := speeds.Relative(s)
+	beta, _ := analysis.OptimalBetaOuter(rs, n)
+	thr := outer.ThresholdFromBeta(beta, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.RunBandwidth(outer.NewTwoPhases(n, p, thr, rng.New(uint64(i))), speeds.NewFixed(s), 400, 2)
+	}
+}
+
+// SimCholeskyLocality simulates the dependency-aware Cholesky kernel
+// with the locality policy (24×24 tiles, p=16).
+func SimCholeskyLocality(b *testing.B) {
+	const n, p = 24, 16
+	root := rng.New(1)
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cholesky.Simulate(n, cholesky.LocalityReady, speeds.NewFixed(s), rng.New(uint64(i)))
+	}
+}
+
+// OptimalBetaOuter100 measures the outer-kernel β* solver on a 100-
+// processor platform.
+func OptimalBetaOuter100(b *testing.B) {
+	root := rng.New(1)
+	rs := speeds.Relative(speeds.UniformRange(100, 10, 100, root))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.OptimalBetaOuter(rs, 100)
+	}
+}
+
+// OptimalBetaMatrix100 measures the matrix-kernel β* solver on a 100-
+// processor platform.
+func OptimalBetaMatrix100(b *testing.B) {
+	root := rng.New(1)
+	rs := speeds.Relative(speeds.UniformRange(100, 10, 100, root))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.OptimalBetaMatrix(rs, 40)
+	}
+}
+
+// ServiceHostNext measures scheduler-as-a-service assignment
+// throughput at the transport-free limit: P=64 workers round-robin
+// against one mutex-guarded service.Host (outer 2phases, batch 4).
+// One op is one granted master interaction, so assignments/sec is
+// 1e9/(ns/op) — the baseline number future scaling PRs move.
+func ServiceHostNext(b *testing.B) {
+	const n, p, batch = 128, 64, 4
+	newHost := func(seed uint64) *service.Host {
+		drv := core.NewSchedulerDriver(outer.NewTwoPhasesAuto(n, p, rng.New(seed).Split()))
+		return service.NewHost(drv, batch)
+	}
+	seed := uint64(1)
+	h := newHost(seed)
+	pending := make([][]core.Task, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := i % p
+		a, status, err := h.Next(w, pending[w])
+		if err != nil {
+			b.Fatal(err)
+		}
+		pending[w] = a.Tasks
+		if status == service.StatusDone {
+			b.StopTimer()
+			seed++
+			h = newHost(seed)
+			pending = make([][]core.Task, p)
+			b.StartTimer()
+		}
+	}
+}
+
+// ServiceHostNextParallel is the contended variant: 64 logical workers
+// hammering the Host mutex from all procs.
+func ServiceHostNextParallel(b *testing.B) {
+	const n, p, batch = 128, 64, 4
+	var mu sync.Mutex
+	var wseq int
+	var h *service.Host
+	reset := func(seed uint64) {
+		h = service.NewHost(core.NewSchedulerDriver(outer.NewTwoPhasesAuto(n, p, rng.New(seed).Split())), batch)
+	}
+	seed := uint64(1)
+	reset(seed)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		mu.Lock()
+		w := wseq % p
+		wseq++
+		mu.Unlock()
+		var pending []core.Task
+		var lastHost *service.Host
+		for pb.Next() {
+			mu.Lock()
+			host := h
+			mu.Unlock()
+			if host != lastHost { // fresh run: pending batches died with the old one
+				pending, lastHost = nil, host
+			}
+			a, status, err := host.Next(w, pending)
+			if err != nil {
+				b.Error(err) // Fatal must not be called off the benchmark goroutine
+				return
+			}
+			pending = a.Tasks
+			if status == service.StatusDone {
+				mu.Lock()
+				if h == host { // first retiree swaps in a fresh run
+					seed++
+					reset(seed)
+				}
+				mu.Unlock()
+				pending = nil
+			}
+		}
+	})
+}

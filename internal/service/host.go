@@ -52,6 +52,10 @@ type Host struct {
 	now func() time.Time // injectable for tests
 }
 
+// smallReport is the completion-report size up to which duplicate
+// detection uses an allocation-free O(k²) scan instead of a map.
+const smallReport = 16
+
 // NewHost wraps drv, serving up to batch tasks per Next call (batch
 // < 1 is treated as 1).
 func NewHost(drv core.Driver, batch int) *Host {
@@ -103,14 +107,26 @@ func (h *Host) Next(w int, completed []core.Task) (core.Assignment, string, erro
 	// partially bogus request has no effect. A duplicate within one
 	// report must be caught here too: the DAG coordinators would apply
 	// the first occurrence and panic on the second, leaving the run
-	// half-updated.
+	// half-updated. Reports are batch-sized (a handful of tasks), so a
+	// quadratic scan beats allocating a map on every request; the map
+	// only kicks in for the rare oversized report.
 	if len(completed) > 1 {
-		seen := make(map[core.Task]struct{}, len(completed))
-		for _, t := range completed {
-			if _, dup := seen[t]; dup {
-				return core.Assignment{}, "", fmt.Errorf("task %d reported complete twice in one request", t)
+		if len(completed) <= smallReport {
+			for i := 1; i < len(completed); i++ {
+				for j := 0; j < i; j++ {
+					if completed[i] == completed[j] {
+						return core.Assignment{}, "", fmt.Errorf("task %d reported complete twice in one request", completed[i])
+					}
+				}
 			}
-			seen[t] = struct{}{}
+		} else {
+			seen := make(map[core.Task]struct{}, len(completed))
+			for _, t := range completed {
+				if _, dup := seen[t]; dup {
+					return core.Assignment{}, "", fmt.Errorf("task %d reported complete twice in one request", t)
+				}
+				seen[t] = struct{}{}
+			}
 		}
 	}
 	for _, t := range completed {

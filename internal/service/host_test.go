@@ -225,3 +225,23 @@ func TestHostRejectsDuplicateInOneReport(t *testing.T) {
 		t.Fatalf("honest completion rejected after failed duplicate report: %v", err)
 	}
 }
+
+// TestHostRejectsDuplicateInLargeReport exercises the map-based
+// duplicate check used for reports above the small-report scan
+// threshold.
+func TestHostRejectsDuplicateInLargeReport(t *testing.T) {
+	const batch = 2 * smallReport
+	drv := core.NewSchedulerDriver(outer.NewRandom(8, 2, rng.New(1).Split()))
+	h := NewHost(drv, batch)
+	a, status, err := h.Next(0, nil)
+	if err != nil || status != StatusOK || len(a.Tasks) != batch {
+		t.Fatalf("Next = %v/%v/%v, want %d tasks", a, status, err, batch)
+	}
+	dup := append(append([]core.Task(nil), a.Tasks...), a.Tasks[0])
+	if _, _, err := h.Next(0, dup); err == nil {
+		t.Fatal("duplicate completion within one large report accepted")
+	}
+	if _, _, err := h.Next(0, a.Tasks); err != nil {
+		t.Fatalf("honest completion rejected after failed duplicate report: %v", err)
+	}
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -45,23 +44,11 @@ type bwEvent struct {
 	seq  uint64
 }
 
-type bwQueue []bwEvent
-
-func (q bwQueue) Len() int { return len(q) }
-func (q bwQueue) Less(i, j int) bool {
-	if q[i].t != q[j].t {
-		return q[i].t < q[j].t
+func (e bwEvent) before(o bwEvent) bool {
+	if e.t != o.t {
+		return e.t < o.t
 	}
-	return q[i].seq < q[j].seq
-}
-func (q bwQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *bwQueue) Push(x interface{}) { *q = append(*q, x.(bwEvent)) }
-func (q *bwQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // RunBandwidth simulates sched on model with a master link of the
@@ -89,7 +76,7 @@ func RunBandwidth(sched core.Scheduler, model speeds.Model, bandwidth float64, l
 	}}
 
 	var (
-		q          bwQueue
+		q          eventHeap[bwEvent]
 		seq        uint64
 		linkFree   float64
 		inFlight   = make([]int, p)               // fetches not yet arrived
@@ -122,7 +109,7 @@ func RunBandwidth(sched core.Scheduler, model speeds.Model, bandwidth float64, l
 		linkFree = start + dur
 		m.LinkBusy += dur
 		inFlight[w]++
-		heap.Push(&q, bwEvent{t: linkFree, kind: evArrival, w: w, a: a, seq: seq})
+		q.push(bwEvent{t: linkFree, kind: evArrival, w: w, a: a, seq: seq})
 		seq++
 		return true
 	}
@@ -160,7 +147,7 @@ func RunBandwidth(sched core.Scheduler, model speeds.Model, bandwidth float64, l
 			t += 1 / model.Speed(w)
 			model.OnTaskDone(w)
 		}
-		heap.Push(&q, bwEvent{t: t, kind: evCompute, w: w, a: a, seq: seq})
+		q.push(bwEvent{t: t, kind: evCompute, w: w, a: a, seq: seq})
 		seq++
 	}
 
@@ -168,8 +155,8 @@ func RunBandwidth(sched core.Scheduler, model speeds.Model, bandwidth float64, l
 		fill(w, 0)
 	}
 
-	for q.Len() > 0 {
-		e := heap.Pop(&q).(bwEvent)
+	for q.len() > 0 {
+		e := q.pop()
 		switch e.kind {
 		case evArrival:
 			inFlight[e.w]--

@@ -13,7 +13,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -78,27 +77,18 @@ type event struct {
 	seq  uint64 // tie-breaker: FIFO among equal times, deterministic
 }
 
-type eventQueue []event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].t != q[j].t {
-		return q[i].t < q[j].t
+func (e event) before(o event) bool {
+	if e.t != o.t {
+		return e.t < o.t
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Observation is passed to a RunObserved callback after every granted
-// assignment.
+// assignment. When the scheduler implements core.BufferedScheduler the
+// Assignment.Tasks slice aliases a per-processor buffer the engine
+// reuses, so it is only valid for the duration of the callback; copy
+// it to retain it.
 type Observation struct {
 	// Time is the virtual time at which the assignment was granted
 	// (the requesting processor's idle instant).
@@ -130,22 +120,41 @@ func RunObserved(sched core.Scheduler, model speeds.Model, observe func(Observat
 		Phase1Tasks: -1,
 	}
 
-	q := make(eventQueue, 0, p)
+	// Equal times in ascending seq order already satisfy the heap
+	// invariant, so the initial queue needs no sifting.
+	q := eventHeap[event]{ev: make([]event, 0, p)}
 	var seq uint64
 	for k := 0; k < p; k++ {
-		q = append(q, event{t: 0, proc: k, seq: seq})
+		q.ev = append(q.ev, event{t: 0, proc: k, seq: seq})
 		seq++
 	}
-	heap.Init(&q)
 
-	for q.Len() > 0 {
-		e := heap.Pop(&q).(event)
+	// Schedulers that support buffered assignment get one reusable
+	// task buffer per processor; everything else keeps the allocating
+	// Next path.
+	bs, buffered := sched.(core.BufferedScheduler)
+	var bufs []core.TaskBuf
+	if buffered {
+		bufs = make([]core.TaskBuf, p)
+	}
+
+	for q.len() > 0 {
+		e := q.pop()
 		if sched.Remaining() == 0 {
 			// Drained: the processor retires. Its finish time was
 			// recorded when its last batch completed.
 			continue
 		}
-		a, ok := sched.Next(e.proc)
+		var a core.Assignment
+		var ok bool
+		if buffered {
+			a, ok = bs.NextInto(e.proc, bufs[e.proc])
+			if ok {
+				bufs[e.proc] = a.Tasks // retain grown capacity
+			}
+		} else {
+			a, ok = sched.Next(e.proc)
+		}
 		if !ok {
 			continue
 		}
@@ -175,7 +184,7 @@ func RunObserved(sched core.Scheduler, model speeds.Model, observe func(Observat
 				m.Makespan = t
 			}
 		}
-		heap.Push(&q, event{t: t, proc: e.proc, seq: seq})
+		q.push(event{t: t, proc: e.proc, seq: seq})
 		seq++
 	}
 

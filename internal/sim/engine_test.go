@@ -114,7 +114,7 @@ func TestDeterministicWithDynamicSpeeds(t *testing.T) {
 }
 
 func TestEventQueueOrdering(t *testing.T) {
-	q := eventQueue{}
+	var q eventHeap[event]
 	// Same time → FIFO by sequence; otherwise by time.
 	events := []event{
 		{t: 2, proc: 0, seq: 0},
@@ -123,14 +123,50 @@ func TestEventQueueOrdering(t *testing.T) {
 		{t: 0.5, proc: 3, seq: 3},
 	}
 	for _, e := range events {
-		q = append(q, e)
+		q.push(e)
 	}
-	// heap-ify by hand using the container/heap contract exercised in
-	// Run; here we only verify the Less relation.
-	if !q.Less(3, 1) {
-		t.Fatal("earlier time not ordered first")
+	want := []int{3, 1, 2, 0} // by time, sequence breaking the tie
+	for i, proc := range want {
+		if q.len() != len(want)-i {
+			t.Fatalf("len %d at pop %d, want %d", q.len(), i, len(want)-i)
+		}
+		if e := q.pop(); e.proc != proc {
+			t.Fatalf("pop %d returned proc %d, want %d", i, e.proc, proc)
+		}
 	}
-	if !q.Less(1, 2) {
-		t.Fatal("equal times not ordered by sequence")
+	if q.len() != 0 {
+		t.Fatalf("len %d after draining, want 0", q.len())
+	}
+}
+
+// TestEventHeapMatchesSortedOrder drives the hand-rolled heap with a
+// mixed push/pop workload and checks every pop returns the minimum of
+// the live set — i.e. the heap pops in exactly the total (t, seq)
+// order the comparator defines.
+func TestEventHeapMatchesSortedOrder(t *testing.T) {
+	r := rng.New(42)
+	var q eventHeap[event]
+	var live []event
+	var seq uint64
+	for step := 0; step < 5000; step++ {
+		if q.len() == 0 || r.Intn(3) > 0 {
+			e := event{t: float64(r.Intn(50)), proc: int(seq), seq: seq}
+			seq++
+			q.push(e)
+			live = append(live, e)
+			continue
+		}
+		got := q.pop()
+		min := 0
+		for i := range live {
+			if live[i].before(live[min]) {
+				min = i
+			}
+		}
+		if got != live[min] {
+			t.Fatalf("step %d: popped %+v, want min %+v", step, got, live[min])
+		}
+		live[min] = live[len(live)-1]
+		live = live[:len(live)-1]
 	}
 }
