@@ -49,6 +49,7 @@ func BenchmarkAblationODEMatrix(b *testing.B)  { benchFigure(b, "abl-ode-matrix"
 func BenchmarkAblationPerProc(b *testing.B)    { benchFigure(b, "abl-perproc") }
 func BenchmarkAblationSwitchTime(b *testing.B) { benchFigure(b, "abl-switchtime") }
 func BenchmarkAblationLU(b *testing.B)         { benchFigure(b, "abl-lu") }
+func BenchmarkAblationQR(b *testing.B)         { benchFigure(b, "abl-qr") }
 
 // --- micro-benchmarks at the paper's scales ----------------------------
 //
@@ -64,6 +65,8 @@ func BenchmarkSimTwoPhasesMatrix(b *testing.B)    { perf.SimTwoPhasesMatrix(b) }
 func BenchmarkOptimalBetaOuter100(b *testing.B)   { perf.OptimalBetaOuter100(b) }
 func BenchmarkOptimalBetaMatrix100(b *testing.B)  { perf.OptimalBetaMatrix100(b) }
 func BenchmarkSimCholeskyLocality(b *testing.B)   { perf.SimCholeskyLocality(b) }
+func BenchmarkSimLULocality(b *testing.B)         { perf.SimLULocality(b) }
+func BenchmarkSimQRLocality(b *testing.B)         { perf.SimQRLocality(b) }
 func BenchmarkSimBandwidthTwoPhases(b *testing.B) { perf.SimBandwidthTwoPhases(b) }
 
 // BenchmarkServiceHostNext measures scheduler-as-a-service assignment

@@ -45,12 +45,17 @@ type suiteResult struct {
 	Speedup         float64 `json:"speedup"`
 }
 
-// report is the schema of a BENCH_*.json file.
+// report is the schema of a BENCH_*.json file. NumCPU and GOMAXPROCS
+// are recorded next to every measurement because they decide how the
+// parallel-suite numbers read: on a single-core container the
+// serial-vs-parallel speedup is ~1.0× by construction, and only the
+// recorded core count makes that interpretable.
 type report struct {
 	Timestamp  string        `json:"timestamp"`
 	GoVersion  string        `json:"go_version"`
 	GOOS       string        `json:"goos"`
 	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Benchmarks []benchResult `json:"benchmarks"`
 	Suite      *suiteResult  `json:"quick_suite,omitempty"`
@@ -62,6 +67,7 @@ func newReport() *report {
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 }

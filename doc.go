@@ -6,19 +6,23 @@
 //
 // The library lives under internal/:
 //
-//   - internal/core     — scheduler abstraction (the paper's contribution, kernel-agnostic part)
+//   - internal/core     — scheduler/driver abstraction (the paper's contribution, kernel-agnostic part)
 //   - internal/outer    — outer-product strategies (Random/Sorted/Dynamic/2Phases)
 //   - internal/matmul   — matrix-multiplication strategies
+//   - internal/dag      — generic dependency-aware engine (ready set, tile
+//     versions/caches, policies) behind the DAG kernels
+//   - internal/cholesky, internal/lu, internal/qr — DAG kernel definitions
 //   - internal/analysis — closed-form ODE solutions, lower bounds, β optimization
 //   - internal/sim      — event-driven heterogeneous platform simulator
+//     (sim.Run for flat schedulers, sim.RunDriver for DAG drivers)
 //   - internal/exec     — real concurrent runtime executing block arithmetic
 //   - internal/service  — scheduler-as-a-service HTTP daemon (schedd)
 //   - internal/experiments — regeneration of every figure of the paper,
 //     with deterministic parallel replication (replicate.go)
 //   - internal/perf     — shared micro-benchmark bodies
 //
-// Entry points: cmd/hpdc14 (figures), cmd/outersim and cmd/matsim
-// (single runs), cmd/schedd (the service daemon), cmd/benchjson (the
-// recorded perf baseline), examples/ (library usage). See README.md
-// and DESIGN.md.
+// Entry points: cmd/hpdc14 (figures), cmd/outersim, cmd/matsim,
+// cmd/choleskysim and cmd/qrsim (single runs), cmd/schedd (the service
+// daemon), cmd/benchjson (the recorded perf baseline), examples/
+// (library usage). See README.md and DESIGN.md.
 package hetsched

@@ -10,11 +10,14 @@
 // to wait; the demand-driven engine here extends the paper's model
 // with task readiness and per-tile write serialization.
 //
-// Communication model: tiles are versioned; shipping a task to a
-// worker costs one block per input tile whose version the worker does
-// not hold (its cache is updated). Writing bumps the tile version, so
-// stale cached copies are re-shipped — the dependency analogue of the
-// data-reuse accounting in the paper's kernels.
+// The package is a thin dag.Kernel definition: it describes the task
+// graph (tile reads, writes, costs, readiness progression) while the
+// generic engine in internal/dag supplies the ready set, the versioned
+// per-worker tile caches with re-ship accounting, and the ready-task
+// selection policies. The same kernel therefore runs on all three
+// substrates: the virtual-time simulator (Simulate, via
+// sim.RunDriver), the real goroutine runtime (exec.RunCholesky) and
+// the scheduler service (kernel "cholesky").
 package cholesky
 
 import "fmt"
@@ -117,147 +120,4 @@ func CriticalPath(n int) float64 {
 		}
 	}
 	return cp
-}
-
-// tileID flattens a lower-triangle tile coordinate (i ≥ j).
-func tileID(i, j, n int) int {
-	if j > i {
-		panic("cholesky: upper-triangle tile referenced")
-	}
-	return i*n + j
-}
-
-// state tracks DAG progress and tile versions.
-type state struct {
-	n int
-
-	updatesDone []int  // per tile (i,j): number of completed UPDATE(i,j,·)
-	potrfDone   []bool // per k
-	trsmDone    []bool // per tile (i,k)
-
-	version  []int32 // per tile: bumped on every write
-	inFlight []bool  // per tile: a writing task is currently assigned
-
-	ready []Task // ready tasks (some may be blocked by inFlight)
-	done  int
-	total int
-}
-
-func newState(n int) *state {
-	st := &state{
-		n:           n,
-		updatesDone: make([]int, n*n),
-		potrfDone:   make([]bool, n),
-		trsmDone:    make([]bool, n*n),
-		version:     make([]int32, n*n),
-		inFlight:    make([]bool, n*n),
-		total:       TaskCount(n),
-	}
-	// POTRF(0) needs zero updates; it is the only initially ready
-	// task... unless n == 0, which the constructor rejects upstream.
-	st.ready = append(st.ready, Task{Kind: Potrf, K: 0})
-	return st
-}
-
-// outputTile returns the tile a task writes.
-func (st *state) outputTile(t Task) int {
-	switch t.Kind {
-	case Potrf:
-		return tileID(t.K, t.K, st.n)
-	case Trsm:
-		return tileID(t.I, t.K, st.n)
-	default:
-		return tileID(t.I, t.J, st.n)
-	}
-}
-
-// inputTiles appends the tiles a task reads (including the
-// read-modify-write output for updates) to buf.
-func (st *state) inputTiles(t Task, buf []int) []int {
-	n := st.n
-	switch t.Kind {
-	case Potrf:
-		buf = append(buf, tileID(t.K, t.K, n))
-	case Trsm:
-		buf = append(buf, tileID(t.K, t.K, n), tileID(t.I, t.K, n))
-	default:
-		buf = append(buf, tileID(t.I, t.K, n), tileID(t.I, t.J, n))
-		if t.J != t.I {
-			buf = append(buf, tileID(t.J, t.K, n))
-		}
-	}
-	return buf
-}
-
-// complete marks t done and appends newly ready tasks.
-func (st *state) complete(t Task) {
-	n := st.n
-	st.done++
-	switch t.Kind {
-	case Potrf:
-		st.potrfDone[t.K] = true
-		// Panel solves below k become ready once their tile is fully
-		// updated.
-		for i := t.K + 1; i < n; i++ {
-			if st.updatesDone[tileID(i, t.K, n)] == t.K {
-				st.ready = append(st.ready, Task{Kind: Trsm, I: i, K: t.K})
-			}
-		}
-	case Trsm:
-		st.trsmDone[tileID(t.I, t.K, n)] = true
-		// Updates pairing this panel tile with every finished panel
-		// tile of the same step k.
-		for j := t.K + 1; j <= t.I; j++ {
-			if st.trsmDone[tileID(j, t.K, n)] {
-				st.ready = append(st.ready, Task{Kind: Update, I: t.I, J: j, K: t.K})
-			}
-		}
-		for i := t.I + 1; i < n; i++ {
-			if st.trsmDone[tileID(i, t.K, n)] {
-				st.ready = append(st.ready, Task{Kind: Update, I: i, J: t.I, K: t.K})
-			}
-		}
-	case Update:
-		id := tileID(t.I, t.J, n)
-		st.updatesDone[id]++
-		if t.I == t.J {
-			if st.updatesDone[id] == t.J {
-				st.ready = append(st.ready, Task{Kind: Potrf, K: t.J})
-			}
-		} else if st.updatesDone[id] == t.J && st.potrfDone[t.J] {
-			st.ready = append(st.ready, Task{Kind: Trsm, I: t.I, K: t.J})
-		}
-	}
-}
-
-// Policy selects which schedulable ready task a requesting worker
-// gets.
-type Policy int
-
-// Ready-task selection policies.
-const (
-	// RandomReady picks a uniformly random schedulable ready task —
-	// the dependency analogue of RandomOuter/RandomMatrix.
-	RandomReady Policy = iota
-	// LocalityReady picks the schedulable ready task that ships the
-	// fewest blocks to the requesting worker (ties broken at random) —
-	// the dependency analogue of the paper's data-aware strategies.
-	LocalityReady
-	// CriticalPathReady picks among the schedulable ready tasks with
-	// the smallest elimination step k (deepest in the DAG), breaking
-	// ties by locality — HEFT-style static priority plus data
-	// awareness.
-	CriticalPathReady
-)
-
-func (p Policy) String() string {
-	switch p {
-	case RandomReady:
-		return "RandomReady"
-	case LocalityReady:
-		return "LocalityReady"
-	case CriticalPathReady:
-		return "CriticalPathReady"
-	}
-	return "?"
 }

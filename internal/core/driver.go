@@ -34,6 +34,29 @@ type Driver interface {
 	Name() string
 }
 
+// BufferedDriver is the Driver analogue of BufferedScheduler: NextInto
+// behaves exactly like Next but builds the assignment's Tasks slice in
+// buf[:0], growing it when the capacity is insufficient. The ownership
+// contract matches BufferedScheduler: the returned Assignment.Tasks
+// aliases buf (or its regrown replacement), so it is only valid until
+// the next NextInto call with the same buffer.
+type BufferedDriver interface {
+	Driver
+	// NextInto computes the next assignment for worker w, appending
+	// the batch's tasks to buf[:0].
+	NextInto(w int, buf TaskBuf) (a Assignment, ok bool)
+}
+
+// TaskCoster is implemented by drivers whose tasks have heterogeneous
+// relative costs (the DAG kernels: a trailing update costs more than a
+// panel solve). Substrates that account virtual time treat a task
+// without a TaskCoster as one elementary block operation (cost 1).
+type TaskCoster interface {
+	// TaskCost returns the relative cost of t in elementary block-task
+	// units (always > 0).
+	TaskCost(t Task) float64
+}
+
 // SchedulerDriver adapts a plain Scheduler to the Driver interface:
 // completions are no-ops because flat schedulers mark tasks processed
 // at assignment time.
@@ -52,6 +75,16 @@ func NewSchedulerDriver(s Scheduler) *SchedulerDriver {
 
 // Next implements Driver.
 func (d *SchedulerDriver) Next(w int) (Assignment, bool) { return d.s.Next(w) }
+
+// NextInto implements BufferedDriver when the wrapped scheduler is
+// buffered; otherwise it falls back to the allocating Next path (the
+// assignment is still correct, it just does not reuse buf).
+func (d *SchedulerDriver) NextInto(w int, buf TaskBuf) (Assignment, bool) {
+	if bs, ok := d.s.(BufferedScheduler); ok {
+		return bs.NextInto(w, buf)
+	}
+	return d.s.Next(w)
+}
 
 // Complete implements Driver as a no-op.
 func (d *SchedulerDriver) Complete(int, []Task) {}

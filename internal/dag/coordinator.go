@@ -1,0 +1,207 @@
+package dag
+
+import (
+	"fmt"
+
+	"hetsched/internal/rng"
+)
+
+// Coordinator is the kernel-agnostic master-side state of a DAG run:
+// the ready set, per-tile versions and write locks, per-worker
+// versioned tile caches with re-ship accounting, and the ready-task
+// selection policy. It is driven either by the virtual-time engine
+// (sim.RunDriver via Driver), by the real concurrent runtime
+// (internal/exec) or by the service host. All methods must be called
+// from a single goroutine.
+//
+// Communication model: tiles are versioned; assigning a task to a
+// worker ships one block per input tile whose current version the
+// worker does not hold (its cache is updated). Completing a task bumps
+// its output tiles' versions, so stale cached copies are re-shipped —
+// the dependency analogue of the data-reuse accounting in the paper's
+// flat kernels. A tile with a writing task in flight cannot be written
+// by another task (per-tile write serialization).
+type Coordinator struct {
+	k      Kernel
+	single SingleOutputKernel // non-nil when k implements the fast path
+	policy Policy
+	r      *rng.PCG
+
+	ready    []Task
+	version  []int32 // per tile: bumped on every write
+	inFlight []bool  // per tile: a writing task is currently assigned
+	cache    [][]int32
+
+	tileBuf []int
+	outBuf  []int
+	done    int
+}
+
+// NewCoordinator creates a coordinator for kernel k on p workers.
+func NewCoordinator(k Kernel, p int, policy Policy, r *rng.PCG) *Coordinator {
+	if k == nil {
+		panic("dag: nil kernel")
+	}
+	if k.N() <= 0 || p <= 0 {
+		panic("dag: invalid coordinator shape")
+	}
+	if r == nil {
+		panic("dag: nil rng")
+	}
+	tiles := k.Tiles()
+	single, _ := k.(SingleOutputKernel)
+	c := &Coordinator{
+		k:        k,
+		single:   single,
+		policy:   policy,
+		r:        r,
+		version:  make([]int32, tiles),
+		inFlight: make([]bool, tiles),
+		cache:    make([][]int32, p),
+	}
+	for w := range c.cache {
+		c.cache[w] = make([]int32, tiles)
+		for i := range c.cache[w] {
+			c.cache[w][i] = -1
+		}
+	}
+	c.ready = c.k.InitialReady(c.ready)
+	return c
+}
+
+// Kernel returns the kernel driving this run.
+func (c *Coordinator) Kernel() Kernel { return c.k }
+
+// N returns the tile grid dimension.
+func (c *Coordinator) N() int { return c.k.N() }
+
+// Total returns the total task count.
+func (c *Coordinator) Total() int { return c.k.Total() }
+
+// Done reports whether every task has completed.
+func (c *Coordinator) Done() bool { return c.done == c.k.Total() }
+
+// Pending reports whether tasks remain (ready, running or future).
+func (c *Coordinator) Pending() bool { return !c.Done() }
+
+// Completed returns the number of completed tasks.
+func (c *Coordinator) Completed() int { return c.done }
+
+// shipCost counts the blocks worker w misses for task t.
+func (c *Coordinator) shipCost(w int, t Task) int {
+	c.tileBuf = c.k.InputTiles(t, c.tileBuf[:0])
+	cost := 0
+	for _, id := range c.tileBuf {
+		if c.cache[w][id] != c.version[id] {
+			cost++
+		}
+	}
+	return cost
+}
+
+// schedulable reports whether none of t's output tiles has a writer in
+// flight.
+func (c *Coordinator) schedulable(t Task) bool {
+	if c.single != nil {
+		return !c.inFlight[c.single.OutputTile(t)]
+	}
+	c.outBuf = c.k.OutputTiles(t, c.outBuf[:0])
+	for _, id := range c.outBuf {
+		if c.inFlight[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// TryAssign picks a schedulable ready task for worker w according to
+// the policy, marks its output tiles in flight, performs the
+// transfers, and returns the task and the number of blocks shipped.
+// ok is false when no ready task is currently schedulable (the worker
+// should wait for a completion, or retire if Done).
+func (c *Coordinator) TryAssign(w int) (t Task, shipped int, ok bool) {
+	bestIdx := -1
+	bestCost := 0
+	bestKey := 0
+	ties := 0
+	for idx, cand := range c.ready {
+		if !c.schedulable(cand) {
+			continue
+		}
+		switch c.policy {
+		case RandomReady:
+			ties++
+			if c.r.Intn(ties) == 0 {
+				bestIdx = idx
+			}
+		case LocalityReady:
+			cost := c.shipCost(w, cand)
+			if bestIdx < 0 || cost < bestCost {
+				bestIdx, bestCost, ties = idx, cost, 1
+			} else if cost == bestCost {
+				ties++
+				if c.r.Intn(ties) == 0 {
+					bestIdx = idx
+				}
+			}
+		case CriticalPathReady:
+			cost := c.shipCost(w, cand)
+			key := c.k.Depth(cand)
+			if bestIdx < 0 || key < bestKey || (key == bestKey && cost < bestCost) {
+				bestIdx, bestKey, bestCost, ties = idx, key, cost, 1
+			} else if key == bestKey && cost == bestCost {
+				ties++
+				if c.r.Intn(ties) == 0 {
+					bestIdx = idx
+				}
+			}
+		default:
+			panic("dag: unknown policy")
+		}
+	}
+	if bestIdx < 0 {
+		return Task{}, 0, false
+	}
+	t = c.ready[bestIdx]
+	last := len(c.ready) - 1
+	c.ready[bestIdx] = c.ready[last]
+	c.ready = c.ready[:last]
+
+	if c.single != nil {
+		c.inFlight[c.single.OutputTile(t)] = true
+	} else {
+		c.outBuf = c.k.OutputTiles(t, c.outBuf[:0])
+		for _, id := range c.outBuf {
+			c.inFlight[id] = true
+		}
+	}
+	c.tileBuf = c.k.InputTiles(t, c.tileBuf[:0])
+	for _, id := range c.tileBuf {
+		if c.cache[w][id] != c.version[id] {
+			c.cache[w][id] = c.version[id]
+			shipped++
+		}
+	}
+	return t, shipped, true
+}
+
+// Complete marks task t (previously assigned to worker w) finished:
+// the output tiles' versions are bumped, the writer's cache holds the
+// fresh copies, and newly ready tasks enter the ready set.
+func (c *Coordinator) Complete(w int, t Task) {
+	if c.single != nil {
+		c.outBuf = append(c.outBuf[:0], c.single.OutputTile(t))
+	} else {
+		c.outBuf = c.k.OutputTiles(t, c.outBuf[:0])
+	}
+	for _, id := range c.outBuf {
+		if !c.inFlight[id] {
+			panic(fmt.Sprintf("dag: completing %s task whose output tile %d is not in flight", c.k.Name(), id))
+		}
+		c.inFlight[id] = false
+		c.version[id]++
+		c.cache[w][id] = c.version[id]
+	}
+	c.done++
+	c.ready = c.k.Complete(t, c.ready)
+}

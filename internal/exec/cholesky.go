@@ -1,88 +1,29 @@
 package exec
 
 import (
-	"sync"
-	"time"
-
 	"hetsched/internal/cholesky"
+	"hetsched/internal/core"
 	"hetsched/internal/linalg"
 	"hetsched/internal/rng"
 )
 
 // RunCholesky factors the blocked SPD matrix a in place into its lower
-// Cholesky factor using real worker goroutines driven by the
-// dependency-aware coordinator — the concurrent, shared-memory
-// incarnation of the paper's future-work kernel.
+// Cholesky factor using real worker goroutines driven by the generic
+// DAG driver — the concurrent, shared-memory incarnation of the
+// paper's future-work kernel, running on the same master loop as the
+// flat kernels.
 //
 // Unlike the kernels without dependencies, a worker may find no
 // schedulable task; it then parks until a completion frees one. Write
 // safety comes from the coordinator's per-tile write lock (one writing
 // task in flight per tile) and from the DAG itself (input tiles are
-// final when read); the tests run this under the race detector.
+// final when read); the tests run this under the race detector and
+// verify the factorization numerically against the input matrix.
 func RunCholesky(a *linalg.BlockedMatrix, workers int, policy cholesky.Policy, r *rng.PCG) (*Result, error) {
 	n := a.N
-	coord := cholesky.NewCoordinator(n, workers, policy, r)
-	res := &Result{
-		BlocksPer: make([]int, workers),
-		TasksPer:  make([]int, workers),
-	}
-	start := time.Now()
-
-	type grant struct {
-		task cholesky.Task
-		ok   bool
-	}
-	type message struct {
-		w     int
-		done  *cholesky.Task // non-nil: completion of this task
-		reply chan grant
-	}
-
-	messages := make(chan message)
-	var wg sync.WaitGroup
-
-	// Master: owns the coordinator; parks workers that cannot be
-	// served and retries them after every completion.
-	var execErr error
-	var errOnce sync.Once
-	masterDone := make(chan struct{})
-	go func() {
-		defer close(masterDone)
-		parked := make(map[int]chan grant)
-		live := workers
-		serve := func(w int, reply chan grant) {
-			t, shipped, ok := coord.TryAssign(w)
-			if !ok {
-				if coord.Done() {
-					reply <- grant{}
-					live--
-					return
-				}
-				parked[w] = reply
-				return
-			}
-			res.Requests++
-			res.Blocks += shipped
-			res.BlocksPer[w] += shipped
-			res.TasksPer[w]++
-			reply <- grant{task: t, ok: true}
-		}
-		for live > 0 {
-			msg := <-messages
-			if msg.done != nil {
-				coord.Complete(msg.w, *msg.done)
-				// A completion can unlock tasks for parked workers.
-				for w, reply := range parked {
-					delete(parked, w)
-					serve(w, reply)
-				}
-				continue
-			}
-			serve(msg.w, msg.reply)
-		}
-	}()
-
-	execute := func(t cholesky.Task) error {
+	drv := cholesky.NewDriver(n, workers, policy, r)
+	res, err := runDriver(drv, Options{Workers: workers}, func(_ int, ct core.Task) error {
+		t := cholesky.DecodeTask(ct, n)
 		switch t.Kind {
 		case cholesky.Potrf:
 			return linalg.CholBlock(a.Block(t.K, t.K))
@@ -96,34 +37,9 @@ func RunCholesky(a *linalg.BlockedMatrix, workers int, policy cholesky.Policy, r
 			}
 		}
 		return nil
-	}
-
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			reply := make(chan grant)
-			for {
-				messages <- message{w: w, reply: reply}
-				g := <-reply
-				if !g.ok {
-					return
-				}
-				if err := execute(g.task); err != nil {
-					errOnce.Do(func() { execErr = err })
-					// Report completion anyway so the run drains.
-				}
-				task := g.task
-				messages <- message{w: w, done: &task}
-			}
-		}(w)
-	}
-
-	wg.Wait()
-	<-masterDone
-	res.Elapsed = time.Since(start)
-	if execErr != nil {
-		return res, execErr
+	})
+	if err != nil {
+		return res, err
 	}
 
 	// Zero the upper block triangle for a clean L.

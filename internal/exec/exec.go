@@ -1,19 +1,24 @@
 // Package exec is the real concurrent runtime: it drives the same
-// core.Scheduler state machines as the event simulator, but with
-// actual worker goroutines performing actual block arithmetic
-// (package linalg). It demonstrates that the paper's demand-driven
-// strategies are directly executable — the master hands out batches
-// over channels, workers compute, heterogeneity is emulated by
-// optional per-worker throttling — and it lets the tests verify
-// numerically that every strategy computes the correct product.
+// core.Driver state machines as the event simulator and the scheduler
+// service, but with actual worker goroutines performing actual block
+// arithmetic (package linalg). It demonstrates that the paper's
+// demand-driven strategies — flat and dependency-aware alike — are
+// directly executable: the master hands out batches over channels,
+// workers compute and report completions, heterogeneity is emulated by
+// optional per-worker throttling, and the tests verify numerically
+// that every strategy computes the correct product or factorization.
 //
-// Concurrency model: the master goroutine owns the scheduler (which
+// Concurrency model: the master goroutine owns the driver (which
 // requires single-threaded access); workers communicate with it
-// exclusively over channels, so no locks are needed. For GEMM, where
-// several tasks update the same C block, each worker accumulates into
-// worker-private partial blocks which the master reduces at the end —
-// exactly the paper's model of workers returning C contributions to
-// the master for final summation.
+// exclusively over channels, so no locks are needed. Every worker
+// request carries the completions of its previous batch — the same
+// report-then-request protocol the HTTP service speaks — which is what
+// lets the DAG kernels release dependent tasks: a worker that finds no
+// schedulable task parks until some completion frees one. For GEMM,
+// where several tasks update the same C block, each worker accumulates
+// into worker-private partial blocks which the master reduces at the
+// end — exactly the paper's model of workers returning C contributions
+// to the master for final summation.
 package exec
 
 import (
@@ -29,7 +34,7 @@ import (
 // Options configures a runtime execution.
 type Options struct {
 	// Workers is the number of worker goroutines; it must equal the
-	// scheduler's P().
+	// driver's P().
 	Workers int
 	// Speeds optionally emulates heterogeneity: worker w sleeps
 	// TaskCost/Speeds[w] after each task. Nil disables throttling.
@@ -42,7 +47,7 @@ type Options struct {
 // Result reports what a runtime execution did.
 type Result struct {
 	// Blocks is the total communication volume in blocks, as counted
-	// by the scheduler.
+	// by the driver.
 	Blocks int
 	// BlocksPer and TasksPer are per-worker volumes and task counts.
 	BlocksPer []int
@@ -53,18 +58,36 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-type request struct {
-	w     int
-	reply chan core.Assignment
+// grant is the master's answer to a worker request; ok=false tells the
+// worker to retire.
+type grant struct {
+	a  core.Assignment
+	ok bool
 }
 
-// run drives sched with opts.Workers goroutines, calling execute for
-// every task. execute is called concurrently from different workers
-// but sequentially within a worker.
-func run(sched core.Scheduler, opts Options, execute func(w int, t core.Task)) *Result {
-	p := sched.P()
+// message is one worker interaction: the completions of the previous
+// batch (nil on the first request) plus the request for the next one.
+type message struct {
+	w         int
+	completed []core.Task
+	reply     chan grant
+}
+
+// runDriver drives drv with opts.Workers goroutines, calling execute
+// for every task. execute is called concurrently from different
+// workers but sequentially within a worker; its first error is
+// returned after the run drains (the run is never aborted mid-flight,
+// so the driver's bookkeeping stays consistent).
+//
+// The master owns the driver. Completions are applied before the
+// requester is served, and every applied completion retries all parked
+// workers — the channel mirror of the simulator's
+// completion-then-retry loop and the service host's report-then-poll
+// protocol.
+func runDriver(drv core.Driver, opts Options, execute func(w int, t core.Task) error) (*Result, error) {
+	p := drv.P()
 	if opts.Workers != p {
-		panic("exec: Workers must match the scheduler's P()")
+		panic("exec: Workers must match the driver's P()")
 	}
 	res := &Result{
 		BlocksPer: make([]int, p),
@@ -72,31 +95,50 @@ func run(sched core.Scheduler, opts Options, execute func(w int, t core.Task)) *
 	}
 	start := time.Now()
 
-	requests := make(chan request)
+	messages := make(chan message)
 	var wg sync.WaitGroup
+	var execErr error
+	var errOnce sync.Once
 
-	// Master: owns the scheduler. A closed reply channel tells the
-	// worker to retire.
 	masterDone := make(chan struct{})
 	go func() {
 		defer close(masterDone)
+		parked := make(map[int]chan grant)
 		live := p
-		for live > 0 {
-			req := <-requests
+		serve := func(w int, reply chan grant) {
 			a, ok := core.Assignment{}, false
-			if sched.Remaining() > 0 {
-				a, ok = sched.Next(req.w)
+			if drv.Remaining() > 0 {
+				a, ok = drv.Next(w)
 			}
 			if !ok {
-				close(req.reply)
-				live--
-				continue
+				if drv.Remaining() == 0 {
+					// Drained: the worker retires.
+					reply <- grant{}
+					live--
+					return
+				}
+				// Nothing schedulable right now: park until a
+				// completion frees a task.
+				parked[w] = reply
+				return
 			}
 			res.Requests++
 			res.Blocks += a.Blocks
-			res.BlocksPer[req.w] += a.Blocks
-			res.TasksPer[req.w] += len(a.Tasks)
-			req.reply <- a
+			res.BlocksPer[w] += a.Blocks
+			res.TasksPer[w] += len(a.Tasks)
+			reply <- grant{a: a, ok: true}
+		}
+		for live > 0 {
+			msg := <-messages
+			if len(msg.completed) > 0 {
+				drv.Complete(msg.w, msg.completed)
+				// A completion can unlock tasks for parked workers.
+				for w, reply := range parked {
+					delete(parked, w)
+					serve(w, reply)
+				}
+			}
+			serve(msg.w, msg.reply)
 		}
 	}()
 
@@ -120,17 +162,23 @@ func run(sched core.Scheduler, opts Options, execute func(w int, t core.Task)) *
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			reply := make(chan grant)
+			var completed []core.Task
 			for {
-				reply := make(chan core.Assignment)
-				requests <- request{w: w, reply: reply}
-				a, ok := <-reply
-				if !ok {
+				messages <- message{w: w, completed: completed, reply: reply}
+				g := <-reply
+				if !g.ok {
 					return
 				}
-				for _, t := range a.Tasks {
-					execute(w, t)
+				for _, t := range g.a.Tasks {
+					if err := execute(w, t); err != nil {
+						// Record the first error but keep reporting
+						// completions so the run drains.
+						errOnce.Do(func() { execErr = err })
+					}
 				}
-				throttle(w, len(a.Tasks))
+				throttle(w, len(g.a.Tasks))
+				completed = g.a.Tasks
 			}
 		}(w)
 	}
@@ -138,6 +186,16 @@ func run(sched core.Scheduler, opts Options, execute func(w int, t core.Task)) *
 	wg.Wait()
 	<-masterDone
 	res.Elapsed = time.Since(start)
+	return res, execErr
+}
+
+// run drives a flat scheduler through the generic driver loop; the
+// execute callback cannot fail for the flat kernels.
+func run(sched core.Scheduler, opts Options, execute func(w int, t core.Task)) *Result {
+	res, _ := runDriver(core.NewSchedulerDriver(sched), opts, func(w int, t core.Task) error {
+		execute(w, t)
+		return nil
+	})
 	return res
 }
 

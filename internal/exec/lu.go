@@ -1,9 +1,7 @@
 package exec
 
 import (
-	"sync"
-	"time"
-
+	"hetsched/internal/core"
 	"hetsched/internal/linalg"
 	"hetsched/internal/lu"
 	"hetsched/internal/rng"
@@ -11,67 +9,13 @@ import (
 
 // RunLU factors the blocked diagonally dominant matrix a in place into
 // its packed L\U factors using real worker goroutines driven by the
-// dependency-aware LU coordinator — the LU counterpart of RunCholesky.
+// generic DAG driver — the LU counterpart of RunCholesky, sharing the
+// same master loop.
 func RunLU(a *linalg.BlockedMatrix, workers int, policy lu.Policy, r *rng.PCG) (*Result, error) {
-	coord := lu.NewCoordinator(a.N, workers, policy, r)
-	res := &Result{
-		BlocksPer: make([]int, workers),
-		TasksPer:  make([]int, workers),
-	}
-	start := time.Now()
-
-	type grant struct {
-		task lu.Task
-		ok   bool
-	}
-	type message struct {
-		w     int
-		done  *lu.Task
-		reply chan grant
-	}
-
-	messages := make(chan message)
-	var wg sync.WaitGroup
-	var execErr error
-	var errOnce sync.Once
-
-	masterDone := make(chan struct{})
-	go func() {
-		defer close(masterDone)
-		parked := make(map[int]chan grant)
-		live := workers
-		serve := func(w int, reply chan grant) {
-			t, shipped, ok := coord.TryAssign(w)
-			if !ok {
-				if coord.Done() {
-					reply <- grant{}
-					live--
-					return
-				}
-				parked[w] = reply
-				return
-			}
-			res.Requests++
-			res.Blocks += shipped
-			res.BlocksPer[w] += shipped
-			res.TasksPer[w]++
-			reply <- grant{task: t, ok: true}
-		}
-		for live > 0 {
-			msg := <-messages
-			if msg.done != nil {
-				coord.Complete(msg.w, *msg.done)
-				for w, reply := range parked {
-					delete(parked, w)
-					serve(w, reply)
-				}
-				continue
-			}
-			serve(msg.w, msg.reply)
-		}
-	}()
-
-	execute := func(t lu.Task) error {
+	n := a.N
+	drv := lu.NewDriver(n, workers, policy, r)
+	return runDriver(drv, Options{Workers: workers}, func(_ int, ct core.Task) error {
+		t := lu.DecodeTask(ct, n)
 		switch t.Kind {
 		case lu.Getrf:
 			return linalg.GetrfBlock(a.Block(t.K, t.K))
@@ -83,30 +27,5 @@ func RunLU(a *linalg.BlockedMatrix, workers int, policy lu.Policy, r *rng.PCG) (
 			linalg.GemmSubBlock(a.Block(t.I, t.J), a.Block(t.I, t.K), a.Block(t.K, t.J))
 		}
 		return nil
-	}
-
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			reply := make(chan grant)
-			for {
-				messages <- message{w: w, reply: reply}
-				g := <-reply
-				if !g.ok {
-					return
-				}
-				if err := execute(g.task); err != nil {
-					errOnce.Do(func() { execErr = err })
-				}
-				task := g.task
-				messages <- message{w: w, done: &task}
-			}
-		}(w)
-	}
-
-	wg.Wait()
-	<-masterDone
-	res.Elapsed = time.Since(start)
-	return res, execErr
+	})
 }

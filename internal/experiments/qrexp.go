@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetsched/internal/plot"
+	"hetsched/internal/qr"
+	"hetsched/internal/rng"
+	"hetsched/internal/speeds"
+	"hetsched/internal/stats"
+)
+
+// QR is the third dependency-kernel extension: the tiled QR
+// factorization with a flat reduction tree, whose coupled TSQRT/TSMQR
+// tasks write two tiles each — the workload that exercises the generic
+// DAG engine's multi-output write serialization. Same sweep and
+// policies as the Cholesky and LU experiments.
+func QR(cfg Config) *plot.Result {
+	root := cfg.figSeed("abl-qr")
+	n := 16
+	ps := []int{4, 8, 16, 32, 64}
+	reps := cfg.reps(10)
+	if cfg.Quick {
+		n = 8
+		ps = []int{4, 16}
+	}
+
+	res := &plot.Result{
+		ID:     "abl-qr",
+		Title:  fmt.Sprintf("tiled QR (%d×%d tiles): ready-task policies", n, n),
+		XLabel: "processors",
+		YLabel: "tiles shipped / total tiles; efficiency",
+	}
+
+	policies := []qr.Policy{qr.RandomReady, qr.LocalityReady, qr.CriticalPathReady}
+	commSeries := make([]*plot.Series, len(policies))
+	effSeries := make([]*plot.Series, len(policies))
+	for i, pol := range policies {
+		commSeries[i] = &plot.Series{Name: "comm " + pol.String()}
+		effSeries[i] = &plot.Series{Name: "eff " + pol.String()}
+	}
+
+	tiles := float64(n * n)
+	type out struct{ comm, eff float64 }
+	pl := cfg.pool()
+	futs := make([][]*rep[out], len(ps))
+	for pi, p := range ps {
+		futs[pi] = make([]*rep[out], len(policies))
+		for i, pol := range policies {
+			futs[pi][i] = replicate(pl, reps, 2, root, func(_ int, streams []*rng.PCG) out {
+				init := defaultPlatform.gen(p, streams[0])
+				m := qr.Simulate(n, pol, speeds.NewFixed(init), streams[1])
+				return out{comm: float64(m.Blocks) / tiles, eff: m.Efficiency()}
+			})
+		}
+	}
+	for pi, p := range ps {
+		for i := range policies {
+			var comm, eff stats.Accumulator
+			for _, o := range futs[pi][i].Wait() {
+				comm.Add(o.comm)
+				eff.Add(o.eff)
+			}
+			commSeries[i].Points = append(commSeries[i].Points, plot.Point{
+				X: float64(p), Y: comm.Mean(), StdDev: comm.StdDev(),
+			})
+			effSeries[i].Points = append(effSeries[i].Points, plot.Point{
+				X: float64(p), Y: eff.Mean(), StdDev: eff.StdDev(),
+			})
+		}
+	}
+	for _, s := range commSeries {
+		res.Series = append(res.Series, *s)
+	}
+	for _, s := range effSeries {
+		res.Series = append(res.Series, *s)
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("%d tasks, %d replications per point, speeds %s", qr.TaskCount(n), reps, defaultPlatform.name),
+		"comm normalized by the n² tile count (a full broadcast of the matrix = p)",
+		"TSQRT/TSMQR write two tiles each: multi-output write serialization in the dag engine",
+	)
+	return res
+}

@@ -39,6 +39,7 @@ var Registry = map[string]Experiment{
 	"abl-perproc":    {"abl-perproc", "extension: per-processor communication prediction vs simulation", PerProcessor},
 	"abl-switchtime": {"abl-switchtime", "extension: Lemma 3 — processor-independent switch instant", SwitchTime},
 	"abl-lu":         {"abl-lu", "extension: dependency-aware scheduling of tiled LU", LU},
+	"abl-qr":         {"abl-qr", "extension: dependency-aware scheduling of tiled QR (multi-output tasks)", QR},
 }
 
 // IDs returns all experiment identifiers in a stable order.

@@ -1,14 +1,14 @@
-package cholesky
+package lu
 
 import (
 	"hetsched/internal/dag"
 	"hetsched/internal/rng"
 )
 
-// Coordinator is the master-side state of a tiled-Cholesky run. It is
-// a thin adapter over the generic dag.Coordinator parameterized by the
-// Cholesky kernel, preserved so in-process callers keep the typed
-// Task-level API. All methods must be called from a single goroutine.
+// Coordinator is the master-side state of a tiled-LU run: a thin
+// adapter over the generic dag.Coordinator parameterized by the LU
+// kernel, preserved so in-process callers keep the typed Task-level
+// API. All methods must be called from a single goroutine.
 type Coordinator struct {
 	d *dag.Coordinator
 }
@@ -17,10 +17,10 @@ type Coordinator struct {
 // on p workers.
 func NewCoordinator(n, p int, policy Policy, r *rng.PCG) *Coordinator {
 	if n <= 0 || p <= 0 {
-		panic("cholesky: invalid coordinator shape")
+		panic("lu: invalid coordinator shape")
 	}
 	if r == nil {
-		panic("cholesky: nil rng")
+		panic("lu: nil rng")
 	}
 	return &Coordinator{d: dag.NewCoordinator(NewKernel(n), p, policy, r)}
 }
@@ -37,11 +37,9 @@ func (c *Coordinator) Done() bool { return c.d.Done() }
 // Pending reports whether tasks remain (ready, running or future).
 func (c *Coordinator) Pending() bool { return c.d.Pending() }
 
-// TryAssign picks a schedulable ready task for worker w according to
-// the policy, marks its output tile in flight, performs the transfers,
-// and returns the task and the number of blocks shipped. ok is false
-// when no ready task is currently schedulable (the worker should wait
-// for a completion, or retire if Done).
+// TryAssign picks a schedulable ready task for worker w, marks its
+// output tile in flight and ships missing inputs. ok is false when
+// nothing is schedulable right now.
 func (c *Coordinator) TryAssign(w int) (t Task, shipped int, ok bool) {
 	dt, shipped, ok := c.d.TryAssign(w)
 	if !ok {
@@ -50,9 +48,7 @@ func (c *Coordinator) TryAssign(w int) (t Task, shipped int, ok bool) {
 	return fromDAG(dt), shipped, true
 }
 
-// Complete marks task t (previously assigned to worker w) finished:
-// the output tile's version is bumped, the writer's cache holds the
-// fresh copy, and newly ready tasks enter the ready set.
+// Complete marks task t (assigned to worker w) finished.
 func (c *Coordinator) Complete(w int, t Task) {
 	c.d.Complete(w, toDAG(t))
 }

@@ -2,6 +2,7 @@ package lu
 
 import (
 	"hetsched/internal/core"
+	"hetsched/internal/dag"
 	"hetsched/internal/rng"
 )
 
@@ -9,67 +10,21 @@ import (
 // instance: ((kind·n + i)·n + j)·n + k. The indices of a valid task
 // are all in [0, n), so the encoding is collision-free.
 func EncodeTask(t Task, n int) core.Task {
-	n64 := int64(n)
-	return core.Task(((int64(t.Kind)*n64+int64(t.I))*n64+int64(t.J))*n64 + int64(t.K))
+	return dag.EncodeTask(toDAG(t), n)
 }
 
 // DecodeTask is the inverse of EncodeTask.
 func DecodeTask(ct core.Task, n int) Task {
-	v := int64(ct)
-	n64 := int64(n)
-	k := int(v % n64)
-	v /= n64
-	j := int(v % n64)
-	v /= n64
-	i := int(v % n64)
-	v /= n64
-	return Task{Kind: Kind(v), I: i, J: j, K: k}
+	return fromDAG(dag.DecodeTask(ct, n))
 }
 
-// Driver adapts the DAG Coordinator to core.Driver, mirroring the
-// cholesky.Driver adapter: one ready task per Next call, completions
-// release dependent tasks, ok=false with Remaining() > 0 means wait.
-type Driver struct {
-	coord     *Coordinator
-	n, p      int
-	completed int
-	policy    Policy
-}
+// Driver is the core.Driver of an LU run: the generic DAG driver
+// parameterized by the LU kernel, mirroring the cholesky adapter.
+type Driver = dag.Driver
 
 // NewDriver builds a driver for an n×n-tile LU factorization on p
-// workers under the given ready-task policy.
+// workers under the given ready-task policy. Its Name is "LU" + the
+// policy name.
 func NewDriver(n, p int, policy Policy, r *rng.PCG) *Driver {
-	return &Driver{coord: NewCoordinator(n, p, policy, r), n: n, p: p, policy: policy}
+	return dag.NewDriver(NewKernel(n), p, policy, r)
 }
-
-// Next implements core.Driver.
-func (d *Driver) Next(w int) (core.Assignment, bool) {
-	t, shipped, ok := d.coord.TryAssign(w)
-	if !ok {
-		return core.Assignment{}, false
-	}
-	return core.Assignment{Tasks: []core.Task{EncodeTask(t, d.n)}, Blocks: shipped}, true
-}
-
-// Complete implements core.Driver. Tasks must have been assigned to w
-// by Next and not completed before; the coordinator panics otherwise,
-// so network-facing callers must validate first (service.Host does).
-func (d *Driver) Complete(w int, ts []core.Task) {
-	for _, ct := range ts {
-		d.coord.Complete(w, DecodeTask(ct, d.n))
-		d.completed++
-	}
-}
-
-// Remaining implements core.Driver: the number of tasks not yet
-// completed.
-func (d *Driver) Remaining() int { return d.coord.Total() - d.completed }
-
-// Total implements core.Driver.
-func (d *Driver) Total() int { return d.coord.Total() }
-
-// P implements core.Driver.
-func (d *Driver) P() int { return d.p }
-
-// Name implements core.Driver.
-func (d *Driver) Name() string { return "LU" + d.policy.String() }

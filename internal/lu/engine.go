@@ -1,11 +1,11 @@
 package lu
 
 import (
-	"container/heap"
 	"fmt"
 
 	"hetsched/internal/linalg"
 	"hetsched/internal/rng"
+	"hetsched/internal/sim"
 	"hetsched/internal/speeds"
 )
 
@@ -25,37 +25,14 @@ type Metrics struct {
 // Efficiency returns WorkBound/Makespan in (0, 1].
 func (m *Metrics) Efficiency() float64 { return m.WorkBound / m.Makespan }
 
-type completion struct {
-	t    float64
-	w    int
-	task Task
-	seq  uint64
-}
-
-type completionQueue []completion
-
-func (q completionQueue) Len() int { return len(q) }
-func (q completionQueue) Less(i, j int) bool {
-	if q[i].t != q[j].t {
-		return q[i].t < q[j].t
-	}
-	return q[i].seq < q[j].seq
-}
-func (q completionQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *completionQueue) Push(x interface{}) { *q = append(*q, x.(completion)) }
-func (q *completionQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	c := old[n-1]
-	*q = old[:n-1]
-	return c
-}
-
 // Simulate runs the tiled LU DAG of n×n tiles on the given platform
-// under a ready-task selection policy.
+// under a ready-task selection policy. The run is executed by the
+// generic virtual-time engine (sim.RunDriver) driving the LU
+// dag.Kernel.
 func Simulate(n int, policy Policy, model speeds.Model, r *rng.PCG) *Metrics {
 	p := model.P()
-	coord := NewCoordinator(n, p, policy, r)
+	drv := NewDriver(n, p, policy, r)
+	dm := sim.RunDriver(drv, model)
 
 	initial := model.Initial()
 	sumSpeed, maxSpeed := 0.0, 0.0
@@ -66,64 +43,17 @@ func Simulate(n int, policy Policy, model speeds.Model, r *rng.PCG) *Metrics {
 		}
 	}
 	m := &Metrics{
-		BlocksPer: make([]int, p),
-		TasksPer:  make([]int, p),
+		Blocks:    dm.Blocks,
+		BlocksPer: dm.BlocksPer,
+		TasksPer:  dm.TasksPer,
+		Makespan:  dm.Makespan,
 		WorkBound: TotalWork(n) / sumSpeed,
 		CPBound:   CriticalPath(n) / maxSpeed,
-		Schedule:  make([]Task, 0, coord.Total()),
+		WaitTime:  dm.WaitTime,
+		Schedule:  make([]Task, 0, len(dm.Schedule)),
 	}
-
-	q := make(completionQueue, 0, p)
-	var seq uint64
-	idleSince := make([]float64, p)
-	waiting := make([]bool, p)
-
-	assign := func(w int, now float64) bool {
-		t, shipped, ok := coord.TryAssign(w)
-		if !ok {
-			return false
-		}
-		m.Blocks += shipped
-		m.BlocksPer[w] += shipped
-		m.TasksPer[w]++
-		if waiting[w] {
-			m.WaitTime += now - idleSince[w]
-			waiting[w] = false
-		}
-		dur := t.Cost() / model.Speed(w)
-		heap.Push(&q, completion{t: now + dur, w: w, task: t, seq: seq})
-		seq++
-		return true
-	}
-
-	for w := 0; w < p; w++ {
-		if !assign(w, 0) {
-			waiting[w] = true
-			idleSince[w] = 0
-		}
-	}
-
-	for q.Len() > 0 {
-		c := heap.Pop(&q).(completion)
-		coord.Complete(c.w, c.task)
-		m.Schedule = append(m.Schedule, c.task)
-		model.OnTaskDone(c.w)
-		if c.t > m.Makespan {
-			m.Makespan = c.t
-		}
-		if !assign(c.w, c.t) {
-			waiting[c.w] = true
-			idleSince[c.w] = c.t
-		}
-		for w := 0; w < p; w++ {
-			if waiting[w] {
-				_ = assign(w, c.t)
-			}
-		}
-	}
-
-	if !coord.Done() {
-		panic(fmt.Sprintf("lu: %d of %d tasks completed", coord.st.done, coord.st.total))
+	for _, ct := range dm.Schedule {
+		m.Schedule = append(m.Schedule, DecodeTask(ct, n))
 	}
 	return m
 }

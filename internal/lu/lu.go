@@ -6,17 +6,15 @@
 // Cholesky's (both triangles are active), making it a second test of
 // the dependency-aware demand-driven engine.
 //
-// The structure mirrors package cholesky: a single-goroutine
-// Coordinator holding DAG progress, versioned tile caches and the
-// ready set; Simulate drives it in virtual time; Replay validates a
-// completion order numerically.
+// The structure mirrors package cholesky: the package is a thin
+// dag.Kernel definition (task graph, tile reads/writes, costs), while
+// the generic engine in internal/dag supplies the ready set, the
+// versioned per-worker tile caches and the selection policies.
+// Simulate drives the kernel in virtual time via sim.RunDriver; Replay
+// validates a completion order numerically.
 package lu
 
-import (
-	"fmt"
-
-	"hetsched/internal/rng"
-)
+import "fmt"
 
 // Kind enumerates the tile kernels.
 type Kind uint8
@@ -112,268 +110,4 @@ func CriticalPath(n int) float64 {
 		}
 	}
 	return cp
-}
-
-// state tracks DAG progress and tile versions for an n×n tile grid.
-type state struct {
-	n int
-
-	gemmsDone   []int // per tile (i,j): completed GEMM(i,j,·) count
-	getrfDone   []bool
-	trsmRowDone []bool // per tile (k,j)
-	trsmColDone []bool // per tile (i,k)
-
-	version  []int32
-	inFlight []bool
-
-	ready []Task
-	done  int
-	total int
-}
-
-func newState(n int) *state {
-	st := &state{
-		n:           n,
-		gemmsDone:   make([]int, n*n),
-		getrfDone:   make([]bool, n),
-		trsmRowDone: make([]bool, n*n),
-		trsmColDone: make([]bool, n*n),
-		version:     make([]int32, n*n),
-		inFlight:    make([]bool, n*n),
-		total:       TaskCount(n),
-	}
-	st.ready = append(st.ready, Task{Kind: Getrf, K: 0})
-	return st
-}
-
-func (st *state) tile(i, j int) int { return i*st.n + j }
-
-func (st *state) outputTile(t Task) int {
-	switch t.Kind {
-	case Getrf:
-		return st.tile(t.K, t.K)
-	case TrsmRow:
-		return st.tile(t.K, t.J)
-	case TrsmCol:
-		return st.tile(t.I, t.K)
-	default:
-		return st.tile(t.I, t.J)
-	}
-}
-
-func (st *state) inputTiles(t Task, buf []int) []int {
-	switch t.Kind {
-	case Getrf:
-		buf = append(buf, st.tile(t.K, t.K))
-	case TrsmRow:
-		buf = append(buf, st.tile(t.K, t.K), st.tile(t.K, t.J))
-	case TrsmCol:
-		buf = append(buf, st.tile(t.K, t.K), st.tile(t.I, t.K))
-	default:
-		buf = append(buf, st.tile(t.I, t.K), st.tile(t.K, t.J), st.tile(t.I, t.J))
-	}
-	return buf
-}
-
-// complete marks t done and appends newly ready tasks.
-func (st *state) complete(t Task) {
-	n := st.n
-	st.done++
-	switch t.Kind {
-	case Getrf:
-		st.getrfDone[t.K] = true
-		for j := t.K + 1; j < n; j++ {
-			if st.gemmsDone[st.tile(t.K, j)] == t.K {
-				st.ready = append(st.ready, Task{Kind: TrsmRow, K: t.K, J: j})
-			}
-		}
-		for i := t.K + 1; i < n; i++ {
-			if st.gemmsDone[st.tile(i, t.K)] == t.K {
-				st.ready = append(st.ready, Task{Kind: TrsmCol, I: i, K: t.K})
-			}
-		}
-	case TrsmRow:
-		st.trsmRowDone[st.tile(t.K, t.J)] = true
-		for i := t.K + 1; i < n; i++ {
-			if st.trsmColDone[st.tile(i, t.K)] {
-				st.ready = append(st.ready, Task{Kind: Gemm, I: i, J: t.J, K: t.K})
-			}
-		}
-	case TrsmCol:
-		st.trsmColDone[st.tile(t.I, t.K)] = true
-		for j := t.K + 1; j < n; j++ {
-			if st.trsmRowDone[st.tile(t.K, j)] {
-				st.ready = append(st.ready, Task{Kind: Gemm, I: t.I, J: j, K: t.K})
-			}
-		}
-	case Gemm:
-		id := st.tile(t.I, t.J)
-		st.gemmsDone[id]++
-		need := t.I
-		if t.J < need {
-			need = t.J
-		}
-		if st.gemmsDone[id] != need {
-			return
-		}
-		switch {
-		case t.I == t.J:
-			st.ready = append(st.ready, Task{Kind: Getrf, K: t.I})
-		case t.I < t.J: // upper tile → row solve once GETRF(i) done
-			if st.getrfDone[t.I] {
-				st.ready = append(st.ready, Task{Kind: TrsmRow, K: t.I, J: t.J})
-			}
-		default: // lower tile → column solve once GETRF(j) done
-			if st.getrfDone[t.J] {
-				st.ready = append(st.ready, Task{Kind: TrsmCol, I: t.I, K: t.J})
-			}
-		}
-	}
-}
-
-// Policy selects which schedulable ready task a requesting worker
-// gets; the semantics mirror package cholesky.
-type Policy int
-
-// Ready-task selection policies.
-const (
-	RandomReady Policy = iota
-	LocalityReady
-	CriticalPathReady
-)
-
-func (p Policy) String() string {
-	switch p {
-	case RandomReady:
-		return "RandomReady"
-	case LocalityReady:
-		return "LocalityReady"
-	case CriticalPathReady:
-		return "CriticalPathReady"
-	}
-	return "?"
-}
-
-// Coordinator is the master-side state: DAG progress, versioned
-// per-worker tile caches and the ready-task policy. Single-goroutine.
-type Coordinator struct {
-	st      *state
-	policy  Policy
-	r       *rng.PCG
-	cache   [][]int32
-	tileBuf []int
-}
-
-// NewCoordinator creates a coordinator for an n×n-tile factorization
-// on p workers.
-func NewCoordinator(n, p int, policy Policy, r *rng.PCG) *Coordinator {
-	if n <= 0 || p <= 0 {
-		panic("lu: invalid coordinator shape")
-	}
-	if r == nil {
-		panic("lu: nil rng")
-	}
-	c := &Coordinator{st: newState(n), policy: policy, r: r, cache: make([][]int32, p)}
-	for w := range c.cache {
-		c.cache[w] = make([]int32, n*n)
-		for i := range c.cache[w] {
-			c.cache[w][i] = -1
-		}
-	}
-	return c
-}
-
-// N returns the tile grid dimension.
-func (c *Coordinator) N() int { return c.st.n }
-
-// Total returns the total task count.
-func (c *Coordinator) Total() int { return c.st.total }
-
-// Done reports whether every task has completed.
-func (c *Coordinator) Done() bool { return c.st.done == c.st.total }
-
-func (c *Coordinator) shipCost(w int, t Task) int {
-	c.tileBuf = c.st.inputTiles(t, c.tileBuf[:0])
-	cost := 0
-	for _, id := range c.tileBuf {
-		if c.cache[w][id] != c.st.version[id] {
-			cost++
-		}
-	}
-	return cost
-}
-
-// TryAssign picks a schedulable ready task for worker w, marks its
-// output tile in flight and ships missing inputs. ok is false when
-// nothing is schedulable right now.
-func (c *Coordinator) TryAssign(w int) (t Task, shipped int, ok bool) {
-	st := c.st
-	bestIdx := -1
-	bestCost := 0
-	bestKey := 0
-	ties := 0
-	for idx, cand := range st.ready {
-		if st.inFlight[st.outputTile(cand)] {
-			continue
-		}
-		switch c.policy {
-		case RandomReady:
-			ties++
-			if c.r.Intn(ties) == 0 {
-				bestIdx = idx
-			}
-		case LocalityReady:
-			cost := c.shipCost(w, cand)
-			if bestIdx < 0 || cost < bestCost {
-				bestIdx, bestCost, ties = idx, cost, 1
-			} else if cost == bestCost {
-				ties++
-				if c.r.Intn(ties) == 0 {
-					bestIdx = idx
-				}
-			}
-		case CriticalPathReady:
-			cost := c.shipCost(w, cand)
-			key := cand.K
-			if bestIdx < 0 || key < bestKey || (key == bestKey && cost < bestCost) {
-				bestIdx, bestKey, bestCost, ties = idx, key, cost, 1
-			} else if key == bestKey && cost == bestCost {
-				ties++
-				if c.r.Intn(ties) == 0 {
-					bestIdx = idx
-				}
-			}
-		default:
-			panic("lu: unknown policy")
-		}
-	}
-	if bestIdx < 0 {
-		return Task{}, 0, false
-	}
-	t = st.ready[bestIdx]
-	last := len(st.ready) - 1
-	st.ready[bestIdx] = st.ready[last]
-	st.ready = st.ready[:last]
-
-	st.inFlight[st.outputTile(t)] = true
-	c.tileBuf = st.inputTiles(t, c.tileBuf[:0])
-	for _, id := range c.tileBuf {
-		if c.cache[w][id] != st.version[id] {
-			c.cache[w][id] = st.version[id]
-			shipped++
-		}
-	}
-	return t, shipped, true
-}
-
-// Complete marks task t (assigned to worker w) finished.
-func (c *Coordinator) Complete(w int, t Task) {
-	out := c.st.outputTile(t)
-	if !c.st.inFlight[out] {
-		panic("lu: completing a task whose output tile is not in flight")
-	}
-	c.st.inFlight[out] = false
-	c.st.version[out]++
-	c.cache[w][out] = c.st.version[out]
-	c.st.complete(t)
 }

@@ -16,8 +16,10 @@ import (
 	"hetsched/internal/analysis"
 	"hetsched/internal/cholesky"
 	"hetsched/internal/core"
+	"hetsched/internal/lu"
 	"hetsched/internal/matmul"
 	"hetsched/internal/outer"
+	"hetsched/internal/qr"
 	"hetsched/internal/rng"
 	"hetsched/internal/service"
 	"hetsched/internal/sim"
@@ -41,6 +43,8 @@ var SimBenchmarks = []Benchmark{
 	{"SimTwoPhasesMatrix", SimTwoPhasesMatrix},
 	{"SimBandwidthTwoPhases", SimBandwidthTwoPhases},
 	{"SimCholeskyLocality", SimCholeskyLocality},
+	{"SimLULocality", SimLULocality},
+	{"SimQRLocality", SimQRLocality},
 	{"OptimalBetaOuter100", OptimalBetaOuter100},
 	{"OptimalBetaMatrix100", OptimalBetaMatrix100},
 }
@@ -143,7 +147,8 @@ func SimBandwidthTwoPhases(b *testing.B) {
 }
 
 // SimCholeskyLocality simulates the dependency-aware Cholesky kernel
-// with the locality policy (24×24 tiles, p=16).
+// with the locality policy (24×24 tiles, p=16) through the generic
+// dag engine and sim.RunDriver.
 func SimCholeskyLocality(b *testing.B) {
 	const n, p = 24, 16
 	root := rng.New(1)
@@ -151,6 +156,31 @@ func SimCholeskyLocality(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cholesky.Simulate(n, cholesky.LocalityReady, speeds.NewFixed(s), rng.New(uint64(i)))
+	}
+}
+
+// SimLULocality simulates the dependency-aware LU kernel with the
+// locality policy (20×20 tiles, p=16).
+func SimLULocality(b *testing.B) {
+	const n, p = 20, 16
+	root := rng.New(1)
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lu.Simulate(n, lu.LocalityReady, speeds.NewFixed(s), rng.New(uint64(i)))
+	}
+}
+
+// SimQRLocality simulates the dependency-aware QR kernel — the
+// multi-output-task workload — with the locality policy (16×16 tiles,
+// p=16).
+func SimQRLocality(b *testing.B) {
+	const n, p = 16, 16
+	root := rng.New(1)
+	s := speeds.UniformRange(p, 10, 100, root.Split())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qr.Simulate(n, qr.LocalityReady, speeds.NewFixed(s), rng.New(uint64(i)))
 	}
 }
 

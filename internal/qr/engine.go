@@ -1,0 +1,80 @@
+package qr
+
+import (
+	"hetsched/internal/core"
+	"hetsched/internal/dag"
+	"hetsched/internal/rng"
+	"hetsched/internal/sim"
+	"hetsched/internal/speeds"
+)
+
+// EncodeTask packs t into a flat core.Task identifier for an n-tile
+// instance; see dag.EncodeTask.
+func EncodeTask(t Task, n int) core.Task {
+	return dag.EncodeTask(toDAG(t), n)
+}
+
+// DecodeTask is the inverse of EncodeTask.
+func DecodeTask(ct core.Task, n int) Task {
+	return fromDAG(dag.DecodeTask(ct, n))
+}
+
+// Driver is the core.Driver of a QR run: the generic DAG driver
+// parameterized by the QR kernel.
+type Driver = dag.Driver
+
+// NewDriver builds a driver for an n×n-tile QR factorization on p
+// workers under the given ready-task policy. Its Name is "QR" + the
+// policy name.
+func NewDriver(n, p int, policy Policy, r *rng.PCG) *Driver {
+	return dag.NewDriver(NewKernel(n), p, policy, r)
+}
+
+// Metrics reports one simulated tiled-QR run; fields mirror
+// cholesky.Metrics.
+type Metrics struct {
+	Blocks    int
+	BlocksPer []int
+	TasksPer  []int
+	Makespan  float64
+	WorkBound float64
+	CPBound   float64
+	WaitTime  float64
+	Schedule  []Task
+}
+
+// Efficiency returns WorkBound/Makespan in (0, 1].
+func (m *Metrics) Efficiency() float64 { return m.WorkBound / m.Makespan }
+
+// Simulate runs the tiled QR DAG of n×n tiles on the given platform
+// under a ready-task selection policy. The run is executed by the
+// generic virtual-time engine (sim.RunDriver) driving the QR
+// dag.Kernel.
+func Simulate(n int, policy Policy, model speeds.Model, r *rng.PCG) *Metrics {
+	p := model.P()
+	drv := NewDriver(n, p, policy, r)
+	dm := sim.RunDriver(drv, model)
+
+	initial := model.Initial()
+	sumSpeed, maxSpeed := 0.0, 0.0
+	for _, s := range initial {
+		sumSpeed += s
+		if s > maxSpeed {
+			maxSpeed = s
+		}
+	}
+	m := &Metrics{
+		Blocks:    dm.Blocks,
+		BlocksPer: dm.BlocksPer,
+		TasksPer:  dm.TasksPer,
+		Makespan:  dm.Makespan,
+		WorkBound: TotalWork(n) / sumSpeed,
+		CPBound:   CriticalPath(n) / maxSpeed,
+		WaitTime:  dm.WaitTime,
+		Schedule:  make([]Task, 0, len(dm.Schedule)),
+	}
+	for _, ct := range dm.Schedule {
+		m.Schedule = append(m.Schedule, DecodeTask(ct, n))
+	}
+	return m
+}

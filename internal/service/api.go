@@ -35,6 +35,7 @@ const (
 	KernelMatmul   = "matmul"
 	KernelCholesky = "cholesky"
 	KernelLU       = "lu"
+	KernelQR       = "qr"
 )
 
 // Run lifecycle states as reported by RunInfo.State.
@@ -59,7 +60,7 @@ const (
 
 // CreateRunRequest is the body of POST /v1/runs.
 type CreateRunRequest struct {
-	// Kernel is one of outer | matmul | cholesky | lu.
+	// Kernel is one of outer | matmul | cholesky | lu | qr.
 	Kernel string `json:"kernel"`
 	// Strategy selects the allocation strategy. Flat kernels accept
 	// random | sorted | dynamic | 2phases (default 2phases); DAG
@@ -192,7 +193,7 @@ func DecodeStrict(r io.Reader, v any) error {
 // scheduler; NewDriver does.
 func (q *CreateRunRequest) Validate() error {
 	switch q.Kernel {
-	case KernelOuter, KernelMatmul, KernelCholesky, KernelLU:
+	case KernelOuter, KernelMatmul, KernelCholesky, KernelLU, KernelQR:
 	case "":
 		return errors.New("missing kernel")
 	default:
@@ -214,9 +215,10 @@ func (q *CreateRunRequest) Validate() error {
 		return fmt.Errorf("beta must be non-negative (got %g)", q.Beta)
 	}
 	if q.Strategy == "" {
-		if q.Kernel == KernelCholesky || q.Kernel == KernelLU {
+		switch q.Kernel {
+		case KernelCholesky, KernelLU, KernelQR:
 			q.Strategy = "locality"
-		} else {
+		default:
 			q.Strategy = "2phases"
 		}
 	}
@@ -247,7 +249,7 @@ func (q *CreateRunRequest) taskCount() int64 {
 	if q.Kernel == KernelOuter {
 		return n * n
 	}
-	// matmul exactly n³; a conservative upper bound for the Θ(n³/6)
-	// DAG kernels.
+	// matmul exactly n³; a conservative upper bound for the DAG
+	// kernels (Θ(n³/6) Cholesky, Θ(n³/3) LU and QR).
 	return n * n * n
 }

@@ -5,11 +5,21 @@ import (
 
 	"hetsched/internal/cholesky"
 	"hetsched/internal/core"
+	"hetsched/internal/dag"
 	"hetsched/internal/lu"
 	"hetsched/internal/matmul"
 	"hetsched/internal/outer"
+	"hetsched/internal/qr"
 	"hetsched/internal/rng"
 )
+
+// dagPolicies maps the wire strategy names of the DAG kernels to the
+// shared ready-task selection policies.
+var dagPolicies = map[string]dag.Policy{
+	"random":   dag.RandomReady,
+	"locality": dag.LocalityReady,
+	"critpath": dag.CriticalPathReady,
+}
 
 // NewDriver constructs the core.Driver described by a validated
 // CreateRunRequest. The scheduler rng is derived as
@@ -49,23 +59,20 @@ func NewDriver(q *CreateRunRequest) (core.Driver, error) {
 			}
 			return core.NewSchedulerDriver(matmul.NewTwoPhasesAuto(q.N, q.P, r)), nil
 		}
-	case KernelCholesky:
-		switch q.Strategy {
-		case "random":
-			return cholesky.NewDriver(q.N, q.P, cholesky.RandomReady, r), nil
-		case "locality":
-			return cholesky.NewDriver(q.N, q.P, cholesky.LocalityReady, r), nil
-		case "critpath":
-			return cholesky.NewDriver(q.N, q.P, cholesky.CriticalPathReady, r), nil
-		}
-	case KernelLU:
-		switch q.Strategy {
-		case "random":
-			return lu.NewDriver(q.N, q.P, lu.RandomReady, r), nil
-		case "locality":
-			return lu.NewDriver(q.N, q.P, lu.LocalityReady, r), nil
-		case "critpath":
-			return lu.NewDriver(q.N, q.P, lu.CriticalPathReady, r), nil
+	case KernelCholesky, KernelLU, KernelQR:
+		// All DAG kernels share the generic engine: only the kernel
+		// definition differs.
+		if policy, ok := dagPolicies[q.Strategy]; ok {
+			var k dag.Kernel
+			switch q.Kernel {
+			case KernelCholesky:
+				k = cholesky.NewKernel(q.N)
+			case KernelLU:
+				k = lu.NewKernel(q.N)
+			default:
+				k = qr.NewKernel(q.N)
+			}
+			return dag.NewDriver(k, q.P, policy, r), nil
 		}
 	}
 	return nil, fmt.Errorf("kernel %q has no strategy %q", q.Kernel, q.Strategy)

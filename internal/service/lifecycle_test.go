@@ -1,0 +1,183 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"hetsched/internal/core"
+	"hetsched/internal/dag"
+	"hetsched/internal/qr"
+	"hetsched/internal/rng"
+)
+
+// drainSequential drives a run in deterministic round-robin worker
+// order, one allocation step per poll, and returns the total blocks
+// and tasks granted.
+func drainSequential(t *testing.T, base string, info RunInfo) (blocks, tasks int) {
+	t.Helper()
+	completed := make([][]int64, info.P)
+	done := make([]bool, info.P)
+	for remaining := info.P; remaining > 0; {
+		for w := 0; w < info.P; w++ {
+			if done[w] {
+				continue
+			}
+			var next NextResponse
+			if code := call(t, "POST", fmt.Sprintf("%s/v1/runs/%s/next", base, info.ID),
+				NextRequest{Worker: w, Completed: completed[w]}, &next); code != http.StatusOK {
+				t.Fatalf("worker %d: status %d", w, code)
+			}
+			completed[w] = nil
+			switch next.Status {
+			case StatusDone:
+				done[w] = true
+				remaining--
+			case StatusOK:
+				blocks += next.Blocks
+				tasks += len(next.Tasks)
+				completed[w] = next.Tasks
+			}
+		}
+	}
+	return blocks, tasks
+}
+
+// TestEndToEndQRDeterministicVolume is the acceptance check for the
+// new QR run kind: a QR run is drivable end-to-end through schedd, and
+// equal seeds give bit-identical communication volume — both between
+// two service runs and against the in-process driver built from the
+// same seed and stepped in the same request order.
+func TestEndToEndQRDeterministicVolume(t *testing.T) {
+	const n, p, seed = 8, 3, 42
+	_, ts := newTestServer(t, Options{})
+
+	req := CreateRunRequest{Kernel: KernelQR, Strategy: "locality", N: n, P: p, Seed: seed, Batch: 1}
+	infoA := createRun(t, ts.URL, req)
+	infoB := createRun(t, ts.URL, req)
+	if infoA.Total != qr.TaskCount(n) {
+		t.Fatalf("run total = %d, want %d", infoA.Total, qr.TaskCount(n))
+	}
+
+	blocksA, tasksA := drainSequential(t, ts.URL, infoA)
+	blocksB, tasksB := drainSequential(t, ts.URL, infoB)
+	if tasksA != qr.TaskCount(n) || tasksB != qr.TaskCount(n) {
+		t.Fatalf("granted %d and %d tasks, want %d", tasksA, tasksB, qr.TaskCount(n))
+	}
+	if blocksA != blocksB {
+		t.Fatalf("equal seeds shipped %d vs %d blocks — service QR run not deterministic", blocksA, blocksB)
+	}
+
+	// In-process mirror: same seed derivation as service.NewDriver,
+	// same report-then-request round-robin order.
+	drv := dag.NewDriver(qr.NewKernel(n), p, dag.LocalityReady, rng.New(seed).Split())
+	blocks := 0
+	pending := make([][]core.Task, p)
+	done := make([]bool, p)
+	for remaining := p; remaining > 0; {
+		for w := 0; w < p; w++ {
+			if done[w] {
+				continue
+			}
+			if len(pending[w]) > 0 {
+				drv.Complete(w, pending[w])
+				pending[w] = nil
+			}
+			a, ok := drv.Next(w)
+			if !ok {
+				if drv.Remaining() == 0 {
+					done[w] = true
+					remaining--
+				}
+				continue
+			}
+			blocks += a.Blocks
+			pending[w] = append(pending[w], a.Tasks...)
+		}
+	}
+	if blocks != blocksA {
+		t.Fatalf("HTTP QR run shipped %d blocks, in-process %d — allocation diverged", blocksA, blocks)
+	}
+}
+
+// TestExpiredAndSweptRunStatuses pins the registry lifecycle edges on
+// every per-run endpoint: an expired-but-unswept run answers 410 Gone,
+// a swept run answers 404.
+func TestExpiredAndSweptRunStatuses(t *testing.T) {
+	svc, ts := newTestServer(t, Options{TTL: -1})
+	info := createRun(t, ts.URL, CreateRunRequest{Kernel: KernelQR, N: 4, P: 2, Seed: 1})
+
+	endpoints := func() map[string]func() int {
+		return map[string]func() int{
+			"info":  func() int { return call(t, "GET", ts.URL+"/v1/runs/"+info.ID, nil, nil) },
+			"next":  func() int { return call(t, "POST", ts.URL+"/v1/runs/"+info.ID+"/next", NextRequest{Worker: 0}, nil) },
+			"stats": func() int { return call(t, "GET", ts.URL+"/v1/runs/"+info.ID+"/stats", nil, nil) },
+			"trace": func() int { return call(t, "GET", ts.URL+"/v1/runs/"+info.ID+"/trace", nil, nil) },
+		}
+	}
+
+	if code := call(t, "DELETE", ts.URL+"/v1/runs/"+info.ID, nil, nil); code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+	for name, hit := range endpoints() {
+		if code := hit(); code != http.StatusGone {
+			t.Errorf("%s on expired-but-unswept run: status %d, want 410", name, code)
+		}
+	}
+	if n := svc.SweepNow(); n != 1 {
+		t.Fatalf("sweep collected %d runs, want 1", n)
+	}
+	for name, hit := range endpoints() {
+		if code := hit(); code != http.StatusNotFound {
+			t.Errorf("%s on swept run: status %d, want 404", name, code)
+		}
+	}
+	// A second DELETE of a swept run is also a clean 404.
+	if code := call(t, "DELETE", ts.URL+"/v1/runs/"+info.ID, nil, nil); code != http.StatusNotFound {
+		t.Errorf("delete of swept run: status %d, want 404", code)
+	}
+}
+
+// TestPollRacingJanitorNeverPanics hammers /next from concurrent
+// workers while an aggressive janitor expires and sweeps the runs
+// under them. Every response must be one of 200/400/404/410 — never a
+// panic (which httptest would surface as a 500 or a test crash).
+func TestPollRacingJanitorNeverPanics(t *testing.T) {
+	_, ts := newTestServer(t, Options{TTL: time.Nanosecond, GCInterval: time.Millisecond})
+
+	const workers = 4
+	var wg sync.WaitGroup
+	for round := 0; round < 8; round++ {
+		info := createRun(t, ts.URL, CreateRunRequest{Kernel: KernelLU, N: 6, P: workers, Seed: uint64(round)})
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var completed []int64
+				deadline := time.Now().Add(200 * time.Millisecond)
+				for time.Now().Before(deadline) {
+					var next NextResponse
+					code := call(t, "POST", fmt.Sprintf("%s/v1/runs/%s/next", ts.URL, info.ID),
+						NextRequest{Worker: w, Completed: completed}, &next)
+					completed = nil
+					switch code {
+					case http.StatusOK:
+						if next.Status == StatusDone {
+							return
+						}
+						completed = next.Tasks
+					case http.StatusGone, http.StatusNotFound:
+						// The janitor won the race; the worker retires.
+						return
+					default:
+						t.Errorf("worker %d: unexpected status %d", w, code)
+						return
+					}
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"fmt"
+
+	"hetsched/internal/core"
+	"hetsched/internal/speeds"
+)
+
+// DriverMetrics aggregates the outcome of one simulated core.Driver
+// run. It extends the flat-kernel Metrics with the dependency-specific
+// signals: worker wait time and the completion-order schedule.
+type DriverMetrics struct {
+	// Blocks is the total number of data blocks shipped by the master
+	// (the paper's communication volume); BlocksPer is per worker.
+	Blocks    int
+	BlocksPer []int
+	// TasksPer is the number of tasks each worker executed.
+	TasksPer []int
+	// Makespan is the completion time of the last task.
+	Makespan float64
+	// WaitTime is the total time workers spent idle waiting for a
+	// schedulable ready task (excluding after-the-end idling).
+	WaitTime float64
+	// Requests is the number of granted master interactions.
+	Requests int
+	// Schedule is the completion order of the encoded tasks, a valid
+	// sequential replay order for numeric verification.
+	Schedule []core.Task
+}
+
+// completionEvent is a worker finishing its current batch. tasks may
+// alias the worker's reusable assignment buffer: the event is always
+// consumed (and the tasks reported back to the driver) before that
+// worker requests again.
+type completionEvent struct {
+	t     float64
+	proc  int
+	seq   uint64
+	tasks []core.Task
+}
+
+func (e completionEvent) before(o completionEvent) bool {
+	if e.t != o.t {
+		return e.t < o.t
+	}
+	return e.seq < o.seq
+}
+
+// RunDriver simulates drv to exhaustion on a platform described by
+// model. It is the dependency-aware counterpart of Run: because a
+// driver's allocation state advances on completions as well as on
+// requests, a worker that finds no schedulable task parks and is
+// retried after every completion, and each completed batch is reported
+// back to the driver before anyone requests again.
+//
+// The engine runs on the same machinery as Run: the hand-rolled index
+// heap orders completions, and drivers implementing
+// core.BufferedDriver get one reusable task buffer per worker so the
+// request path stays allocation-free. Per-task durations come from
+// core.TaskCoster when the driver implements it (cost/speed time
+// units per task, the DAG kernels' GEMM-equivalent accounting) and
+// default to one elementary block task otherwise. Virtual time
+// advances task by task with the speed re-sampled after every task, so
+// dynamic speed models drift exactly as in Run.
+func RunDriver(drv core.Driver, model speeds.Model) *DriverMetrics {
+	p := drv.P()
+	if p != model.P() {
+		panic(fmt.Sprintf("sim: driver has %d workers, model %d", p, model.P()))
+	}
+	m := &DriverMetrics{
+		BlocksPer: make([]int, p),
+		TasksPer:  make([]int, p),
+		Schedule:  make([]core.Task, 0, drv.Total()),
+	}
+
+	bd, buffered := drv.(core.BufferedDriver)
+	var bufs []core.TaskBuf
+	if buffered {
+		bufs = make([]core.TaskBuf, p)
+	}
+	coster, costed := drv.(core.TaskCoster)
+
+	q := eventHeap[completionEvent]{ev: make([]completionEvent, 0, p)}
+	var seq uint64
+	idleSince := make([]float64, p)
+	waiting := make([]bool, p)
+
+	// assign gives worker w a batch at time now if possible, pushing
+	// its completion event.
+	assign := func(w int, now float64) bool {
+		var a core.Assignment
+		var ok bool
+		if buffered {
+			a, ok = bd.NextInto(w, bufs[w])
+			if ok {
+				bufs[w] = a.Tasks // retain grown capacity
+			}
+		} else {
+			a, ok = drv.Next(w)
+		}
+		if !ok {
+			return false
+		}
+		m.Requests++
+		m.Blocks += a.Blocks
+		m.BlocksPer[w] += a.Blocks
+		m.TasksPer[w] += len(a.Tasks)
+		if waiting[w] {
+			m.WaitTime += now - idleSince[w]
+			waiting[w] = false
+		}
+		t := now
+		for _, task := range a.Tasks {
+			s := model.Speed(w)
+			if s <= 0 {
+				panic("sim: non-positive speed")
+			}
+			cost := 1.0
+			if costed {
+				cost = coster.TaskCost(task)
+			}
+			t += cost / s
+			model.OnTaskDone(w)
+		}
+		q.push(completionEvent{t: t, proc: w, seq: seq, tasks: a.Tasks})
+		seq++
+		return true
+	}
+
+	for w := 0; w < p; w++ {
+		if !assign(w, 0) {
+			waiting[w] = true
+			idleSince[w] = 0
+		}
+	}
+
+	for q.len() > 0 {
+		e := q.pop()
+		if len(e.tasks) > 0 {
+			m.Schedule = append(m.Schedule, e.tasks...)
+			drv.Complete(e.proc, e.tasks)
+			if e.t > m.Makespan {
+				m.Makespan = e.t
+			}
+		}
+
+		// The finishing worker requests first, then any waiting worker
+		// re-tries (new tasks may have become ready or unblocked).
+		if !assign(e.proc, e.t) {
+			waiting[e.proc] = true
+			idleSince[e.proc] = e.t
+		}
+		for w := 0; w < p; w++ {
+			if waiting[w] {
+				_ = assign(w, e.t)
+			}
+		}
+	}
+
+	if drv.Remaining() != 0 {
+		panic(fmt.Sprintf("sim: driver run ended with %d of %d tasks unfinished",
+			drv.Remaining(), drv.Total()))
+	}
+	return m
+}
