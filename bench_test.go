@@ -73,5 +73,10 @@ func BenchmarkSimBandwidthTwoPhases(b *testing.B) { perf.SimBandwidthTwoPhases(b
 // throughput; see perf.ServiceHostNext for the setup.
 func BenchmarkServiceHostNext(b *testing.B) { perf.ServiceHostNext(b) }
 
+// BenchmarkServiceHostNextLease is the same poll loop with a
+// never-firing lease armed: the delta to BenchmarkServiceHostNext is
+// the cost of reclamation bookkeeping on the hot path.
+func BenchmarkServiceHostNextLease(b *testing.B) { perf.ServiceHostNextLease(b) }
+
 // BenchmarkServiceHostNextParallel is the contended variant.
 func BenchmarkServiceHostNextParallel(b *testing.B) { perf.ServiceHostNextParallel(b) }

@@ -2,7 +2,7 @@
 // HTTP: clients create runs, workers poll for task batches and report
 // completions, observers read live statistics and traces.
 //
-//	schedd -addr :8080 -shards 16 -batch 4 -ttl 15m
+//	schedd -addr :8080 -shards 16 -batch 4 -ttl 15m -lease 30s
 //
 // Create a run and pull one assignment:
 //
@@ -32,9 +32,10 @@ func main() {
 	batch := flag.Int("batch", 1, "default tasks per worker request (the paper's batching knob)")
 	ttl := flag.Duration("ttl", 15*time.Minute, "expire runs idle for longer than this (0 = never)")
 	gc := flag.Duration("gc", time.Minute, "garbage-collection interval (0 = disabled)")
+	lease := flag.Duration("lease", 0, "default assignment lease: reclaim tasks a worker holds longer than this (0 = never; runs can override via lease_seconds)")
 	flag.Parse()
 
-	opts := service.Options{Shards: *shards, DefaultBatch: *batch, TTL: *ttl, GCInterval: *gc}
+	opts := service.Options{Shards: *shards, DefaultBatch: *batch, TTL: *ttl, GCInterval: *gc, DefaultLease: *lease}
 	if *ttl == 0 {
 		opts.TTL = -1
 	}

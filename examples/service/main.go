@@ -1,8 +1,10 @@
 // Example service demonstrates the scheduler-as-a-service daemon end
 // to end without any external setup: it starts an in-process schedd
 // handler on a loopback listener, creates an outer-product run over
-// the HTTP API, drains it with concurrent HTTP worker loops, and
-// prints the final statistics and a Gantt chart of the recorded trace.
+// the HTTP API, drains it with concurrent HTTP worker loops — one of
+// which crashes mid-run while holding a batch, exercising lease-based
+// task reclamation — and prints the final statistics and a Gantt
+// chart of the recorded trace.
 package main
 
 import (
@@ -22,7 +24,9 @@ import (
 const workers = 8
 
 func main() {
-	svc := service.New(service.Options{DefaultBatch: 4, GCInterval: -1})
+	// The 150ms default lease is what lets the run survive the crashed
+	// worker below: its unreported batch is reclaimed and reassigned.
+	svc := service.New(service.Options{DefaultBatch: 4, GCInterval: -1, DefaultLease: 150 * time.Millisecond})
 	defer svc.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -58,6 +62,13 @@ func main() {
 				case service.StatusWait:
 					time.Sleep(time.Millisecond)
 				case service.StatusOK:
+					// Worker 0 "crashes" (stops polling) while holding
+					// its first batch; the lease reclaims it.
+					if w == 0 {
+						fmt.Printf("worker 0 crashed holding %d tasks (lease %.0fms)\n",
+							len(next.Tasks), next.LeaseSeconds*1e3)
+						return
+					}
 					// "Execute" the batch; a real worker would do block
 					// arithmetic here (see internal/exec).
 					completed = next.Tasks
@@ -72,6 +83,7 @@ func main() {
 	fmt.Printf("\nstate               %s\n", st.State)
 	fmt.Printf("tasks               %d assigned, %d completed, %d remaining\n",
 		st.Assigned, st.Completed, st.Remaining)
+	fmt.Printf("reclaimed           %d tasks (lease expiry after the crash)\n", st.Reclaimed)
 	fmt.Printf("communication       %d blocks\n", st.Blocks)
 	fmt.Printf("master requests     %d (mean batch %.2f tasks)\n", st.Requests, st.BatchTasks.Mean)
 	fmt.Printf("phase-1 tasks       %d\n", st.Phase1Tasks)

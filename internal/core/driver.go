@@ -57,11 +57,36 @@ type TaskCoster interface {
 	TaskCost(t Task) float64
 }
 
+// Reassigner is an optional Driver capability used for fault
+// tolerance: Reassign returns tasks that were granted to worker w by
+// Next but will never be completed by it (the worker is presumed dead
+// — its lease expired) to the driver's schedulable pool, so later Next
+// calls can hand them to surviving workers.
+//
+// Contract: every reassigned task must have been granted to w and not
+// completed or already reassigned; the driver serves it again exactly
+// once. Like every other Driver method, Reassign is called from the
+// single goroutine (or under the single lock) that owns the driver.
+type Reassigner interface {
+	// Reassign feeds the abandoned tasks ts, previously granted to
+	// worker w, back into the schedulable pool.
+	Reassign(w int, ts []Task)
+}
+
 // SchedulerDriver adapts a plain Scheduler to the Driver interface:
 // completions are no-ops because flat schedulers mark tasks processed
-// at assignment time.
+// at assignment time. Reassigned tasks go into a host-level requeue
+// that Next serves before stepping the wrapped scheduler: the flat
+// schedulers have no notion of un-processing a task, so the requeue
+// preserves exactly-once allocation without touching their internal
+// data-placement state. A requeued task carries no block cost — the
+// original grant already charged the shipment, and the flat
+// schedulers' ownership bookkeeping cannot be replayed for the new
+// worker (the DAG kernels, which track per-worker tile versions, do
+// re-charge; see dag.Driver.Reassign).
 type SchedulerDriver struct {
-	s Scheduler
+	s       Scheduler
+	requeue []Task
 }
 
 // NewSchedulerDriver wraps s. The wrapper owns no state of its own, so
@@ -73,13 +98,38 @@ func NewSchedulerDriver(s Scheduler) *SchedulerDriver {
 	return &SchedulerDriver{s: s}
 }
 
-// Next implements Driver.
-func (d *SchedulerDriver) Next(w int) (Assignment, bool) { return d.s.Next(w) }
+// popRequeue serves the oldest reclaimed task, if any. One task per
+// allocation step mirrors the granularity of the flat schedulers'
+// cheapest strategies, so the host's batching loop stays in control of
+// assignment sizes.
+func (d *SchedulerDriver) popRequeue(buf TaskBuf) (Assignment, bool) {
+	if len(d.requeue) == 0 {
+		return Assignment{}, false
+	}
+	t := d.requeue[0]
+	d.requeue = d.requeue[1:]
+	if len(d.requeue) == 0 {
+		d.requeue = nil // release the drained backing array
+	}
+	return Assignment{Tasks: append(buf[:0], t)}, true
+}
+
+// Next implements Driver, serving reclaimed tasks before stepping the
+// wrapped scheduler.
+func (d *SchedulerDriver) Next(w int) (Assignment, bool) {
+	if a, ok := d.popRequeue(nil); ok {
+		return a, true
+	}
+	return d.s.Next(w)
+}
 
 // NextInto implements BufferedDriver when the wrapped scheduler is
 // buffered; otherwise it falls back to the allocating Next path (the
 // assignment is still correct, it just does not reuse buf).
 func (d *SchedulerDriver) NextInto(w int, buf TaskBuf) (Assignment, bool) {
+	if a, ok := d.popRequeue(buf); ok {
+		return a, true
+	}
 	if bs, ok := d.s.(BufferedScheduler); ok {
 		return bs.NextInto(w, buf)
 	}
@@ -89,8 +139,17 @@ func (d *SchedulerDriver) NextInto(w int, buf TaskBuf) (Assignment, bool) {
 // Complete implements Driver as a no-op.
 func (d *SchedulerDriver) Complete(int, []Task) {}
 
-// Remaining implements Driver.
-func (d *SchedulerDriver) Remaining() int { return d.s.Remaining() }
+// Reassign implements Reassigner: the abandoned tasks enter the
+// requeue, which Next drains (oldest first) before stepping the
+// scheduler.
+func (d *SchedulerDriver) Reassign(_ int, ts []Task) {
+	d.requeue = append(d.requeue, ts...)
+}
+
+// Remaining implements Driver: unprocessed tasks plus reclaimed tasks
+// awaiting reassignment, so a run with an empty scheduler but a
+// non-empty requeue is not mistaken for drained.
+func (d *SchedulerDriver) Remaining() int { return d.s.Remaining() + len(d.requeue) }
 
 // Total implements Driver.
 func (d *SchedulerDriver) Total() int { return d.s.Total() }

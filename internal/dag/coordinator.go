@@ -185,6 +185,28 @@ func (c *Coordinator) TryAssign(w int) (t Task, shipped int, ok bool) {
 	return t, shipped, true
 }
 
+// Reassign returns task t (previously assigned by TryAssign and never
+// completed) to the ready set: its output tiles' write locks are
+// released so another ready task — or t itself, under a different
+// worker — can claim them. Tile versions are untouched (the abandoned
+// worker never produced the outputs), so when t lands on a worker that
+// does not hold the current input tile versions, TryAssign charges the
+// re-ship blocks exactly like any other assignment.
+func (c *Coordinator) Reassign(t Task) {
+	if c.single != nil {
+		c.outBuf = append(c.outBuf[:0], c.single.OutputTile(t))
+	} else {
+		c.outBuf = c.k.OutputTiles(t, c.outBuf[:0])
+	}
+	for _, id := range c.outBuf {
+		if !c.inFlight[id] {
+			panic(fmt.Sprintf("dag: reassigning %s task whose output tile %d is not in flight", c.k.Name(), id))
+		}
+		c.inFlight[id] = false
+	}
+	c.ready = append(c.ready, t)
+}
+
 // Complete marks task t (previously assigned to worker w) finished:
 // the output tiles' versions are bumped, the writer's cache holds the
 // fresh copies, and newly ready tasks enter the ready set.

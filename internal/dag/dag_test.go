@@ -193,3 +193,123 @@ func TestCoordinatorValidation(t *testing.T) {
 		}()
 	}
 }
+
+// TestCoordinatorReassign exercises lease-style reclamation at the
+// coordinator level: an assigned-but-abandoned task re-enters the
+// ready set with its write locks released, and its reassignment to a
+// worker without the input tile versions charges re-ship blocks.
+func TestCoordinatorReassign(t *testing.T) {
+	const n, p = 3, 2
+	c := NewCoordinator(&chainKernel{n: n}, p, LocalityReady, rng.New(1))
+
+	// Worker 0 takes task 0 (ships tile 0), then dies.
+	task, shipped, ok := c.TryAssign(0)
+	if !ok || task.I != 0 || shipped != 1 {
+		t.Fatalf("TryAssign(0) = %+v, %d, %v", task, shipped, ok)
+	}
+	// While the task is in flight nothing is schedulable...
+	if _, _, ok := c.TryAssign(1); ok {
+		t.Fatal("second assignment while chain task in flight")
+	}
+	c.Reassign(task)
+	// ...but the reclaim releases the write lock: worker 1 wins the
+	// task and is charged the ship of tile 0, which it never held (the
+	// dead worker's cached copy is irrelevant — tile versions did not
+	// move, so re-assigning back to worker 0 would ship nothing).
+	got, reshipped, ok := c.TryAssign(1)
+	if !ok || got != task {
+		t.Fatalf("reassigned TryAssign(1) = %+v, %v, want %+v", got, ok, task)
+	}
+	if reshipped != 1 {
+		t.Fatalf("re-ship charged %d blocks to the new owner, want 1", reshipped)
+	}
+	c.Complete(1, got)
+	if c.Completed() != 1 {
+		t.Fatalf("completed = %d after reassigned completion", c.Completed())
+	}
+
+	// The chain continues under the new owner: exactly-once semantics
+	// survive the reclaim.
+	for i := 1; i < n; i++ {
+		task, _, ok := c.TryAssign(1)
+		if !ok || task.I != i {
+			t.Fatalf("step %d after reassign: got %+v ok=%v", i, task, ok)
+		}
+		c.Complete(1, task)
+	}
+	if !c.Done() {
+		t.Fatal("coordinator not done after reassigned run drained")
+	}
+}
+
+// TestCoordinatorReassignSameWorkerShipsNothing pins the cache
+// interaction: tile versions do not move on a reclaim, so the
+// abandoned worker winning its own task back re-ships zero blocks.
+func TestCoordinatorReassignSameWorkerShipsNothing(t *testing.T) {
+	c := NewCoordinator(&chainKernel{n: 2}, 1, LocalityReady, rng.New(1))
+	task, shipped, _ := c.TryAssign(0)
+	if shipped != 1 {
+		t.Fatalf("initial ship = %d, want 1", shipped)
+	}
+	c.Reassign(task)
+	got, reshipped, ok := c.TryAssign(0)
+	if !ok || got != task || reshipped != 0 {
+		t.Fatalf("same-worker reassignment = %+v, %d, %v; want %+v, 0, true", got, reshipped, ok, task)
+	}
+}
+
+// TestCoordinatorReassignValidation: reassigning a task whose outputs
+// are not in flight (never assigned, or already completed) panics like
+// any other protocol violation — network-facing callers must validate.
+func TestCoordinatorReassignValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"never assigned": func() {
+			c := NewCoordinator(&chainKernel{n: 2}, 1, RandomReady, rng.New(1))
+			c.Reassign(Task{I: 0})
+		},
+		"already completed": func() {
+			c := NewCoordinator(&chainKernel{n: 2}, 1, RandomReady, rng.New(1))
+			task, _, _ := c.TryAssign(0)
+			c.Complete(0, task)
+			c.Reassign(task)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestDriverReassign drives the core.Reassigner capability through the
+// encoded-task Driver interface, as the service host does.
+func TestDriverReassign(t *testing.T) {
+	const n, p = 4, 2
+	drv := NewDriver(&chainKernel{n: n}, p, LocalityReady, rng.New(3))
+	var _ core.Reassigner = drv
+
+	a, ok := drv.Next(0)
+	if !ok || len(a.Tasks) != 1 {
+		t.Fatalf("Next = %+v, %v", a, ok)
+	}
+	before := drv.Remaining()
+	drv.Reassign(0, a.Tasks)
+	if drv.Remaining() != before {
+		t.Fatalf("Remaining moved %d -> %d on reassign (tasks are not completed by dying)", before, drv.Remaining())
+	}
+	b, ok := drv.Next(1)
+	if !ok || len(b.Tasks) != 1 || b.Tasks[0] != a.Tasks[0] {
+		t.Fatalf("reassigned Next(1) = %+v, %v; want task %d", b, ok, a.Tasks[0])
+	}
+	if b.Blocks == 0 {
+		t.Fatal("reassignment to a cold worker shipped no blocks")
+	}
+	drv.Complete(1, b.Tasks)
+	if drv.Remaining() != n-1 {
+		t.Fatalf("Remaining = %d after reassigned completion, want %d", drv.Remaining(), n-1)
+	}
+}

@@ -12,6 +12,7 @@ package perf
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"hetsched/internal/analysis"
 	"hetsched/internal/cholesky"
@@ -53,6 +54,7 @@ var SimBenchmarks = []Benchmark{
 // in BENCH_service.json.
 var ServiceBenchmarks = []Benchmark{
 	{"ServiceHostNext", ServiceHostNext},
+	{"ServiceHostNextLease", ServiceHostNextLease},
 	{"ServiceHostNextParallel", ServiceHostNextParallel},
 }
 
@@ -211,11 +213,22 @@ func OptimalBetaMatrix100(b *testing.B) {
 // against one mutex-guarded service.Host (outer 2phases, batch 4).
 // One op is one granted master interaction, so assignments/sec is
 // 1e9/(ns/op) — the baseline number future scaling PRs move.
-func ServiceHostNext(b *testing.B) {
+func ServiceHostNext(b *testing.B) { serviceHostNextBench(b, 0) }
+
+// ServiceHostNextLease is ServiceHostNext with a lease armed that
+// never fires (healthy workers report well inside an hour): it prices
+// the reclamation bookkeeping on the poll hot path — per-task deadline
+// stamps, the next-expiry lower bound, and the per-poll expiry check —
+// against the lease-free baseline row above.
+func ServiceHostNextLease(b *testing.B) { serviceHostNextBench(b, time.Hour) }
+
+// serviceHostNextBench is the shared drive loop behind the two rows:
+// one harness, so their BENCH_service.json delta isolates the lease.
+func serviceHostNextBench(b *testing.B, lease time.Duration) {
 	const n, p, batch = 128, 64, 4
 	newHost := func(seed uint64) *service.Host {
 		drv := core.NewSchedulerDriver(outer.NewTwoPhasesAuto(n, p, rng.New(seed).Split()))
-		return service.NewHost(drv, batch)
+		return service.NewHost(drv, batch, lease)
 	}
 	seed := uint64(1)
 	h := newHost(seed)
@@ -246,7 +259,7 @@ func ServiceHostNextParallel(b *testing.B) {
 	var wseq int
 	var h *service.Host
 	reset := func(seed uint64) {
-		h = service.NewHost(core.NewSchedulerDriver(outer.NewTwoPhasesAuto(n, p, rng.New(seed).Split())), batch)
+		h = service.NewHost(core.NewSchedulerDriver(outer.NewTwoPhasesAuto(n, p, rng.New(seed).Split())), batch, 0)
 	}
 	seed := uint64(1)
 	reset(seed)

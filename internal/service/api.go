@@ -83,22 +83,30 @@ type CreateRunRequest struct {
 	// Batch is the target number of tasks served per worker request
 	// (the paper's batching knob); 0 uses the server default.
 	Batch int `json:"batch,omitempty"`
+	// LeaseSeconds is how long a worker may hold a granted assignment
+	// before the master reclaims its tasks and reassigns them to
+	// surviving workers. 0 uses the server default; a negative value
+	// explicitly disables reclamation for this run.
+	LeaseSeconds float64 `json:"lease_seconds,omitempty"`
 }
 
 // RunInfo describes a run; returned by run creation, listing and GET
 // /v1/runs/{id}.
 type RunInfo struct {
-	ID       string    `json:"id"`
-	Kernel   string    `json:"kernel"`
-	Strategy string    `json:"strategy"`
-	N        int       `json:"n"`
-	P        int       `json:"p"`
-	Seed     uint64    `json:"seed"`
-	Beta     float64   `json:"beta,omitempty"`
-	Batch    int       `json:"batch"`
-	Total    int       `json:"total"`
-	State    string    `json:"state"`
-	Created  time.Time `json:"created"`
+	ID       string  `json:"id"`
+	Kernel   string  `json:"kernel"`
+	Strategy string  `json:"strategy"`
+	N        int     `json:"n"`
+	P        int     `json:"p"`
+	Seed     uint64  `json:"seed"`
+	Beta     float64 `json:"beta,omitempty"`
+	Batch    int     `json:"batch"`
+	// LeaseSeconds is the run's effective assignment lease (0 when
+	// reclamation is disabled).
+	LeaseSeconds float64   `json:"lease_seconds,omitempty"`
+	Total        int       `json:"total"`
+	State        string    `json:"state"`
+	Created      time.Time `json:"created"`
 }
 
 // RunList is the body of GET /v1/runs.
@@ -119,6 +127,10 @@ type NextResponse struct {
 	Status string  `json:"status"`
 	Tasks  []int64 `json:"tasks,omitempty"`
 	Blocks int     `json:"blocks"`
+	// LeaseSeconds, when positive, is the deadline window of this
+	// assignment: tasks not reported complete within it are reclaimed
+	// and reassigned, and the late report answers 409.
+	LeaseSeconds float64 `json:"lease_seconds,omitempty"`
 }
 
 // WorkerStats is the per-worker slice of StatsResponse.
@@ -127,6 +139,9 @@ type WorkerStats struct {
 	Requests int `json:"requests"`
 	Tasks    int `json:"tasks"`
 	Blocks   int `json:"blocks"`
+	// Reclaimed counts tasks taken back from this worker by lease
+	// expiry.
+	Reclaimed int `json:"reclaimed,omitempty"`
 }
 
 // StatsResponse is the body of GET /v1/runs/{id}/stats.
@@ -136,14 +151,21 @@ type StatsResponse struct {
 	Strategy string `json:"strategy"`
 	State    string `json:"state"`
 	Total    int    `json:"total"`
-	// Assigned and Completed count tasks handed out and reported back;
-	// Outstanding = Assigned − Completed is the in-flight window.
+	// Assigned and Completed count tasks handed out and reported back
+	// (a reclaimed task that is reassigned counts in Assigned again);
+	// Outstanding = Assigned − Completed − Reclaimed is the in-flight
+	// window.
 	Assigned    int `json:"assigned"`
 	Completed   int `json:"completed"`
 	Outstanding int `json:"outstanding"`
 	// Remaining is the driver's view: unallocated tasks for flat
 	// kernels, uncompleted tasks for DAG kernels.
 	Remaining int `json:"remaining"`
+	// Reclaimed counts tasks whose lease expired and were taken back
+	// for reassignment; LeaseSeconds echoes the run's lease (0 when
+	// reclamation is disabled).
+	Reclaimed    int     `json:"reclaimed"`
+	LeaseSeconds float64 `json:"lease_seconds"`
 	// Blocks is the communication volume so far (the paper's metric).
 	Blocks int `json:"blocks"`
 	// Requests counts granted worker interactions.
@@ -214,6 +236,9 @@ func (q *CreateRunRequest) Validate() error {
 	if q.Beta < 0 {
 		return fmt.Errorf("beta must be non-negative (got %g)", q.Beta)
 	}
+	if q.LeaseSeconds > maxLeaseSeconds {
+		return fmt.Errorf("lease_seconds=%g exceeds the cap of %d", q.LeaseSeconds, maxLeaseSeconds)
+	}
 	if q.Strategy == "" {
 		switch q.Kernel {
 		case KernelCholesky, KernelLU, KernelQR:
@@ -239,6 +264,10 @@ const (
 	// Host lock acquisition; without it a single /next request could
 	// drain a whole instance inside one critical section.
 	maxBatch = 1 << 12
+	// maxLeaseSeconds caps a run's assignment lease at one day: a
+	// lease far past any plausible task time is indistinguishable from
+	// the wedge-forever behavior leases exist to fix.
+	maxLeaseSeconds = 86400
 )
 
 func (q *CreateRunRequest) taskCount() int64 {

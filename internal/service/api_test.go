@@ -31,22 +31,23 @@ func roundTrip(t *testing.T, v any) {
 func TestAPIRoundTrips(t *testing.T) {
 	created := time.Date(2026, 7, 28, 12, 0, 0, 0, time.UTC)
 	for _, v := range []any{
-		&CreateRunRequest{Kernel: KernelOuter, Strategy: "2phases", N: 100, P: 8, Seed: 7, Beta: 2.5, Batch: 4},
+		&CreateRunRequest{Kernel: KernelOuter, Strategy: "2phases", N: 100, P: 8, Seed: 7, Beta: 2.5, Batch: 4, LeaseSeconds: 30},
 		&CreateRunRequest{Kernel: KernelCholesky, Strategy: "locality", N: 24, P: 16, Seed: 1},
 		&RunInfo{ID: "r0001-deadbeef", Kernel: KernelMatmul, Strategy: "dynamic", N: 40, P: 100,
-			Seed: 9, Batch: 2, Total: 64000, State: StateDraining, Created: created},
+			Seed: 9, Batch: 2, LeaseSeconds: 30, Total: 64000, State: StateDraining, Created: created},
 		&RunList{Runs: []RunInfo{{ID: "a", Kernel: KernelLU, Strategy: "critpath", N: 8, P: 2,
 			Batch: 1, Total: 120, State: StateCreated, Created: created}}},
 		&NextRequest{Worker: 3, Completed: []int64{1, 2, 99}},
 		&NextRequest{Worker: 0},
-		&NextResponse{Status: StatusOK, Tasks: []int64{10, 11}, Blocks: 3},
+		&NextResponse{Status: StatusOK, Tasks: []int64{10, 11}, Blocks: 3, LeaseSeconds: 30},
 		&NextResponse{Status: StatusWait},
 		&NextResponse{Status: StatusDone},
 		&StatsResponse{ID: "r", Kernel: KernelOuter, Strategy: "random", State: StateComplete,
-			Total: 100, Assigned: 100, Completed: 100, Remaining: 0, Blocks: 42, Requests: 17,
+			Total: 100, Assigned: 104, Completed: 100, Remaining: 0, Reclaimed: 4, LeaseSeconds: 30,
+			Blocks: 42, Requests: 17,
 			Phase1Tasks: -1, ElapsedSeconds: 1.5, MakespanSeconds: 1.25,
 			BatchTasks: stats.Summary{N: 17, Mean: 5.88, StdDev: 1.1, Min: 1, Max: 9},
-			Workers:    []WorkerStats{{Worker: 0, Requests: 17, Tasks: 100, Blocks: 42}}},
+			Workers:    []WorkerStats{{Worker: 0, Requests: 17, Tasks: 100, Blocks: 42, Reclaimed: 4}}},
 		&TraceResponse{ID: "r", Trace: &trace.Trace{P: 2, Segments: []trace.Segment{
 			{Proc: 1, Start: 0.5, End: 0.75, Tasks: 4, Blocks: 2}}}},
 		&ErrorResponse{Error: "boom"},
@@ -88,16 +89,17 @@ func TestCreateRunRequestValidate(t *testing.T) {
 	}
 
 	bad := []CreateRunRequest{
-		{N: 10, P: 2},                                      // missing kernel
-		{Kernel: "fft", N: 10, P: 2},                       // unknown kernel
-		{Kernel: KernelOuter, N: 0, P: 2},                  // bad n
-		{Kernel: KernelOuter, N: 10, P: -1},                // bad p
-		{Kernel: KernelOuter, N: 10, P: 2, Batch: -1},      // bad batch
-		{Kernel: KernelOuter, N: 10, P: 2, Batch: 1 << 13}, // over batch cap
-		{Kernel: KernelOuter, N: 10, P: 2, Beta: -0.5},     // bad beta
-		{Kernel: KernelMatmul, N: 1 << 12, P: 2},           // over task cap
-		{Kernel: KernelOuter, N: 10, P: 1 << 20},           // over worker cap
-		{Kernel: KernelOuter, N: 1 << 30, P: 2},            // overflow guard
+		{N: 10, P: 2},                                         // missing kernel
+		{Kernel: "fft", N: 10, P: 2},                          // unknown kernel
+		{Kernel: KernelOuter, N: 0, P: 2},                     // bad n
+		{Kernel: KernelOuter, N: 10, P: -1},                   // bad p
+		{Kernel: KernelOuter, N: 10, P: 2, Batch: -1},         // bad batch
+		{Kernel: KernelOuter, N: 10, P: 2, Batch: 1 << 13},    // over batch cap
+		{Kernel: KernelOuter, N: 10, P: 2, Beta: -0.5},        // bad beta
+		{Kernel: KernelOuter, N: 10, P: 2, LeaseSeconds: 1e6}, // over lease cap
+		{Kernel: KernelMatmul, N: 1 << 12, P: 2},              // over task cap
+		{Kernel: KernelOuter, N: 10, P: 1 << 20},              // over worker cap
+		{Kernel: KernelOuter, N: 1 << 30, P: 2},               // overflow guard
 	}
 	for _, q := range bad {
 		if err := q.Validate(); err == nil {

@@ -27,29 +27,80 @@ type Host struct {
 	drv   core.Driver
 	batch int
 
+	// lease is how long a granted assignment stays owned by its worker
+	// before the host may reclaim it (0 disables reclamation).
+	// reassigner is the driver's reclaim capability; leases are inert
+	// when the driver does not provide one.
+	lease      time.Duration
+	reassigner core.Reassigner
+
 	// outstanding maps every assigned-but-unreported task to the
-	// worker executing it; completions not present here are rejected
-	// before they can reach (and panic) a DAG coordinator.
-	outstanding map[core.Task]int
+	// worker executing it plus its lease deadline; completions not
+	// present here are rejected before they can reach (and panic) a
+	// DAG coordinator.
+	outstanding map[core.Task]grantInfo
+	// nextExpiry is a lower bound on the earliest outstanding lease
+	// deadline (zero when none), so the poll hot path pays one time
+	// comparison instead of a table scan. It can run stale-early when
+	// the earliest lease completes on time; the scan it then triggers
+	// finds nothing and recomputes the true minimum.
+	nextExpiry time.Time
+	// reclaimedFrom records (task, worker) pairs whose lease expired
+	// while the worker held the task, so its late completion report is
+	// rejected deterministically (409 lease expired) rather than as a
+	// generic protocol violation. An entry is dropped if the same
+	// worker legitimately completes the task after winning it back.
+	reclaimedFrom map[taskOwner]struct{}
 
 	assigned  int
 	completed int
+	reclaimed int
 	blocks    int
 	requests  int
+	polls     int
 	workers   []WorkerStats
 	batchAcc  stats.Accumulator
 
 	start time.Time
 	// last is the instant of the last granted assignment or applied
 	// completion (drives makespan-so-far); lastPoll additionally
-	// counts wait/done polls, so the TTL sweep never expires a run
-	// whose workers are still talking to the master.
+	// counts wait/done polls. lastPoll keeps the TTL sweep from
+	// expiring a run whose workers are still talking to the master —
+	// which is also why the sweep alone cannot unwedge a run that lost
+	// a worker: the survivors' wait polls keep it warm forever. Lease
+	// reclamation, not the TTL, is the mechanism that survives that.
 	last     time.Time
 	lastPoll time.Time
 	tr       *trace.Trace
 	open     []int // per-worker index into tr.Segments of the open segment, -1 when none
 
 	now func() time.Time // injectable for tests
+}
+
+// grantInfo is the outstanding table's value: the worker executing the
+// task and the instant its lease runs out (zero when leases are
+// disabled).
+type grantInfo struct {
+	worker int
+	expiry time.Time
+}
+
+// taskOwner keys the reclaimedFrom set.
+type taskOwner struct {
+	task   core.Task
+	worker int
+}
+
+// LeaseExpiredError rejects a completion report for a task whose lease
+// expired while the reporting worker held it: the task was reclaimed
+// and possibly already reassigned, so the first reassignment wins and
+// the late report is refused. The server maps it to 409 Conflict.
+type LeaseExpiredError struct {
+	Task core.Task
+}
+
+func (e *LeaseExpiredError) Error() string {
+	return fmt.Sprintf("lease expired: task %d was reclaimed from the reporting worker", e.Task)
 }
 
 // smallReport is the completion-report size up to which duplicate
@@ -92,21 +143,39 @@ func dupInReport(completed []core.Task) (core.Task, bool) {
 	return 0, false
 }
 
-// NewHost wraps drv, serving up to batch tasks per Next call (batch
-// < 1 is treated as 1).
-func NewHost(drv core.Driver, batch int) *Host {
+// NewHost wraps drv, serving batches of about batch tasks per Next
+// call (batch < 1 is treated as 1; see Next for the exact batch-size
+// contract). A positive lease arms task reclamation: an assignment not
+// reported back within lease is taken from its worker and fed back to
+// the driver for reassignment, provided the driver implements
+// core.Reassigner (both core.SchedulerDriver and dag.Driver do);
+// lease <= 0 disables reclamation and preserves the original
+// trust-the-worker behavior.
+func NewHost(drv core.Driver, batch int, lease time.Duration) *Host {
 	if batch < 1 {
 		batch = 1
+	}
+	if lease < 0 {
+		lease = 0
 	}
 	p := drv.P()
 	h := &Host{
 		drv:         drv,
 		batch:       batch,
-		outstanding: make(map[core.Task]int),
+		lease:       lease,
+		outstanding: make(map[core.Task]grantInfo),
 		workers:     make([]WorkerStats, p),
 		tr:          trace.New(p),
 		open:        make([]int, p),
 		now:         time.Now,
+	}
+	if lease > 0 {
+		if ra, ok := drv.(core.Reassigner); ok {
+			h.reassigner = ra
+			h.reclaimedFrom = make(map[taskOwner]struct{})
+		} else {
+			h.lease = 0 // the driver cannot take tasks back
+		}
 	}
 	for w := range h.workers {
 		h.workers[w].Worker = w
@@ -121,6 +190,10 @@ func NewHost(drv core.Driver, batch int) *Host {
 // Batch returns the configured batch size.
 func (h *Host) Batch() int { return h.batch }
 
+// Lease returns the configured lease duration (0 when reclamation is
+// disabled).
+func (h *Host) Lease() time.Duration { return h.lease }
+
 // Total returns the instance's task count (constant after
 // construction, so no lock is needed).
 func (h *Host) Total() int { return h.drv.Total() }
@@ -131,7 +204,26 @@ func (h *Host) Total() int { return h.drv.Total() }
 // returned status tells the worker whether to execute (StatusOK), back
 // off and retry (StatusWait) or retire (StatusDone). Errors indicate a
 // malformed request (bad worker index, completion of a task the worker
-// does not hold) and leave the run state untouched.
+// does not hold) and leave the run state untouched, except
+// *LeaseExpiredError: the reported task's lease expired and it was
+// reclaimed from w, so the reassignment — not the late report — wins.
+// Rejection is whole-report atomic in every case, including 409: a
+// report mixing still-valid completions with a reclaimed task applies
+// nothing, and the dropped valid work is redone after its own expiry.
+// Accounting stays exactly-once either way; clients that poll (and
+// thereby report) once per batch never mix batches in one report.
+//
+// Batch-size contract: the driver is stepped until the batch reaches
+// the configured size, but one driver step is indivisible — its block
+// accounting covers the whole multi-task assignment — so the granted
+// batch can exceed the target by up to one step's size minus one task.
+// Drivers that serve single-task steps (all current kernels) never
+// overshoot; TestHostBatchTargetNotClamped pins the general contract.
+//
+// When leases are armed, every poll first reclaims expired assignments
+// (cost: one time comparison unless something actually expired), so a
+// wedged run heals on the next poll from any surviving worker without
+// waiting for the registry janitor.
 func (h *Host) Next(w int, completed []core.Task) (core.Assignment, string, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -139,6 +231,12 @@ func (h *Host) Next(w int, completed []core.Task) (core.Assignment, string, erro
 	if w < 0 || w >= h.drv.P() {
 		return core.Assignment{}, "", fmt.Errorf("worker %d out of range [0, %d)", w, h.drv.P())
 	}
+	now := h.now()
+	// Reclaim before validating: a report racing its own lease expiry
+	// resolves the same way (409) whether it arrives just after this
+	// poll's reclaim or after the janitor's — determinism the tests
+	// pin down to the injected clock.
+	h.reclaimExpiredLocked(now)
 	// Validate the whole report before applying any of it, so a
 	// partially bogus request has no effect. A duplicate within one
 	// report must be caught here too: the DAG coordinators would apply
@@ -148,20 +246,29 @@ func (h *Host) Next(w int, completed []core.Task) (core.Assignment, string, erro
 		return core.Assignment{}, "", fmt.Errorf("task %d reported complete twice in one request", t)
 	}
 	for _, t := range completed {
-		owner, ok := h.outstanding[t]
+		g, ok := h.outstanding[t]
+		if ok && g.worker == w {
+			continue
+		}
+		if h.reclaimedFrom != nil {
+			if _, rec := h.reclaimedFrom[taskOwner{t, w}]; rec {
+				return core.Assignment{}, "", &LeaseExpiredError{Task: t}
+			}
+		}
 		if !ok {
 			return core.Assignment{}, "", fmt.Errorf("task %d is not outstanding", t)
 		}
-		if owner != w {
-			return core.Assignment{}, "", fmt.Errorf("task %d is outstanding for worker %d, not %d", t, owner, w)
-		}
+		return core.Assignment{}, "", fmt.Errorf("task %d is outstanding for worker %d, not %d", t, g.worker, w)
 	}
-	now := h.now()
 	h.lastPoll = now
+	h.polls++
 	if len(completed) > 0 {
 		h.drv.Complete(w, completed)
 		for _, t := range completed {
 			delete(h.outstanding, t)
+			// The worker may have lost this task to an expiry once and
+			// won it back; the legitimate completion clears the stain.
+			delete(h.reclaimedFrom, taskOwner{t, w})
 		}
 		h.completed += len(completed)
 		h.workers[w].Tasks += len(completed)
@@ -190,8 +297,15 @@ func (h *Host) Next(w int, completed []core.Task) (core.Assignment, string, erro
 		return core.Assignment{}, StatusWait, nil
 	}
 
+	g := grantInfo{worker: w}
+	if h.lease > 0 {
+		g.expiry = now.Add(h.lease)
+		if h.nextExpiry.IsZero() || g.expiry.Before(h.nextExpiry) {
+			h.nextExpiry = g.expiry
+		}
+	}
 	for _, t := range a.Tasks {
-		h.outstanding[t] = w
+		h.outstanding[t] = g
 	}
 	h.assigned += len(a.Tasks)
 	h.blocks += a.Blocks
@@ -214,8 +328,72 @@ func (h *Host) Next(w int, completed []core.Task) (core.Assignment, string, erro
 	return a, StatusOK, nil
 }
 
+// ReclaimExpired reclaims every outstanding assignment whose lease
+// deadline has passed, feeding the tasks back to the driver for
+// reassignment, and returns how many tasks were reclaimed. The
+// registry janitor calls it on every sweep so a run whose workers all
+// died still heals; the poll path runs the same check opportunistically.
+func (h *Host) ReclaimExpired() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.reclaimExpiredLocked(h.now())
+}
+
+// reclaimExpiredLocked is the mu-held reclaim pass. The fast path — no
+// leases, nothing outstanding, or the earliest deadline still in the
+// future — is a couple of comparisons; only an actual expiry (or a
+// stale-early nextExpiry) pays the table scan.
+func (h *Host) reclaimExpiredLocked(now time.Time) int {
+	if h.lease <= 0 || h.nextExpiry.IsZero() || now.Before(h.nextExpiry) {
+		return 0
+	}
+	var expired []core.Task
+	var next time.Time
+	for t, g := range h.outstanding {
+		if !now.Before(g.expiry) {
+			expired = append(expired, t)
+		} else if next.IsZero() || g.expiry.Before(next) {
+			next = g.expiry
+		}
+	}
+	h.nextExpiry = next
+	if len(expired) == 0 {
+		return 0
+	}
+	// Group by (presumed dead) worker so the driver sees one Reassign
+	// per owner, then hand the tasks back for reassignment.
+	byWorker := make(map[int][]core.Task)
+	for _, t := range expired {
+		g := h.outstanding[t]
+		delete(h.outstanding, t)
+		h.reclaimedFrom[taskOwner{t, g.worker}] = struct{}{}
+		byWorker[g.worker] = append(byWorker[g.worker], t)
+	}
+	// Workers that still hold an unexpired batch after the deletions:
+	// their open trace segment belongs to that newer, still-leased
+	// batch and must not be closed by the reclaim of an older one.
+	stillHolds := make(map[int]bool, len(byWorker))
+	for _, g := range h.outstanding {
+		stillHolds[g.worker] = true
+	}
+	at := now.Sub(h.start).Seconds()
+	for w, ts := range byWorker {
+		h.reassigner.Reassign(w, ts)
+		h.reclaimed += len(ts)
+		h.workers[w].Reclaimed += len(ts)
+		// Close the dead worker's open trace segment: the batch ended —
+		// by expiry, not completion — at reclaim time. A reassignment
+		// opens a fresh segment under the new owner as usual.
+		if idx := h.open[w]; idx >= 0 && !stillHolds[w] {
+			h.tr.Segments[idx].End = at
+			h.open[w] = -1
+		}
+	}
+	return len(expired)
+}
+
 // State returns the host's lifecycle view: created before the first
-// granted assignment, complete once the driver is drained and every
+// valid worker poll, complete once the driver is drained and every
 // assigned task has been reported back, draining in between.
 func (h *Host) State() string {
 	h.mu.Lock()
@@ -225,7 +403,10 @@ func (h *Host) State() string {
 
 func (h *Host) stateLocked() string {
 	switch {
-	case h.requests == 0:
+	// Count every valid poll, not just granted assignments: a DAG run
+	// whose first pollers all drew wait (or even done) has served
+	// workers and is no longer "created".
+	case h.polls == 0:
 		return StateCreated
 	case h.drv.Remaining() == 0 && len(h.outstanding) == 0:
 		return StateComplete
@@ -247,6 +428,8 @@ func (h *Host) Stats() StatsResponse {
 		Completed:       h.completed,
 		Outstanding:     len(h.outstanding),
 		Remaining:       h.drv.Remaining(),
+		Reclaimed:       h.reclaimed,
+		LeaseSeconds:    h.lease.Seconds(),
 		Blocks:          h.blocks,
 		Requests:        h.requests,
 		Phase1Tasks:     -1,

@@ -72,7 +72,7 @@ func checkCoverage(t *testing.T, got [][]core.Task, total int, decode func(core.
 func TestHostConcurrentDrainOuter(t *testing.T) {
 	const n, p = 30, 10
 	drv := core.NewSchedulerDriver(outer.NewTwoPhasesAuto(n, p, rng.New(11).Split()))
-	h := NewHost(drv, 3)
+	h := NewHost(drv, 3, 0)
 	got := hammer(t, h)
 	checkCoverage(t, got, n*n, func(task core.Task) int { return int(task) })
 
@@ -108,7 +108,7 @@ func TestHostConcurrentDrainOuter(t *testing.T) {
 func TestHostConcurrentDrainCholesky(t *testing.T) {
 	const n, p = 10, 5
 	drv := cholesky.NewDriver(n, p, cholesky.LocalityReady, rng.New(5).Split())
-	h := NewHost(drv, 2)
+	h := NewHost(drv, 2, 0)
 	got := hammer(t, h)
 	total := cholesky.TaskCount(n)
 	seen := make(map[cholesky.Task]bool)
@@ -142,7 +142,7 @@ func TestHostBatchingKnob(t *testing.T) {
 	const n, p = 16, 1
 	requests := func(batch int) int {
 		drv := core.NewSchedulerDriver(outer.NewRandom(n, p, rng.New(3).Split()))
-		h := NewHost(drv, batch)
+		h := NewHost(drv, batch, 0)
 		reqs := 0
 		var completed []core.Task
 		for {
@@ -173,7 +173,7 @@ func TestHostBatchingKnob(t *testing.T) {
 
 func TestHostRejectsMalformedRequests(t *testing.T) {
 	drv := core.NewSchedulerDriver(outer.NewRandom(4, 2, rng.New(1).Split()))
-	h := NewHost(drv, 1)
+	h := NewHost(drv, 1, 0)
 
 	if _, _, err := h.Next(2, nil); err == nil {
 		t.Error("out-of-range worker accepted")
@@ -210,7 +210,7 @@ func TestHostRejectsMalformedRequests(t *testing.T) {
 // and wedge the run with the mutex-protected state half-updated.
 func TestHostRejectsDuplicateInOneReport(t *testing.T) {
 	drv := cholesky.NewDriver(4, 2, cholesky.LocalityReady, rng.New(1).Split())
-	h := NewHost(drv, 1)
+	h := NewHost(drv, 1, 0)
 	a, status, err := h.Next(0, nil)
 	if err != nil || status != StatusOK || len(a.Tasks) != 1 {
 		t.Fatalf("Next = %v/%v/%v", a, status, err)
@@ -232,7 +232,7 @@ func TestHostRejectsDuplicateInOneReport(t *testing.T) {
 func TestHostRejectsDuplicateInLargeReport(t *testing.T) {
 	const batch = 2 * smallReport
 	drv := core.NewSchedulerDriver(outer.NewRandom(8, 2, rng.New(1).Split()))
-	h := NewHost(drv, batch)
+	h := NewHost(drv, batch, 0)
 	a, status, err := h.Next(0, nil)
 	if err != nil || status != StatusOK || len(a.Tasks) != batch {
 		t.Fatalf("Next = %v/%v/%v, want %d tasks", a, status, err, batch)

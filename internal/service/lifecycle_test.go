@@ -181,3 +181,74 @@ func TestPollRacingJanitorNeverPanics(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestLeaseLifecycleOverHTTP exercises the lease protocol at the wire
+// level: the next response advertises lease_seconds, a late completion
+// draws 409 Conflict, and the reclaim is visible in stats.
+func TestLeaseLifecycleOverHTTP(t *testing.T) {
+	const lease = 20 * time.Millisecond
+	_, ts := newTestServer(t, Options{TTL: -1})
+	info := createRun(t, ts.URL, CreateRunRequest{
+		Kernel: KernelOuter, N: 4, P: 2, Seed: 1, Batch: 2,
+		LeaseSeconds: lease.Seconds(),
+	})
+
+	var next NextResponse
+	if code := call(t, "POST", ts.URL+"/v1/runs/"+info.ID+"/next",
+		NextRequest{Worker: 0}, &next); code != http.StatusOK {
+		t.Fatalf("grant: status %d", code)
+	}
+	if next.Status != StatusOK || next.LeaseSeconds != lease.Seconds() {
+		t.Fatalf("grant = %s lease=%gs, want ok/%g", next.Status, next.LeaseSeconds, lease.Seconds())
+	}
+
+	time.Sleep(4 * lease)
+	// The late report is rejected 409 — the poll's own reclaim pass
+	// already took the batch back.
+	if code := call(t, "POST", ts.URL+"/v1/runs/"+info.ID+"/next",
+		NextRequest{Worker: 0, Completed: next.Tasks}, nil); code != http.StatusConflict {
+		t.Fatalf("late completion: status %d, want 409", code)
+	}
+	var st StatsResponse
+	call(t, "GET", ts.URL+"/v1/runs/"+info.ID+"/stats", nil, &st)
+	if st.Reclaimed != len(next.Tasks) || st.LeaseSeconds != lease.Seconds() {
+		t.Fatalf("stats reclaimed=%d lease=%gs, want %d/%g", st.Reclaimed, st.LeaseSeconds, len(next.Tasks), lease.Seconds())
+	}
+
+	// A run can opt out of the server's default lease explicitly.
+	noLease := createRun(t, ts.URL, CreateRunRequest{Kernel: KernelOuter, N: 4, P: 1, Seed: 1, LeaseSeconds: -1})
+	if noLease.LeaseSeconds != 0 {
+		t.Fatalf("opt-out run lease = %g, want 0", noLease.LeaseSeconds)
+	}
+}
+
+// TestSweepReclaimsOrphanedRun covers the janitor arm of reclamation:
+// every worker of a run died, so no poll will ever reclaim — the
+// registry sweep must, without expiring the (recently active) run.
+func TestSweepReclaimsOrphanedRun(t *testing.T) {
+	const lease = 10 * time.Millisecond
+	svc, ts := newTestServer(t, Options{TTL: -1, DefaultLease: lease})
+	info := createRun(t, ts.URL, CreateRunRequest{Kernel: KernelQR, N: 3, P: 2, Seed: 5})
+
+	var next NextResponse
+	call(t, "POST", ts.URL+"/v1/runs/"+info.ID+"/next", NextRequest{Worker: 0}, &next)
+	if next.Status != StatusOK {
+		t.Fatalf("grant = %s", next.Status)
+	}
+	time.Sleep(4 * lease)
+	if n := svc.SweepNow(); n != 0 {
+		t.Fatalf("sweep collected %d runs, want 0 (reclaim, not expiry)", n)
+	}
+	var st StatsResponse
+	call(t, "GET", ts.URL+"/v1/runs/"+info.ID+"/stats", nil, &st)
+	if st.Reclaimed != len(next.Tasks) || st.Outstanding != 0 {
+		t.Fatalf("after sweep: reclaimed=%d outstanding=%d, want %d/0", st.Reclaimed, st.Outstanding, len(next.Tasks))
+	}
+	// The reclaimed root task is schedulable again: a fresh worker
+	// resumes the run where the dead crew left it.
+	var resumed NextResponse
+	call(t, "POST", ts.URL+"/v1/runs/"+info.ID+"/next", NextRequest{Worker: 1}, &resumed)
+	if resumed.Status != StatusOK || len(resumed.Tasks) == 0 {
+		t.Fatalf("resume poll = %s with %d tasks", resumed.Status, len(resumed.Tasks))
+	}
+}

@@ -46,17 +46,18 @@ func (r *Run) Expired() bool { return r.expired.Load() }
 // Info assembles the run's RunInfo.
 func (r *Run) Info() RunInfo {
 	return RunInfo{
-		ID:       r.ID,
-		Kernel:   r.Kernel,
-		Strategy: r.Strategy,
-		N:        r.N,
-		P:        r.P,
-		Seed:     r.Seed,
-		Beta:     r.Beta,
-		Batch:    r.Host.Batch(),
-		Total:    r.Host.Total(),
-		State:    r.State(),
-		Created:  r.Created,
+		ID:           r.ID,
+		Kernel:       r.Kernel,
+		Strategy:     r.Strategy,
+		N:            r.N,
+		P:            r.P,
+		Seed:         r.Seed,
+		Beta:         r.Beta,
+		Batch:        r.Host.Batch(),
+		LeaseSeconds: r.Host.Lease().Seconds(),
+		Total:        r.Host.Total(),
+		State:        r.State(),
+		Created:      r.Created,
 	}
 }
 
@@ -175,21 +176,53 @@ func (g *Registry) Runs() []*Run {
 	return out
 }
 
-// Sweep removes every expired run, and — when a TTL is configured —
-// expires and removes runs whose last master interaction is older than
-// the TTL. It returns the number of runs collected. The server's
-// janitor goroutine calls it periodically; tests call it directly.
+// Sweep reclaims expired assignment leases on every live run, removes
+// every expired run, and — when a TTL is configured — expires and
+// removes runs whose last master interaction is older than the TTL. It
+// returns the number of runs collected. The server's janitor goroutine
+// calls it periodically; tests call it directly.
+//
+// Locking: per-run work (lease reclaim, LastActivity) takes each run's
+// Host mutex, so it must not run under the shard write lock — one run
+// stuck behind a long driver step would block every lookup on its
+// shard. The shard is therefore snapshotted under RLock (lookups
+// proceed concurrently), the Host-touching pass runs lock-free with
+// respect to the shard, and only the final deletion of expired runs
+// takes the write lock, re-checking each candidate in case it was
+// concurrently removed.
 func (g *Registry) Sweep() int {
 	now := g.now()
 	collected := 0
 	for _, s := range g.shards {
-		s.mu.Lock()
-		for id, run := range s.runs {
-			if !run.Expired() && g.ttl > 0 && now.Sub(run.Host.LastActivity()) > g.ttl {
-				run.Expire()
+		s.mu.RLock()
+		live := make([]*Run, 0, len(s.runs))
+		for _, run := range s.runs {
+			live = append(live, run)
+		}
+		s.mu.RUnlock()
+
+		var expired []*Run
+		for _, run := range live {
+			if !run.Expired() {
+				// The janitor arm of lease reclamation: polls reclaim
+				// opportunistically, but a run whose workers all died
+				// has no polls left — this pass is what un-wedges it.
+				run.Host.ReclaimExpired()
+				if g.ttl > 0 && now.Sub(run.Host.LastActivity()) > g.ttl {
+					run.Expire()
+				}
 			}
 			if run.Expired() {
-				delete(s.runs, id)
+				expired = append(expired, run)
+			}
+		}
+		if len(expired) == 0 {
+			continue
+		}
+		s.mu.Lock()
+		for _, run := range expired {
+			if cur, ok := s.runs[run.ID]; ok && cur == run {
+				delete(s.runs, run.ID)
 				collected++
 			}
 		}

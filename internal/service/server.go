@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -24,6 +25,11 @@ type Options struct {
 	// not specify one (default 1 — the paper's baseline of one
 	// allocation step per master interaction).
 	DefaultBatch int
+	// DefaultLease is the assignment lease applied to runs that do not
+	// set lease_seconds themselves: tasks a worker holds past the
+	// lease are reclaimed and reassigned. 0 disables reclamation by
+	// default (runs can still opt in per creation request).
+	DefaultLease time.Duration
 	// MaxBodyBytes caps request bodies (default 1 MiB).
 	MaxBodyBytes int64
 }
@@ -151,6 +157,14 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if batch == 0 {
 		batch = s.opts.DefaultBatch
 	}
+	// lease_seconds: 0 inherits the server default, negative opts out.
+	lease := s.opts.DefaultLease
+	if q.LeaseSeconds != 0 {
+		lease = time.Duration(q.LeaseSeconds * float64(time.Second))
+	}
+	if lease < 0 {
+		lease = 0
+	}
 	run := &Run{
 		ID:       s.reg.NewID(),
 		Kernel:   q.Kernel,
@@ -160,7 +174,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		Seed:     q.Seed,
 		Beta:     q.Beta,
 		Created:  time.Now(),
-		Host:     NewHost(drv, batch),
+		Host:     NewHost(drv, batch, lease),
 	}
 	s.reg.Add(run)
 	writeJSON(w, http.StatusCreated, run.Info())
@@ -223,10 +237,21 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 	}
 	a, status, err := run.Host.Next(q.Worker, completed)
 	if err != nil {
+		// A late report for a reclaimed task is a lost race, not a
+		// protocol violation: 409 tells the worker its lease expired
+		// and the reassignment won.
+		var lerr *LeaseExpiredError
+		if errors.As(err, &lerr) {
+			writeError(w, http.StatusConflict, err.Error())
+			return
+		}
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	resp := NextResponse{Status: status, Blocks: a.Blocks}
+	if status == StatusOK {
+		resp.LeaseSeconds = run.Host.Lease().Seconds()
+	}
 	if len(a.Tasks) > 0 {
 		resp.Tasks = make([]int64, len(a.Tasks))
 		for i, t := range a.Tasks {

@@ -299,7 +299,7 @@ func TestRegistrySharding(t *testing.T) {
 	for i := range ids {
 		ids[i] = g.NewID()
 		g.Add(&Run{ID: ids[i], Created: time.Unix(int64(i), 0), Host: NewHost(
-			core.NewSchedulerDriver(outer.NewRandom(2, 1, rng.New(1).Split())), 1)})
+			core.NewSchedulerDriver(outer.NewRandom(2, 1, rng.New(1).Split())), 1, 0)})
 	}
 	if g.Len() != 100 {
 		t.Fatalf("Len = %d, want 100", g.Len())
