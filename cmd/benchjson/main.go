@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	benchjson [-out dir] [-benchtime 1s] [-skip-suite]
+//	benchjson [-out dir] [-benchtime 1s] [-skip-suite] [-only sim|service]
 package main
 
 import (
@@ -120,39 +120,48 @@ func main() {
 	benchtime := flag.String("benchtime", "1s", "per-benchmark measuring time (test.benchtime)")
 	skipSuite := flag.Bool("skip-suite", false, "skip the quick-suite wall-clock timing")
 	seed := flag.Uint64("seed", 1, "root seed for the quick-suite timing")
+	only := flag.String("only", "", "refresh a single report: sim | service (default both)")
 	testing.Init()
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: bad -benchtime: %v\n", err)
 		os.Exit(2)
 	}
+	if *only != "" && *only != "sim" && *only != "service" {
+		fmt.Fprintf(os.Stderr, "benchjson: bad -only %q (want sim or service)\n", *only)
+		os.Exit(2)
+	}
 
-	simRep := newReport()
-	simRep.Benchmarks = runBenchmarks(perf.SimBenchmarks)
-	if !*skipSuite {
-		fmt.Fprintln(os.Stderr, "benchjson: timing quick figure suite (serial)...")
-		serial := timeSuite(*seed, 1)
-		workers := runtime.GOMAXPROCS(0)
-		fmt.Fprintf(os.Stderr, "benchjson: timing quick figure suite (%d workers)...\n", workers)
-		parallel := timeSuite(*seed, 0)
-		simRep.Suite = &suiteResult{
-			Figures:         len(experiments.IDs()),
-			Seed:            *seed,
-			SerialSeconds:   serial.Seconds(),
-			ParallelSeconds: parallel.Seconds(),
-			ParallelWorkers: workers,
-			Speedup:         serial.Seconds() / parallel.Seconds(),
+	if *only == "" || *only == "sim" {
+		simRep := newReport()
+		simRep.Benchmarks = runBenchmarks(perf.SimBenchmarks)
+		if !*skipSuite {
+			fmt.Fprintln(os.Stderr, "benchjson: timing quick figure suite (serial)...")
+			serial := timeSuite(*seed, 1)
+			workers := runtime.GOMAXPROCS(0)
+			fmt.Fprintf(os.Stderr, "benchjson: timing quick figure suite (%d workers)...\n", workers)
+			parallel := timeSuite(*seed, 0)
+			simRep.Suite = &suiteResult{
+				Figures:         len(experiments.IDs()),
+				Seed:            *seed,
+				SerialSeconds:   serial.Seconds(),
+				ParallelSeconds: parallel.Seconds(),
+				ParallelWorkers: workers,
+				Speedup:         serial.Seconds() / parallel.Seconds(),
+			}
+		}
+		if err := writeReport(*outDir, "BENCH_sim.json", simRep); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
 		}
 	}
-	if err := writeReport(*outDir, "BENCH_sim.json", simRep); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
 
-	svcRep := newReport()
-	svcRep.Benchmarks = runBenchmarks(perf.ServiceBenchmarks)
-	if err := writeReport(*outDir, "BENCH_service.json", svcRep); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+	if *only == "" || *only == "service" {
+		svcRep := newReport()
+		svcRep.Benchmarks = runBenchmarks(perf.ServiceBenchmarks)
+		if err := writeReport(*outDir, "BENCH_service.json", svcRep); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -17,12 +17,16 @@
 //     (sim.Run for flat schedulers, sim.RunDriver for DAG drivers)
 //   - internal/exec     — real concurrent runtime executing block arithmetic
 //   - internal/service  — scheduler-as-a-service HTTP daemon (schedd)
+//   - internal/cluster  — deterministic virtual-time cluster harness
+//     driving the real service with scripted heterogeneous fleets
+//     (crashes, stragglers, partitions, bursty arrivals)
 //   - internal/experiments — regeneration of every figure of the paper,
 //     with deterministic parallel replication (replicate.go)
 //   - internal/perf     — shared micro-benchmark bodies
 //
 // Entry points: cmd/hpdc14 (figures), cmd/outersim, cmd/matsim,
 // cmd/choleskysim and cmd/qrsim (single runs), cmd/schedd (the service
-// daemon), cmd/benchjson (the recorded perf baseline), examples/
-// (library usage). See README.md and DESIGN.md.
+// daemon), cmd/clustersim (scripted cluster scenarios), cmd/benchjson
+// (the recorded perf baseline), examples/ (library usage). See
+// README.md and DESIGN.md.
 package hetsched

@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"hetsched/internal/core"
+	"hetsched/internal/service"
+	"hetsched/internal/trace"
+)
+
+// backend is the seam between the event loop and the scheduler
+// service. Both implementations drive the *real* service code — the
+// direct backend calls service.Host/Registry methods in process, the
+// HTTP backend speaks full JSON over an httptest server — so every
+// scenario can run against either and must produce the identical
+// deterministic outcome (TestModesAgree pins that).
+type backend interface {
+	// create registers the run and returns its wire info.
+	create(spec RunSpec) (service.RunInfo, error)
+	// next is one worker poll: report completed, receive a verdict.
+	// conflict is the 409 lease-expired answer (the batch is lost to a
+	// reassignment and the worker must drop it); any other non-OK
+	// answer is a scenario bug and surfaces as err.
+	next(run int, worker int, completed []core.Task) (r nextResult, conflict bool, err error)
+	// sweep runs one registry janitor pass.
+	sweep()
+	// stats and traceOf snapshot the run's collectors.
+	stats(run int) (service.StatsResponse, error)
+	traceOf(run int) (*trace.Trace, error)
+	close()
+}
+
+// nextResult is a backend-neutral NextResponse.
+type nextResult struct {
+	status string
+	tasks  []core.Task
+	blocks int
+}
+
+// leaseDuration mirrors service.Options.NewRun's lease derivation (0
+// or negative disables) for the invariant checker's lease-echo
+// assertion; the runs themselves are built by NewRun in both modes.
+func leaseDuration(ls float64) time.Duration {
+	if ls <= 0 {
+		return 0
+	}
+	return time.Duration(ls * float64(time.Second))
+}
+
+// request builds the CreateRunRequest a spec stands for.
+func (spec RunSpec) request() service.CreateRunRequest {
+	return service.CreateRunRequest{
+		Kernel:       spec.Kernel,
+		Strategy:     spec.Strategy,
+		N:            spec.N,
+		P:            spec.P,
+		Seed:         spec.Seed,
+		Batch:        spec.Batch,
+		LeaseSeconds: spec.LeaseSeconds,
+	}
+}
+
+// --- direct backend ----------------------------------------------------
+
+// directBackend drives Host and Registry in process: the transport-free
+// mode, fast enough for 10k-worker fleets.
+type directBackend struct {
+	reg  *service.Registry
+	runs []*service.Run
+	now  func() time.Time
+}
+
+func newDirectBackend(ttl time.Duration, now func() time.Time) *directBackend {
+	return &directBackend{reg: service.NewRegistryWithClock(8, ttl, now), now: now}
+}
+
+func (b *directBackend) create(spec RunSpec) (service.RunInfo, error) {
+	q := spec.request()
+	if err := q.Validate(); err != nil {
+		return service.RunInfo{}, err
+	}
+	// The server's own run constructor (service.Options.NewRun) with
+	// the same defaults opts.fill() would produce, so the direct mode
+	// cannot drift from handleCreate.
+	run, err := service.Options{DefaultBatch: 1, Now: b.now}.NewRun(b.reg.NewID(), &q)
+	if err != nil {
+		return service.RunInfo{}, err
+	}
+	b.reg.Add(run)
+	b.runs = append(b.runs, run)
+	return run.Info(), nil
+}
+
+// lookup mirrors the server's liveness check: a run the sweep expired
+// answers like the HTTP path's 410/404 would, so scenarios that arm
+// the TTL fail identically in both modes instead of direct mode
+// silently serving a swept run from its retained pointer.
+func (b *directBackend) lookup(run int) (*service.Run, error) {
+	r := b.runs[run]
+	if r.Expired() {
+		return nil, fmt.Errorf("run %q is expired", r.ID)
+	}
+	if _, ok := b.reg.Get(r.ID); !ok {
+		return nil, fmt.Errorf("unknown run %q (swept)", r.ID)
+	}
+	return r, nil
+}
+
+func (b *directBackend) next(run, worker int, completed []core.Task) (nextResult, bool, error) {
+	r, err := b.lookup(run)
+	if err != nil {
+		return nextResult{}, false, err
+	}
+	a, status, err := r.Host.Next(worker, completed)
+	if err != nil {
+		if _, is := err.(*service.LeaseExpiredError); is {
+			return nextResult{}, true, nil
+		}
+		return nextResult{}, false, err
+	}
+	// The assignment's Tasks may alias driver-internal state only until
+	// the next call; the worker retains its batch across events, so
+	// copy. (service.Host builds a fresh slice per grant today, but the
+	// harness must not depend on that.)
+	res := nextResult{status: status, blocks: a.Blocks}
+	if len(a.Tasks) > 0 {
+		res.tasks = append([]core.Task(nil), a.Tasks...)
+	}
+	return res, false, nil
+}
+
+func (b *directBackend) sweep() { b.reg.Sweep() }
+
+func (b *directBackend) stats(run int) (service.StatsResponse, error) {
+	r, err := b.lookup(run)
+	if err != nil {
+		return service.StatsResponse{}, err
+	}
+	return r.Host.Stats(), nil
+}
+
+func (b *directBackend) traceOf(run int) (*trace.Trace, error) {
+	r, err := b.lookup(run)
+	if err != nil {
+		return nil, err
+	}
+	return r.Host.Trace(), nil
+}
+
+func (b *directBackend) close() {}
+
+// --- HTTP backend ------------------------------------------------------
+
+// httpBackend runs the full service.Server behind an httptest listener
+// and speaks the real JSON protocol, one synchronous request at a time
+// — so the wire path (strict decoding, status mapping, response
+// construction) is inside the deterministic loop. The virtual clock is
+// injected through service.Options.Now; the server's own janitor is
+// disabled and sweeps are driven by the event loop.
+type httpBackend struct {
+	svc    *service.Server
+	ts     *httptest.Server
+	client *http.Client
+	ids    []string
+}
+
+func newHTTPBackend(ttl time.Duration, now func() time.Time) *httpBackend {
+	svc := service.New(service.Options{
+		TTL:        ttlOption(ttl),
+		GCInterval: -1,
+		Now:        now,
+	})
+	ts := httptest.NewServer(svc)
+	return &httpBackend{svc: svc, ts: ts, client: ts.Client()}
+}
+
+// ttlOption maps the scenario's "0 disables" convention onto
+// service.Options' "0 means default, negative disables".
+func ttlOption(ttl time.Duration) time.Duration {
+	if ttl <= 0 {
+		return -1
+	}
+	return ttl
+}
+
+func (b *httpBackend) do(method, path string, in, out any) (int, error) {
+	var body *bytes.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return 0, err
+		}
+		body = bytes.NewReader(buf)
+	} else {
+		body = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, b.ts.URL+path, body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := service.DecodeStrict(resp.Body, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("%s %s: decoding response: %w", method, path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func (b *httpBackend) create(spec RunSpec) (service.RunInfo, error) {
+	var info service.RunInfo
+	code, err := b.do("POST", "/v1/runs", spec.request(), &info)
+	if err == nil && code != http.StatusCreated {
+		err = fmt.Errorf("create run: status %d", code)
+	}
+	if err != nil {
+		return service.RunInfo{}, err
+	}
+	b.ids = append(b.ids, info.ID)
+	return info, nil
+}
+
+func (b *httpBackend) next(run, worker int, completed []core.Task) (nextResult, bool, error) {
+	q := service.NextRequest{Worker: worker}
+	if len(completed) > 0 {
+		q.Completed = make([]int64, len(completed))
+		for i, t := range completed {
+			q.Completed[i] = int64(t)
+		}
+	}
+	var resp service.NextResponse
+	code, err := b.do("POST", "/v1/runs/"+b.ids[run]+"/next", q, &resp)
+	if err != nil {
+		return nextResult{}, false, err
+	}
+	switch code {
+	case http.StatusOK:
+	case http.StatusConflict:
+		return nextResult{}, true, nil
+	default:
+		return nextResult{}, false, fmt.Errorf("worker %d poll: status %d", worker, code)
+	}
+	r := nextResult{status: resp.Status, blocks: resp.Blocks}
+	if len(resp.Tasks) > 0 {
+		r.tasks = make([]core.Task, len(resp.Tasks))
+		for i, t := range resp.Tasks {
+			r.tasks[i] = core.Task(t)
+		}
+	}
+	return r, false, nil
+}
+
+func (b *httpBackend) sweep() { b.svc.SweepNow() }
+
+func (b *httpBackend) stats(run int) (service.StatsResponse, error) {
+	var st service.StatsResponse
+	code, err := b.do("GET", "/v1/runs/"+b.ids[run]+"/stats", nil, &st)
+	if err == nil && code != http.StatusOK {
+		err = fmt.Errorf("stats: status %d", code)
+	}
+	return st, err
+}
+
+func (b *httpBackend) traceOf(run int) (*trace.Trace, error) {
+	var tr service.TraceResponse
+	code, err := b.do("GET", "/v1/runs/"+b.ids[run]+"/trace", nil, &tr)
+	if err == nil && code != http.StatusOK {
+		err = fmt.Errorf("trace: status %d", code)
+	}
+	return tr.Trace, err
+}
+
+func (b *httpBackend) close() { b.ts.Close(); b.svc.Close() }

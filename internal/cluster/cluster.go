@@ -1,0 +1,646 @@
+// Package cluster is a deterministic virtual-time cluster harness for
+// the scheduler service: it drives the *real* service.Host, Registry
+// and (in HTTP mode) the full JSON wire path with scripted fleets of
+// virtual workers whose per-poll service times come from
+// speeds.Model — so the paper's heterogeneous platforms, including the
+// dynamically drifting dyn.5/dyn.20 scenarios, run end-to-end against
+// schedd instead of only against the offline simulator.
+//
+// The harness is an event loop over virtual time. Every timestamp the
+// service takes — lease deadlines, trace segments, makespans, TTL
+// idleness — flows through the injected clock (service.Options.Now /
+// NewHostWithClock), so a 10k-worker, multi-run scenario with crashes,
+// restarts, stragglers, partitions and bursty arrivals executes in
+// milliseconds of wall time and, for a fixed seed, produces a
+// bit-identical outcome every time (and the identical outcome in
+// direct and HTTP mode — the wire adds bytes, not behavior).
+//
+// Worker model: a worker polls the master, reporting the batch it just
+// executed and receiving the next one; executing a batch takes
+// Σ cost(task)/speed(worker) virtual seconds with the speed re-sampled
+// after every task (exactly sim.RunDriver's accounting, so drift
+// models drift once per task). A worker that draws "wait" parks and is
+// woken by completions on its run (DAG kernels), by lease-expiry
+// echoes of crashes and partitions, and by the periodic janitor sweep;
+// a 409 lease-conflict drops the batch and re-polls — the resilient
+// client behavior the protocol prescribes.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hetsched/internal/cholesky"
+	"hetsched/internal/core"
+	"hetsched/internal/dag"
+	"hetsched/internal/lu"
+	"hetsched/internal/qr"
+	"hetsched/internal/rng"
+	"hetsched/internal/service"
+	"hetsched/internal/speeds"
+)
+
+// Mode selects how scenarios reach the service.
+type Mode int
+
+const (
+	// Direct calls Host/Registry methods in process: the transport-free
+	// mode, fast enough for 10k-worker fleets.
+	Direct Mode = iota
+	// HTTP speaks the full JSON protocol through an httptest server,
+	// one synchronous request per event, so strict decoding, status
+	// mapping and response construction are inside the deterministic
+	// loop.
+	HTTP
+)
+
+func (m Mode) String() string {
+	if m == HTTP {
+		return "http"
+	}
+	return "direct"
+}
+
+// clock is the scenario's virtual time source. The event loop is the
+// only writer; the mutex exists because HTTP-mode handler goroutines
+// read it through Host.now while the loop blocks on the response.
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// epoch is the arbitrary fixed instant virtual time starts from.
+var epoch = time.Unix(1_700_000_000, 0)
+
+func (c *clock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) advanceTo(t time.Time) {
+	c.mu.Lock()
+	if t.After(c.t) {
+		c.t = t
+	}
+	c.mu.Unlock()
+}
+
+// evKind discriminates loop events.
+type evKind int
+
+const (
+	evArrive evKind = iota // create a run, start its fleet
+	evPoll                 // one worker poll (report + request)
+	evWake                 // wake up to k parked workers of a run
+	evSweep                // registry janitor pass
+	evScript               // scripted fault (crash/restart/slow/partition)
+)
+
+// ev is one event; at is a virtual-nanosecond offset from epoch and
+// seq breaks ties FIFO, which — with the single-threaded loop — is
+// what makes the whole scenario deterministic.
+type ev struct {
+	at     int64
+	seq    uint64
+	kind   evKind
+	run    int
+	worker int
+	gen    uint64 // evPoll: validity generation
+	k      int    // evWake: how many to wake
+	script Event  // evScript payload
+}
+
+func (e ev) before(o ev) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// evHeap is a hand-rolled binary min-heap (the same shape as the
+// simulator's) so the loop allocates nothing per event.
+type evHeap struct{ h []ev }
+
+func (q *evHeap) len() int { return len(q.h) }
+
+func (q *evHeap) push(e ev) {
+	q.h = append(q.h, e)
+	i := len(q.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.h[i].before(q.h[parent]) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *evHeap) pop() ev {
+	top := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h = q.h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(q.h) && q.h[l].before(q.h[small]) {
+			small = l
+		}
+		if r < len(q.h) && q.h[r].before(q.h[small]) {
+			small = r
+		}
+		if small == i {
+			return top
+		}
+		q.h[i], q.h[small] = q.h[small], q.h[i]
+		i = small
+	}
+}
+
+// workerState is one virtual worker. A live worker is in exactly one
+// of three states: it has one scheduled poll event (executing or about
+// to poll), it is parked (drew wait, holds nothing, waits for a wake),
+// or it is retired/dead.
+type workerState struct {
+	gen       uint64 // bumped on crash/restart to invalidate scheduled polls
+	dead      bool
+	retired   bool
+	parked    bool
+	slow      float64 // service-time multiplier (straggler knob)
+	partUntil int64   // virtual ns; unreachable until then (0 = reachable)
+	pending   []core.Task
+	grantAt   int64 // virtual ns of the pending batch's grant
+	execNs    int64 // scheduled execution time of the pending batch
+}
+
+// runState is one run's live bookkeeping during the loop.
+type runState struct {
+	idx      int
+	spec     RunSpec
+	info     service.RunInfo
+	model    speeds.Model
+	initial  []float64
+	coster   func(core.Task) float64 // nil: every task costs 1
+	isDAG    bool
+	leaseNs  int64
+	arrived  bool
+	complete bool
+
+	workers     []workerState
+	parkedCount int
+	wakeCursor  int
+
+	accepted  map[core.Task]int
+	conflicts int
+	busyNs    []int64
+}
+
+// harness is the running scenario.
+type harness struct {
+	sc      Scenario
+	mode    Mode
+	clock   *clock
+	backend backend
+	q       evHeap
+	seq     uint64
+	runs    []*runState
+	events  int
+	polls   int
+	nowNs   int64
+}
+
+const (
+	// wakeEps is how far past a lease deadline the crash/partition echo
+	// wake fires, so the woken poll is strictly on the expired side.
+	wakeEps = int64(time.Millisecond)
+	// expiryWake is how many parked workers a lease-expiry echo or a
+	// janitor sweep wakes: enough to pick up a reclaimed wedge task
+	// without stampeding the fleet.
+	expiryWake = 4
+)
+
+// Run executes the scenario to completion (or its virtual deadline)
+// under the given mode and returns the collected per-run results.
+// Errors are harness-level failures — transport errors, protocol
+// violations the service rejected, invalid scenarios; a run that
+// merely wedges (cannot finish before the deadline) is reported in the
+// Result and caught by CheckInvariants instead.
+func Run(sc Scenario, mode Mode) (*Result, error) {
+	sc = sc.withDefaults()
+	if err := validate(sc); err != nil {
+		return nil, err
+	}
+	h := &harness{sc: sc, mode: mode, clock: &clock{t: epoch}}
+	switch mode {
+	case Direct:
+		h.backend = newDirectBackend(sc.TTL, h.clock.now)
+	case HTTP:
+		h.backend = newHTTPBackend(sc.TTL, h.clock.now)
+	default:
+		return nil, fmt.Errorf("cluster: unknown mode %d", mode)
+	}
+	defer h.backend.close()
+
+	// Platform speed models are drawn at setup in run order, so the
+	// scenario seed alone pins every fleet regardless of arrival
+	// interleaving.
+	root := rng.New(sc.Seed)
+	for i, spec := range sc.Runs {
+		model := spec.Speeds.build(spec.P, root.Split())
+		h.runs = append(h.runs, &runState{
+			idx:      i,
+			spec:     spec,
+			model:    model,
+			initial:  model.Initial(),
+			coster:   costerFor(spec.Kernel, spec.N),
+			isDAG:    isDAGKernel(spec.Kernel),
+			leaseNs:  int64(leaseDuration(spec.LeaseSeconds)),
+			workers:  make([]workerState, spec.P),
+			accepted: make(map[core.Task]int),
+			busyNs:   make([]int64, spec.P),
+		})
+		for w := range h.runs[i].workers {
+			h.runs[i].workers[w].slow = 1
+		}
+		h.push(ev{at: int64(spec.ArriveAt), kind: evArrive, run: i})
+	}
+	for _, e := range sc.Events {
+		h.push(ev{at: int64(e.At), kind: evScript, run: e.Run, worker: e.Worker, script: e})
+	}
+	if sc.JanitorEvery > 0 {
+		h.push(ev{at: int64(sc.JanitorEvery), kind: evSweep})
+	}
+
+	deadline := int64(sc.Deadline)
+	for h.q.len() > 0 {
+		e := h.q.pop()
+		if e.at > deadline {
+			break
+		}
+		h.nowNs = e.at
+		h.clock.advanceTo(epoch.Add(time.Duration(e.at)))
+		h.events++
+		if err := h.dispatch(e); err != nil {
+			return nil, err
+		}
+	}
+	return h.collect()
+}
+
+// validate rejects scenarios the loop cannot run.
+func validate(sc Scenario) error {
+	if len(sc.Runs) == 0 {
+		return fmt.Errorf("cluster: scenario %q has no runs", sc.Name)
+	}
+	for i, e := range sc.Events {
+		if e.Run < 0 || e.Run >= len(sc.Runs) {
+			return fmt.Errorf("cluster: event %d targets run %d of %d", i, e.Run, len(sc.Runs))
+		}
+		if e.Worker < 0 || e.Worker >= sc.Runs[e.Run].P {
+			return fmt.Errorf("cluster: event %d targets worker %d of %d", i, e.Worker, sc.Runs[e.Run].P)
+		}
+		if e.Kind == Partition && e.Duration <= 0 {
+			return fmt.Errorf("cluster: event %d partitions for %v", i, e.Duration)
+		}
+		// A factor below 1 would speed the worker past its drawn
+		// platform speed and falsely trip the makespan work bound.
+		if e.Kind == Slow && e.Factor < 1 {
+			return fmt.Errorf("cluster: event %d slows by factor %g < 1", i, e.Factor)
+		}
+	}
+	return nil
+}
+
+func (h *harness) push(e ev) {
+	e.seq = h.seq
+	h.seq++
+	h.q.push(e)
+}
+
+func (h *harness) dispatch(e ev) error {
+	switch e.kind {
+	case evArrive:
+		return h.arrive(e.run)
+	case evPoll:
+		return h.poll(e.run, e.worker, e.gen)
+	case evWake:
+		h.wake(h.runs[e.run], e.k)
+		return nil
+	case evSweep:
+		return h.sweepTick()
+	case evScript:
+		h.applyScript(e.script)
+		return nil
+	}
+	return fmt.Errorf("cluster: unknown event kind %d", e.kind)
+}
+
+// arrive creates the run and launches its fleet's first polls. With
+// Stagger 0 the entire fleet registers on one virtual instant — the
+// thundering herd — and the FIFO tie-break serves it in worker order.
+func (h *harness) arrive(run int) error {
+	rs := h.runs[run]
+	info, err := h.backend.create(rs.spec)
+	if err != nil {
+		return fmt.Errorf("cluster: creating run %d: %w", run, err)
+	}
+	rs.info = info
+	rs.arrived = true
+	for w := range rs.workers {
+		h.push(ev{at: h.nowNs + int64(w)*int64(h.sc.Stagger), kind: evPoll, run: run, worker: w})
+	}
+	return nil
+}
+
+// poll is one worker master-interaction: report the executed batch,
+// receive the next verdict, schedule the consequence.
+func (h *harness) poll(run, worker int, gen uint64) error {
+	rs := h.runs[run]
+	ws := &rs.workers[worker]
+	if ws.retired || ws.dead || ws.gen != gen {
+		return nil // stale event: the worker crashed or restarted since
+	}
+	if ws.partUntil > h.nowNs {
+		// Unreachable: carry the finished batch to the heal instant.
+		h.push(ev{at: ws.partUntil, kind: evPoll, run: run, worker: worker, gen: gen})
+		return nil
+	}
+	h.polls++
+	res, conflict, err := h.backend.next(run, worker, ws.pending)
+	if err != nil {
+		return fmt.Errorf("cluster: run %d worker %d: %w", run, worker, err)
+	}
+	if conflict {
+		// Lease lost in a race: the reassignment wins, the batch is
+		// abandoned, the worker keeps polling.
+		rs.conflicts++
+		ws.pending = nil
+		h.push(ev{at: h.nowNs + int64(h.sc.WaitDelay), kind: evPoll, run: run, worker: worker, gen: gen})
+		return nil
+	}
+	reported := len(ws.pending)
+	if reported > 0 {
+		for _, t := range ws.pending {
+			rs.accepted[t]++
+		}
+		rs.busyNs[worker] += ws.execNs
+		ws.pending = nil
+		ws.execNs = 0
+		// Completions may have released dependents: wake parked
+		// workers. Flat kernels release nothing on completion (reclaims
+		// are covered by the sweep and expiry wakes), so only DAG runs
+		// pay the wake traffic.
+		if rs.isDAG && rs.parkedCount > 0 {
+			h.wake(rs, 2*reported+2)
+		}
+	}
+	switch res.status {
+	case service.StatusDone:
+		ws.retired = true
+		h.finishRun(rs)
+	case service.StatusWait:
+		ws.parked = true
+		rs.parkedCount++
+	case service.StatusOK:
+		if len(res.tasks) == 0 {
+			// A zero-task grant (data-aware end-game flush): nothing to
+			// execute, re-poll shortly.
+			h.push(ev{at: h.nowNs + int64(h.sc.WaitDelay), kind: evPoll, run: run, worker: worker, gen: gen})
+			return nil
+		}
+		durNs := int64(h.execute(rs, worker, res.tasks) * float64(time.Second))
+		if durNs < 1 {
+			durNs = 1
+		}
+		ws.pending = res.tasks
+		ws.grantAt = h.nowNs
+		ws.execNs = durNs
+		h.push(ev{at: h.nowNs + durNs, kind: evPoll, run: run, worker: worker, gen: gen})
+	default:
+		return fmt.Errorf("cluster: run %d worker %d: unknown status %q", run, worker, res.status)
+	}
+	return nil
+}
+
+// execute accounts the virtual execution time of a batch: cost/speed
+// per task with the speed re-sampled after every task (drift models
+// drift exactly once per task, as in sim), scaled by the worker's
+// straggler factor.
+func (h *harness) execute(rs *runState, worker int, tasks []core.Task) float64 {
+	sec := 0.0
+	for _, t := range tasks {
+		cost := 1.0
+		if rs.coster != nil {
+			cost = rs.coster(t)
+		}
+		sec += cost / rs.model.Speed(worker)
+		rs.model.OnTaskDone(worker)
+	}
+	return sec * rs.workers[worker].slow
+}
+
+// finishRun marks the run complete and retires its parked workers:
+// parked workers hold nothing (a park always follows an accepted
+// report), so nothing is lost by not granting them a farewell poll.
+func (h *harness) finishRun(rs *runState) {
+	rs.complete = true
+	for w := range rs.workers {
+		if rs.workers[w].parked {
+			rs.workers[w].parked = false
+			rs.workers[w].retired = true
+		}
+	}
+	rs.parkedCount = 0
+}
+
+// wake unparks up to k workers of rs, round-robin from the wake
+// cursor, scheduling their polls at the current instant (FIFO after
+// the current event).
+func (h *harness) wake(rs *runState, k int) {
+	if rs.complete || rs.parkedCount == 0 {
+		return
+	}
+	p := len(rs.workers)
+	for scanned := 0; scanned < p && k > 0 && rs.parkedCount > 0; scanned++ {
+		w := rs.wakeCursor
+		rs.wakeCursor = (rs.wakeCursor + 1) % p
+		ws := &rs.workers[w]
+		if !ws.parked {
+			continue
+		}
+		ws.parked = false
+		rs.parkedCount--
+		k--
+		h.push(ev{at: h.nowNs, kind: evPoll, run: rs.idx, worker: w, gen: ws.gen})
+	}
+}
+
+// sweepTick is the janitor: one Registry.Sweep (lease reclaim for
+// runs whose workers all died, TTL expiry), then a small wake per
+// incomplete run so a reclaim is picked up, then reschedule while
+// anything is unfinished.
+func (h *harness) sweepTick() error {
+	h.backend.sweep()
+	unfinished := false
+	for _, rs := range h.runs {
+		if rs.complete {
+			continue
+		}
+		unfinished = true
+		if rs.arrived {
+			h.wake(rs, expiryWake)
+		}
+	}
+	if unfinished {
+		h.push(ev{at: h.nowNs + int64(h.sc.JanitorEvery), kind: evSweep})
+	}
+	return nil
+}
+
+// applyScript applies one scripted fault.
+func (h *harness) applyScript(e Event) {
+	rs := h.runs[e.Run]
+	ws := &rs.workers[e.Worker]
+	switch e.Kind {
+	case Crash:
+		if ws.dead || ws.retired {
+			return
+		}
+		if ws.parked {
+			ws.parked = false
+			rs.parkedCount--
+		}
+		h.scheduleExpiryWake(e.Run, rs, ws)
+		ws.dead = true
+		ws.gen++
+		ws.pending = nil
+		ws.execNs = 0
+	case Restart:
+		if !ws.dead {
+			return
+		}
+		ws.dead = false
+		ws.gen++
+		ws.pending = nil
+		ws.execNs = 0
+		ws.partUntil = 0
+		h.push(ev{at: h.nowNs, kind: evPoll, run: e.Run, worker: e.Worker, gen: ws.gen})
+	case Slow:
+		ws.slow = e.Factor // validate() guarantees ≥ 1
+	case Partition:
+		if ws.dead || ws.retired {
+			return
+		}
+		ws.partUntil = h.nowNs + int64(e.Duration)
+		h.scheduleExpiryWake(e.Run, rs, ws)
+	}
+}
+
+// scheduleExpiryWake schedules a wake just past the lease deadline of
+// the batch a crashed or partitioned worker holds: if the rest of the
+// fleet is parked on its write locks (the pure wedge), somebody must
+// be polling when the lease expires for the poll-path reclaim to heal
+// the run.
+func (h *harness) scheduleExpiryWake(run int, rs *runState, ws *workerState) {
+	if rs.leaseNs <= 0 || len(ws.pending) == 0 {
+		return
+	}
+	at := ws.grantAt + rs.leaseNs + wakeEps
+	if at < h.nowNs {
+		at = h.nowNs
+	}
+	h.push(ev{at: at, kind: evWake, run: run, k: expiryWake})
+}
+
+// collect snapshots every run's collectors into the Result.
+func (h *harness) collect() (*Result, error) {
+	res := &Result{
+		Scenario:     h.sc,
+		Mode:         h.mode,
+		Events:       h.events,
+		Polls:        h.polls,
+		FinalVirtual: time.Duration(h.nowNs),
+	}
+	for i, rs := range h.runs {
+		rr := RunResult{
+			Spec:          rs.spec,
+			Info:          rs.info,
+			Accepted:      rs.accepted,
+			Conflicts:     rs.conflicts,
+			BusyNanos:     rs.busyNs,
+			InitialSpeeds: rs.initial,
+			Arrived:       rs.arrived,
+			maxFactor:     rs.spec.Speeds.maxSpeedFactor(),
+		}
+		if rs.arrived {
+			st, err := h.backend.stats(i)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: stats of run %d: %w", i, err)
+			}
+			tr, err := h.backend.traceOf(i)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: trace of run %d: %w", i, err)
+			}
+			rr.Stats, rr.Trace = st, tr
+		}
+		res.Runs = append(res.Runs, rr)
+	}
+	return res, nil
+}
+
+// isDAGKernel reports whether kernel releases tasks on completions.
+func isDAGKernel(kernel string) bool {
+	switch kernel {
+	case service.KernelCholesky, service.KernelLU, service.KernelQR:
+		return true
+	}
+	return false
+}
+
+// costerFor builds the per-task cost function the harness charges as
+// execution time. DAG kernel costs are stateless functions of the
+// encoded task, so a bare kernel instance prices tasks for both
+// harness modes without touching the run's real coordinator; flat
+// kernels are uniform (nil → cost 1).
+func costerFor(kernel string, n int) func(core.Task) float64 {
+	var k dag.Kernel
+	switch kernel {
+	case service.KernelCholesky:
+		k = cholesky.NewKernel(n)
+	case service.KernelLU:
+		k = lu.NewKernel(n)
+	case service.KernelQR:
+		k = qr.NewKernel(n)
+	default:
+		return nil
+	}
+	return func(ct core.Task) float64 { return k.Cost(dag.DecodeTask(ct, n)) }
+}
+
+// totalWork returns the kernel's total work in the same units the
+// coster charges, for the makespan lower bound.
+func totalWork(kernel string, n int) float64 {
+	switch kernel {
+	case service.KernelOuter:
+		return float64(n) * float64(n)
+	case service.KernelMatmul:
+		return float64(n) * float64(n) * float64(n)
+	case service.KernelCholesky:
+		return cholesky.TotalWork(n)
+	case service.KernelLU:
+		return lu.TotalWork(n)
+	case service.KernelQR:
+		return qr.TotalWork(n)
+	}
+	return 0
+}
+
+// interface check: both backends satisfy the seam.
+var (
+	_ backend = (*directBackend)(nil)
+	_ backend = (*httpBackend)(nil)
+)

@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"time"
+
+	"hetsched/internal/service"
+)
+
+// This file is the scenario corpus: the canned heterogeneous-fleet
+// scripts the go-test matrix and cmd/clustersim share. Each
+// constructor returns a self-contained Scenario; callers pick a mode
+// and hand it to Run. The corpus is where the chaos matrix that used
+// to live in internal/service's real-goroutine tests now scales out —
+// thousands of workers, scripted faults, exact determinism — while
+// one real-goroutine smoke test per kernel remains over there.
+
+// HeterogeneousDrift runs one DAG kernel on a fleet drawn from the
+// paper's default [10, 100) platform with per-task speed drift — the
+// dyn.5 (amplitude 0.05) and dyn.20 (0.20) scenarios of Fig. 8,
+// finally end-to-end against the real service.
+func HeterogeneousDrift(kernel string, n, p int, amplitude float64, seed uint64) Scenario {
+	return Scenario{
+		Name: "drift-" + kernel,
+		Seed: seed,
+		Runs: []RunSpec{{
+			Kernel: kernel, N: n, P: p, Seed: seed + 1,
+			LeaseSeconds: 30,
+			Speeds:       SpeedSpec{Kind: Uniform, Drift: amplitude},
+		}},
+	}
+}
+
+// CrashHeavy kills a slice of the fleet mid-run (one crash wave, no
+// restarts) so every lost batch must come back through lease
+// reclamation; half the victims return later and must re-integrate
+// cleanly.
+func CrashHeavy(kernel string, n, p, victims int, seed uint64) Scenario {
+	sc := Scenario{
+		Name: "crash-heavy-" + kernel,
+		Seed: seed,
+		Runs: []RunSpec{{
+			Kernel: kernel, N: n, P: p, Seed: seed + 1,
+			LeaseSeconds: 5,
+			Speeds:       SpeedSpec{Kind: Uniform},
+		}},
+	}
+	for v := 0; v < victims; v++ {
+		// Stagger the wave so victims die holding different DAG levels.
+		sc.Events = append(sc.Events, Event{
+			At: time.Duration(v+1) * 100 * time.Millisecond, Worker: v, Kind: Crash,
+		})
+		if v%2 == 0 {
+			sc.Events = append(sc.Events, Event{
+				At: 20*time.Second + time.Duration(v)*time.Second, Worker: v, Kind: Restart,
+			})
+		}
+	}
+	return sc
+}
+
+// JanitorRace wedges a run — the worker holding the root task crashes
+// immediately — and leaves recovery to the race between the periodic
+// Registry.Sweep and the surviving workers' poll-path reclaim, both
+// firing in virtual time.
+func JanitorRace(kernel string, n, p int, seed uint64) Scenario {
+	return Scenario{
+		Name: "janitor-race-" + kernel,
+		Seed: seed,
+		Runs: []RunSpec{{
+			Kernel: kernel, N: n, P: p, Seed: seed + 1,
+			LeaseSeconds: 2,
+			Speeds:       SpeedSpec{Kind: Uniform},
+		}},
+		// The root-task holder dies instantly after its first grant.
+		Events:       []Event{{At: time.Microsecond, Worker: 0, Kind: Crash}},
+		JanitorEvery: 2 * time.Second, // lands right on the expiry boundary
+	}
+}
+
+// ThunderingHerd registers several runs whose full fleets all poll at
+// the same virtual instant, plus a second burst arriving mid-flight —
+// the registration-stampede shape of "heavy traffic".
+func ThunderingHerd(p int, seed uint64) Scenario {
+	return Scenario{
+		Name: "thundering-herd",
+		Seed: seed,
+		Runs: []RunSpec{
+			{Kernel: service.KernelOuter, Strategy: "2phases", N: 24, P: p, Seed: seed + 1, Batch: 4,
+				Speeds: SpeedSpec{Kind: Uniform}},
+			{Kernel: service.KernelCholesky, N: 12, P: p / 2, Seed: seed + 2, LeaseSeconds: 10,
+				Speeds: SpeedSpec{Kind: Set, Classes: []float64{20, 50, 100}}},
+			{Kernel: service.KernelOuter, Strategy: "dynamic", N: 16, P: p, Seed: seed + 3, Batch: 2,
+				ArriveAt: 50 * time.Millisecond, Speeds: SpeedSpec{Kind: Homogeneous}},
+		},
+	}
+}
+
+// StragglersAndPartitions mixes the slow-but-alive failure modes on a
+// QR run (the multi-output kernel, the hardest reclaim path): two
+// stragglers drop to a tenth of their speed mid-run, and two workers
+// are partitioned from the master long enough that their held batches
+// expire and their heal-time reports draw 409.
+func StragglersAndPartitions(n, p int, seed uint64) Scenario {
+	return Scenario{
+		Name: "stragglers-partitions-qr",
+		Seed: seed,
+		Runs: []RunSpec{{
+			Kernel: service.KernelQR, Strategy: "critpath", N: n, P: p, Seed: seed + 1,
+			LeaseSeconds: 3,
+			Speeds:       SpeedSpec{Kind: Uniform},
+		}},
+		Events: []Event{
+			{At: 100 * time.Millisecond, Worker: 1, Kind: Slow, Factor: 10},
+			{At: 100 * time.Millisecond, Worker: 2, Kind: Slow, Factor: 10},
+			{At: 200 * time.Millisecond, Worker: 3, Kind: Partition, Duration: 10 * time.Second},
+			{At: 250 * time.Millisecond, Worker: 4, Kind: Partition, Duration: 10 * time.Second},
+			{At: 5 * time.Second, Worker: 1, Kind: Slow, Factor: 1}, // one straggler recovers
+		},
+	}
+}
+
+// Acceptance is the issue's flagship scenario: a 1000-worker
+// dynamically drifting (dyn.20) Cholesky fleet with a wave of mid-run
+// crashes — completing deterministically, exactly-once, within the
+// analysis bounds, in well under two seconds of wall time.
+func Acceptance(seed uint64) Scenario {
+	sc := Scenario{
+		Name: "acceptance-1k-drift-cholesky",
+		Seed: seed,
+		Runs: []RunSpec{{
+			Kernel: service.KernelCholesky, Strategy: "locality", N: 32, P: 1000, Seed: seed + 1,
+			LeaseSeconds: 2,
+			Speeds:       SpeedSpec{Kind: Uniform, Drift: 0.20},
+		}},
+	}
+	// Worker 0 dies holding POTRF(0) — the pure wedge, only the lease
+	// reclaim can save the run — and once the DAG has opened up after
+	// that reclaim, a wave of 49 more crashes spread across the worker
+	// id space hits the run's active phase, so some victims die holding
+	// live work across the DAG levels while others die parked.
+	sc.Events = append(sc.Events, Event{At: time.Millisecond, Worker: 0, Kind: Crash})
+	for v := 1; v < 50; v++ {
+		sc.Events = append(sc.Events, Event{
+			At: 2500*time.Millisecond + time.Duration(v)*120*time.Millisecond, Worker: v * 20, Kind: Crash,
+		})
+	}
+	return sc
+}

@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"testing"
+
+	"hetsched/internal/service"
+)
+
+// TestScenarioMatrix is the chaos matrix that used to be confined to a
+// handful of real-goroutine workers in internal/service: every DAG
+// kernel and the flat kernels under drift, crash waves, janitor races
+// and registration stampedes — all against the real Host/Registry,
+// deterministic, in milliseconds. One real-goroutine -race smoke test
+// per kernel remains in internal/service/chaos_test.go.
+func TestScenarioMatrix(t *testing.T) {
+	scenarios := []Scenario{
+		// The paper's dyn.5 and dyn.20 drifting platforms (Fig. 8),
+		// end-to-end against schedd on each DAG kernel plus a flat one.
+		HeterogeneousDrift(service.KernelCholesky, 10, 12, 0.05, 21),
+		HeterogeneousDrift(service.KernelCholesky, 10, 12, 0.20, 22),
+		HeterogeneousDrift(service.KernelQR, 7, 10, 0.20, 23),
+		HeterogeneousDrift(service.KernelLU, 8, 10, 0.05, 24),
+		HeterogeneousDrift(service.KernelOuter, 16, 12, 0.20, 25),
+		// Crash waves with partial restarts on the three chaos kernels.
+		CrashHeavy(service.KernelOuter, 14, 10, 4, 31),
+		CrashHeavy(service.KernelCholesky, 9, 10, 4, 32),
+		CrashHeavy(service.KernelQR, 6, 8, 3, 33),
+		// The wedge race: janitor sweep vs poll-path reclaim.
+		JanitorRace(service.KernelCholesky, 8, 6, 41),
+		JanitorRace(service.KernelQR, 6, 6, 42),
+		// Registration stampede over a shared registry.
+		ThunderingHerd(24, 51),
+		// Slow-but-alive: stragglers and healing partitions.
+		StragglersAndPartitions(6, 10, 61),
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			run(t, sc, Direct)
+		})
+	}
+}
+
+// TestScenarioMatrixHTTP re-runs a slice of the matrix through the
+// full HTTP/JSON path — the wire must add bytes, not behavior.
+func TestScenarioMatrixHTTP(t *testing.T) {
+	for _, sc := range []Scenario{
+		HeterogeneousDrift(service.KernelCholesky, 8, 8, 0.20, 71),
+		CrashHeavy(service.KernelQR, 5, 6, 2, 72),
+		JanitorRace(service.KernelCholesky, 6, 5, 73),
+	} {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			run(t, sc, HTTP)
+		})
+	}
+}

@@ -1,0 +1,52 @@
+package dag
+
+import "testing"
+
+// FuzzTaskCodec fuzzes the flat task encoding the service puts on the
+// wire: for every in-range (kind, i, j, k, n), Encode→Decode must be
+// the identity; and for every raw identifier a peer could send, Decode
+// must be total (no panic) and Decode∘Encode∘Decode idempotent — the
+// property the service relies on when it validates completions by task
+// id equality rather than by parsing.
+func FuzzTaskCodec(f *testing.F) {
+	// Seeds: the shapes of the real kernels' golden payloads — POTRF/
+	// TRSM/UPDATE-style triples at the service's test sizes, the QR
+	// four-kind space, and boundary indices.
+	f.Add(uint8(0), 0, 0, 0, 5)
+	f.Add(uint8(1), 4, 0, 3, 5)
+	f.Add(uint8(2), 4, 3, 2, 5)
+	f.Add(uint8(3), 15, 15, 15, 16)
+	f.Add(uint8(0), 0, 0, 31, 32)
+	f.Add(uint8(3), 0, 1, 0, 2)
+	f.Fuzz(func(t *testing.T, kind uint8, i, j, k, n int) {
+		if n <= 0 || n > 1<<10 {
+			return
+		}
+		// Reduce the fuzzed indices into range: valid tasks are the
+		// codec's contract.
+		norm := func(v int) int {
+			v %= n
+			if v < 0 {
+				v += n
+			}
+			return v
+		}
+		task := Task{Kind: Kind(kind), I: norm(i), J: norm(j), K: norm(k)}
+		enc := EncodeTask(task, n)
+		if enc < 0 {
+			// Kinds near 2⁸ at large n overflow nothing: 255·n³ < 2⁶³
+			// for n ≤ 2¹⁰. A negative id would corrupt the wire int64.
+			t.Fatalf("EncodeTask(%+v, %d) = %d < 0", task, n, enc)
+		}
+		dec := DecodeTask(enc, n)
+		if dec != task {
+			t.Fatalf("round trip %+v -> %d -> %+v (n=%d)", task, enc, dec, n)
+		}
+		// Decode is total and idempotent through Encode on arbitrary
+		// well-formed ids.
+		again := DecodeTask(EncodeTask(dec, n), n)
+		if again != dec {
+			t.Fatalf("codec not idempotent: %+v vs %+v", again, dec)
+		}
+	})
+}

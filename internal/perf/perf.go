@@ -16,6 +16,7 @@ import (
 
 	"hetsched/internal/analysis"
 	"hetsched/internal/cholesky"
+	"hetsched/internal/cluster"
 	"hetsched/internal/core"
 	"hetsched/internal/lu"
 	"hetsched/internal/matmul"
@@ -56,6 +57,8 @@ var ServiceBenchmarks = []Benchmark{
 	{"ServiceHostNext", ServiceHostNext},
 	{"ServiceHostNextLease", ServiceHostNextLease},
 	{"ServiceHostNextParallel", ServiceHostNextParallel},
+	{"ClusterHost1k", ClusterHost1k},
+	{"ClusterHost10k", ClusterHost10k},
 }
 
 // SimRandomOuter simulates RandomOuter at the paper's scale (n=100,
@@ -248,6 +251,48 @@ func serviceHostNextBench(b *testing.B, lease time.Duration) {
 			pending = make([][]core.Task, p)
 			b.StartTimer()
 		}
+	}
+}
+
+// ClusterHost1k prices Host throughput under a 1000-worker virtual
+// fleet: one op is one complete virtual-time cluster scenario — a
+// heterogeneous outer run (n=64, 4096 tasks, batch 4, leases armed)
+// registered by a thundering herd of 1000 workers and drained through
+// the real service.Host via internal/cluster's direct mode. ns/op ÷
+// polls/op (reported) is the per-master-interaction cost at fleet
+// scale, the number the 10k row stresses.
+func ClusterHost1k(b *testing.B) { clusterHostBench(b, 64, 1000) }
+
+// ClusterHost10k is the 10,000-worker variant (n=128, 16384 tasks):
+// most of the herd parks in wait while the batch pipeline drains, so
+// the row prices both the grant path and the registration stampede.
+func ClusterHost10k(b *testing.B) { clusterHostBench(b, 128, 10000) }
+
+func clusterHostBench(b *testing.B, n, p int) {
+	polls := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := cluster.Scenario{
+			Name: "bench",
+			Seed: uint64(i + 1),
+			Runs: []cluster.RunSpec{{
+				Kernel: service.KernelOuter, Strategy: "2phases", N: n, P: p,
+				Seed: uint64(i + 1), Batch: 4, LeaseSeconds: 30,
+				Speeds: cluster.SpeedSpec{Kind: cluster.Uniform},
+			}},
+		}
+		res, err := cluster.Run(sc, cluster.Direct)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := res.Runs[0].Stats.Completed; got != n*n {
+			b.Fatalf("scenario completed %d tasks, want %d", got, n*n)
+		}
+		polls += res.Polls
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(polls)/float64(b.N), "polls/op")
 	}
 }
 

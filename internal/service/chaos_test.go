@@ -1,5 +1,15 @@
 package service
 
+// This file is the real-goroutine chaos *smoke* layer: exactly one
+// worker-death test per kernel family, with real HTTP transport, real
+// concurrency under -race, and (for outer and Cholesky) real linalg
+// block arithmetic verifying the post-chaos numerics. The heavy
+// scenario matrix — crash waves, restarts, stragglers, partitions,
+// janitor races, thundering herds, drifting-speed fleets, thousands of
+// workers — lives in internal/cluster, which drives this same
+// Host/Registry code deterministically in virtual time; these tests
+// only keep the goroutine/transport dimension honest.
+
 import (
 	"fmt"
 	"net/http"

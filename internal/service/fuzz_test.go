@@ -1,0 +1,83 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzAPIDecode fuzzes the strict JSON request decoding every endpoint
+// funnels through: DecodeStrict must be total (no panic, no hang) on
+// arbitrary bytes, and whenever it accepts a CreateRunRequest or
+// NextRequest the value must survive a marshal→strict-decode round
+// trip — the "every request type round-trips losslessly" contract of
+// the API tests, now under adversarial inputs.
+func FuzzAPIDecode(f *testing.F) {
+	// Seed corpus: the golden payloads the API and server tests pin,
+	// plus the malformed shapes the rejection tests enumerate.
+	for _, s := range []string{
+		`{"kernel":"outer","strategy":"2phases","n":100,"p":8,"seed":7,"beta":2.5,"batch":4,"lease_seconds":30}`,
+		`{"kernel":"cholesky","strategy":"locality","n":24,"p":16,"seed":1}`,
+		`{"kernel":"qr","strategy":"critpath","n":5,"p":5,"seed":9}`,
+		`{"worker":3,"completed":[1,2,99]}`,
+		`{"worker":0}`,
+		`{"worker":1,"bogus":2}`,
+		`{"worker":1} {"worker":2}`,
+		`{"worker":`,
+		`not json`,
+		`{"kernel":"outer","n":10,"p":2,"bogus":1}`,
+		`{"kernel":"fft","n":10,"p":2}`,
+		`[]`,
+		`null`,
+		`{"kernel":"outer","n":-1,"p":0,"seed":18446744073709551615}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var create CreateRunRequest
+		if err := DecodeStrict(bytes.NewReader(data), &create); err == nil {
+			// Accepted: it must round-trip losslessly, and Validate must
+			// be total on it (error or not — just no panic).
+			reencoded, err := json.Marshal(&create)
+			if err != nil {
+				t.Fatalf("marshal of accepted request failed: %v", err)
+			}
+			var again CreateRunRequest
+			if err := DecodeStrict(bytes.NewReader(reencoded), &again); err != nil {
+				t.Fatalf("re-decode of %s failed: %v", reencoded, err)
+			}
+			if again != create {
+				t.Fatalf("round trip mismatch: %+v vs %+v", again, create)
+			}
+			q := create
+			_ = q.Validate()
+		}
+
+		var next NextRequest
+		if err := DecodeStrict(bytes.NewReader(data), &next); err == nil {
+			reencoded, err := json.Marshal(&next)
+			if err != nil {
+				t.Fatalf("marshal of accepted poll failed: %v", err)
+			}
+			var again NextRequest
+			if err := DecodeStrict(bytes.NewReader(reencoded), &again); err != nil {
+				t.Fatalf("re-decode of %s failed: %v", reencoded, err)
+			}
+			if again.Worker != next.Worker || len(again.Completed) != len(next.Completed) {
+				t.Fatalf("round trip mismatch: %+v vs %+v", again, next)
+			}
+			for i := range again.Completed {
+				if again.Completed[i] != next.Completed[i] {
+					t.Fatalf("round trip mismatch at %d: %+v vs %+v", i, again, next)
+				}
+			}
+		}
+
+		// DecodeStrict must agree with itself about strictness: a body
+		// it rejects for trailing data must also be rejected when the
+		// trailing data is whitespace-free-appended junk.
+		var probe NextRequest
+		_ = DecodeStrict(strings.NewReader(string(data)+"{}"), &probe)
+	})
+}

@@ -74,7 +74,16 @@ type Host struct {
 	tr       *trace.Trace
 	open     []int // per-worker index into tr.Segments of the open segment, -1 when none
 
-	now func() time.Time // injectable for tests
+	// now is the host's time source. Every timestamp the host takes —
+	// lease deadlines, trace segment boundaries, makespan, the TTL's
+	// LastActivity — flows through it, which is the virtual-clock
+	// contract: a caller that injects a clock (NewHostWithClock; the
+	// internal/cluster harness) owns time entirely, and the host never
+	// consults the wall clock behind its back. The only requirement is
+	// monotonicity: now() must never run backwards between calls
+	// (advancing in discrete jumps, including zero-width ones, is
+	// fine — the event-loop harness freezes it between events).
+	now func() time.Time
 }
 
 // grantInfo is the outstanding table's value: the worker executing the
@@ -152,6 +161,14 @@ func dupInReport(completed []core.Task) (core.Task, bool) {
 // lease <= 0 disables reclamation and preserves the original
 // trust-the-worker behavior.
 func NewHost(drv core.Driver, batch int, lease time.Duration) *Host {
+	return NewHostWithClock(drv, batch, lease, time.Now)
+}
+
+// NewHostWithClock is NewHost with an injected time source (see the
+// virtual-clock contract on the now field). The host's epoch —
+// start/last/lastPoll — is taken from the clock at construction, so a
+// virtual clock yields fully virtual traces, leases and makespans.
+func NewHostWithClock(drv core.Driver, batch int, lease time.Duration, now func() time.Time) *Host {
 	if batch < 1 {
 		batch = 1
 	}
@@ -167,7 +184,7 @@ func NewHost(drv core.Driver, batch int, lease time.Duration) *Host {
 		workers:     make([]WorkerStats, p),
 		tr:          trace.New(p),
 		open:        make([]int, p),
-		now:         time.Now,
+		now:         now,
 	}
 	if lease > 0 {
 		if ra, ok := drv.(core.Reassigner); ok {

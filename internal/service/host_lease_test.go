@@ -35,15 +35,12 @@ func (c *fakeClock) Advance(d time.Duration) {
 	c.mu.Unlock()
 }
 
-// newLeaseHost builds a Host on an injected clock; start/last/lastPoll
-// are re-pinned to the fake epoch so trace timestamps stay sane.
+// newLeaseHost builds a Host on an injected clock: the fake epoch is
+// the host's epoch, so trace timestamps and leases are fully virtual.
 func newLeaseHost(t *testing.T, drv core.Driver, batch int, lease time.Duration) (*Host, *fakeClock) {
 	t.Helper()
-	h := NewHost(drv, batch, lease)
 	c := newFakeClock()
-	h.now = c.Now
-	h.start, h.last, h.lastPoll = c.Now(), c.Now(), c.Now()
-	return h, c
+	return NewHostWithClock(drv, batch, lease, c.Now), c
 }
 
 func mustNext(t *testing.T, h *Host, w int, completed []core.Task) (core.Assignment, string) {

@@ -85,13 +85,24 @@ type registryShard struct {
 // and idle TTL (0 disables time-based expiry; explicit Expire still
 // works).
 func NewRegistry(shards int, ttl time.Duration) *Registry {
+	return NewRegistryWithClock(shards, ttl, time.Now)
+}
+
+// NewRegistryWithClock is NewRegistry with an injected time source:
+// the TTL sweep's idleness comparisons use now instead of the wall
+// clock, mirroring the Host's virtual-clock contract, so a harness
+// that owns every run's clock (internal/cluster) also owns the
+// janitor's notion of "idle". Run IDs stay wall-clock-salted — they
+// are opaque identifiers, deliberately outside the deterministic
+// surface.
+func NewRegistryWithClock(shards int, ttl time.Duration, now func() time.Time) *Registry {
 	if shards < 1 {
 		shards = 1
 	}
 	g := &Registry{
 		shards: make([]*registryShard, shards),
 		ttl:    ttl,
-		now:    time.Now,
+		now:    now,
 		idrng:  rng.New(uint64(time.Now().UnixNano())),
 	}
 	for i := range g.shards {

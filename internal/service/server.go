@@ -32,6 +32,12 @@ type Options struct {
 	DefaultLease time.Duration
 	// MaxBodyBytes caps request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// Now is the server's time source (default time.Now). Every Host
+	// and the Registry's TTL sweep are built on it, so injecting a
+	// virtual clock here (the internal/cluster harness does) makes
+	// leases, traces, makespans and idle-expiry all run on virtual
+	// time while the HTTP path stays byte-for-byte real.
+	Now func() time.Time
 }
 
 func (o *Options) fill() {
@@ -55,6 +61,9 @@ func (o *Options) fill() {
 	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 1 << 20
+	}
+	if o.Now == nil {
+		o.Now = time.Now
 	}
 }
 
@@ -85,7 +94,7 @@ func New(opts Options) *Server {
 	opts.fill()
 	s := &Server{
 		opts: opts,
-		reg:  NewRegistry(opts.Shards, opts.TTL),
+		reg:  NewRegistryWithClock(opts.Shards, opts.TTL, opts.Now),
 		mux:  http.NewServeMux(),
 		stop: make(chan struct{}),
 	}
@@ -148,36 +157,53 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	drv, err := NewDriver(&q)
+	run, err := s.opts.NewRun(s.reg.NewID(), &q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	s.reg.Add(run)
+	writeJSON(w, http.StatusCreated, run.Info())
+}
+
+// NewRun constructs the Run a *validated* CreateRunRequest describes,
+// applying the options' defaulting rules: Batch 0 inherits
+// DefaultBatch (NewHost clamps below 1 to 1), lease_seconds 0 inherits
+// DefaultLease and negative opts out, and every timestamp flows
+// through Now (nil falls back to the wall clock). handleCreate and the
+// cluster harness's direct mode share this constructor, so the
+// transport-free path cannot drift from the HTTP one.
+func (o Options) NewRun(id string, q *CreateRunRequest) (*Run, error) {
+	drv, err := NewDriver(q)
+	if err != nil {
+		return nil, err
+	}
+	now := o.Now
+	if now == nil {
+		now = time.Now
+	}
 	batch := q.Batch
 	if batch == 0 {
-		batch = s.opts.DefaultBatch
+		batch = o.DefaultBatch
 	}
-	// lease_seconds: 0 inherits the server default, negative opts out.
-	lease := s.opts.DefaultLease
+	lease := o.DefaultLease
 	if q.LeaseSeconds != 0 {
 		lease = time.Duration(q.LeaseSeconds * float64(time.Second))
 	}
 	if lease < 0 {
 		lease = 0
 	}
-	run := &Run{
-		ID:       s.reg.NewID(),
+	return &Run{
+		ID:       id,
 		Kernel:   q.Kernel,
 		Strategy: q.Strategy,
 		N:        q.N,
 		P:        q.P,
 		Seed:     q.Seed,
 		Beta:     q.Beta,
-		Created:  time.Now(),
-		Host:     NewHost(drv, batch, lease),
-	}
-	s.reg.Add(run)
-	writeJSON(w, http.StatusCreated, run.Info())
+		Created:  now(),
+		Host:     NewHostWithClock(drv, batch, lease, now),
+	}, nil
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
