@@ -78,8 +78,11 @@ func BenchmarkServiceHostNext(b *testing.B) { perf.ServiceHostNext(b) }
 // the cost of reclamation bookkeeping on the hot path.
 func BenchmarkServiceHostNextLease(b *testing.B) { perf.ServiceHostNextLease(b) }
 
-// BenchmarkServiceHostNextParallel is the contended variant.
-func BenchmarkServiceHostNextParallel(b *testing.B) { perf.ServiceHostNextParallel(b) }
+// BenchmarkServiceHostNextParallel is the contended variant;
+// BenchmarkServiceHostNextParallelEvents adds an idle event stream so
+// the delta prices the observability hooks on the poll hot path.
+func BenchmarkServiceHostNextParallel(b *testing.B)       { perf.ServiceHostNextParallel(b) }
+func BenchmarkServiceHostNextParallelEvents(b *testing.B) { perf.ServiceHostNextParallelEvents(b) }
 
 // BenchmarkClusterHost1k / 10k price Host throughput under virtual
 // worker fleets: one op is a complete internal/cluster scenario (1k or

@@ -13,9 +13,16 @@
 // matrix runs); -mode http drives the full HTTP/JSON path through an
 // in-process listener and must produce the identical hash as -mode
 // direct for equal seeds.
+//
+// -events <path> attaches a recording full-stream subscriber to every
+// run and dumps the complete event ledger — every assignment,
+// completion, reclaim, 409 conflict and state transition, in
+// publication order — as JSON Lines.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +32,7 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "acceptance", "acceptance | drift | crash | janitor | herd | stragglers")
+	scenario := flag.String("scenario", "acceptance", "acceptance | drift | crash | janitor | herd | stragglers | backpressure")
 	kernel := flag.String("kernel", "cholesky", "workload for drift/crash/janitor: outer | matmul | cholesky | lu | qr")
 	n := flag.Int("n", 12, "blocks/tiles per dimension (drift/crash/janitor/stragglers)")
 	p := flag.Int("p", 100, "fleet size (scenario-dependent)")
@@ -33,6 +40,7 @@ func main() {
 	amplitude := flag.Float64("drift", 0.20, "drift amplitude for -scenario drift (0.05 = dyn.5, 0.20 = dyn.20)")
 	victims := flag.Int("victims", 8, "crash count for -scenario crash")
 	mode := flag.String("mode", "direct", "direct | http")
+	eventsOut := flag.String("events", "", "dump the scenario's full event ledger to this file as JSON Lines (one event per line, publication order)")
 	flag.Parse()
 
 	var sc cluster.Scenario
@@ -49,6 +57,8 @@ func main() {
 		sc = cluster.ThunderingHerd(*p, *seed)
 	case "stragglers":
 		sc = cluster.StragglersAndPartitions(*n, *p, *seed)
+	case "backpressure":
+		sc = cluster.BackpressureObservers(*seed)
 	default:
 		fmt.Fprintf(os.Stderr, "clustersim: unknown scenario %q\n", *scenario)
 		os.Exit(2)
@@ -62,6 +72,15 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "clustersim: unknown mode %q\n", *mode)
 		os.Exit(2)
+	}
+
+	// The ledger dump rides on a recording full-stream subscriber per
+	// run — a pure observer, so it cannot move the determinism hash.
+	if *eventsOut != "" {
+		for i := range sc.Runs {
+			sc.Subscribers = append(sc.Subscribers,
+				cluster.SubscriberSpec{Run: i, Kind: cluster.SubFast, Record: true})
+		}
 	}
 
 	start := time.Now()
@@ -91,4 +110,44 @@ func main() {
 	}
 	fmt.Printf("invariants    ok (exactly-once, lease accounting, trace monotone, analysis bounds)\n")
 	fmt.Printf("hash          %016x\n", res.Hash())
+
+	if *eventsOut != "" {
+		n, err := dumpEvents(*eventsOut, res)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clustersim: writing event ledger: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("events        %d written to %s\n", n, *eventsOut)
+	}
+}
+
+// dumpEvents writes every recorded subscriber's event stream as JSON
+// Lines, runs in order and each run's events in publication order.
+func dumpEvents(path string, res *cluster.Result) (int, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	n := 0
+	for _, rr := range res.Runs {
+		for _, l := range rr.Subscribers {
+			if !l.Spec.Record {
+				continue
+			}
+			for _, e := range l.Events {
+				if err := enc.Encode(e); err != nil {
+					f.Close()
+					return n, err
+				}
+				n++
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return n, err
+	}
+	return n, f.Close()
 }

@@ -10,6 +10,12 @@
 //	    -d '{"kernel":"outer","strategy":"2phases","n":100,"p":8,"seed":7}'
 //	curl -s -X POST localhost:8080/v1/runs/<id>/next -d '{"worker":0}'
 //	curl -s localhost:8080/v1/runs/<id>/stats
+//
+// Watch a run live (SSE event stream, Prometheus metrics, dashboard):
+//
+//	curl -N localhost:8080/v1/runs/<id>/events
+//	curl -s 'localhost:8080/v1/metrics?format=prometheus'
+//	open http://localhost:8080/v1/ui
 package main
 
 import (
@@ -33,9 +39,11 @@ func main() {
 	ttl := flag.Duration("ttl", 15*time.Minute, "expire runs idle for longer than this (0 = never)")
 	gc := flag.Duration("gc", time.Minute, "garbage-collection interval (0 = disabled)")
 	lease := flag.Duration("lease", 0, "default assignment lease: reclaim tasks a worker holds longer than this (0 = never; runs can override via lease_seconds)")
+	eventsBuffer := flag.Int("events-buffer", 0, "per-subscriber event buffer and per-run retention ring for /v1/events streams (0 = default 1024); a subscriber that reads slower than events arrive drops the overflow")
 	flag.Parse()
 
-	opts := service.Options{Shards: *shards, DefaultBatch: *batch, TTL: *ttl, GCInterval: *gc, DefaultLease: *lease}
+	opts := service.Options{Shards: *shards, DefaultBatch: *batch, TTL: *ttl, GCInterval: *gc,
+		DefaultLease: *lease, EventsBuffer: *eventsBuffer}
 	if *ttl == 0 {
 		opts.TTL = -1
 	}

@@ -4,10 +4,13 @@
 // the HTTP API, drains it with concurrent HTTP worker loops — one of
 // which crashes mid-run while holding a batch, exercising lease-based
 // task reclamation — and prints the final statistics and a Gantt
-// chart of the recorded trace.
+// chart of the recorded trace. It finishes on the observability
+// plane: an SSE replay of the run's first events, the /v1/metrics
+// aggregates, and an excerpt of the Prometheus exposition.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -15,9 +18,11 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
+	"hetsched/internal/events"
 	"hetsched/internal/service"
 )
 
@@ -26,7 +31,10 @@ const workers = 8
 func main() {
 	// The 150ms default lease is what lets the run survive the crashed
 	// worker below: its unreported batch is reclaimed and reassigned.
-	svc := service.New(service.Options{DefaultBatch: 4, GCInterval: -1, DefaultLease: 150 * time.Millisecond})
+	// EventsBuffer is sized past the run's event count so the SSE
+	// replay at the end can rewind to the very first event.
+	svc := service.New(service.Options{DefaultBatch: 4, GCInterval: -1,
+		DefaultLease: 150 * time.Millisecond, EventsBuffer: 8192})
 	defer svc.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -96,6 +104,64 @@ func main() {
 	defer resp.Body.Close()
 	gantt, _ := io.ReadAll(resp.Body)
 	fmt.Printf("\n%s", gantt)
+
+	// The observability plane: replay the run's first events over SSE
+	// (the same stream `curl -N .../events` or the /v1/ui dashboard
+	// tails live), then the service-wide aggregates in both formats.
+	fmt.Printf("\nfirst three events of the run (SSE replay):\n")
+	for _, e := range sseEvents(fmt.Sprintf("%s/v1/runs/%s/events?after=0&max=3", base, info.ID)) {
+		fmt.Printf("event %d: %-11s worker=%d task=%d count=%d state=%q\n",
+			e.Seq, e.Type, e.Worker, e.Task, e.Count, e.State)
+	}
+
+	var mx service.MetricsResponse
+	get(base+"/v1/metrics", &mx)
+	fmt.Printf("\nmetrics             %d run(s), %d polls, %d events published, %d dropped\n",
+		mx.Runs, mx.Polls, mx.EventsPublished, mx.EventsDropped)
+	promResp, err := http.Get(base + "/v1/metrics?format=prometheus")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer promResp.Body.Close()
+	prom, _ := io.ReadAll(promResp.Body)
+	fmt.Printf("prometheus exposition (excerpt):\n")
+	for _, line := range strings.Split(string(prom), "\n") {
+		if strings.HasPrefix(line, "schedd_runs") || strings.HasPrefix(line, "schedd_events_") {
+			fmt.Println(line)
+		}
+	}
+}
+
+// sseEvents reads one text/event-stream response to completion and
+// decodes the data: payload of every frame that carries one.
+func sseEvents(url string) []events.Event {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	var out []events.Event
+	sc := bufio.NewScanner(resp.Body)
+	idFrame := false // scheduler events carry id:; drops/end frames do not
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			idFrame = true
+		case strings.HasPrefix(line, "event: "), line == "":
+			idFrame = false
+		case strings.HasPrefix(line, "data: ") && idFrame:
+			var e events.Event
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &e); err != nil {
+				log.Fatal(err)
+			}
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 func post(url string, body, out any) {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hetsched/internal/core"
+	"hetsched/internal/events"
 	"hetsched/internal/service"
 	"hetsched/internal/trace"
 )
@@ -32,6 +33,10 @@ type backend interface {
 	// stats and traceOf snapshot the run's collectors.
 	stats(run int) (service.StatsResponse, error)
 	traceOf(run int) (*trace.Trace, error)
+	// bus is the service's event bus: scripted subscribers attach to
+	// it in process in both modes (the SSE wire framing is pinned by
+	// internal/service's own tests).
+	bus() *events.Bus
 	close()
 }
 
@@ -73,10 +78,17 @@ type directBackend struct {
 	reg  *service.Registry
 	runs []*service.Run
 	now  func() time.Time
+	evs  *events.Bus
 }
 
 func newDirectBackend(ttl time.Duration, now func() time.Time) *directBackend {
-	return &directBackend{reg: service.NewRegistryWithClock(8, ttl, now), now: now}
+	b := &directBackend{
+		reg: service.NewRegistryWithClock(8, ttl, now),
+		now: now,
+		evs: events.NewBus(0),
+	}
+	b.reg.AttachBus(b.evs)
+	return b
 }
 
 func (b *directBackend) create(spec RunSpec) (service.RunInfo, error) {
@@ -87,7 +99,7 @@ func (b *directBackend) create(spec RunSpec) (service.RunInfo, error) {
 	// The server's own run constructor (service.Options.NewRun) with
 	// the same defaults opts.fill() would produce, so the direct mode
 	// cannot drift from handleCreate.
-	run, err := service.Options{DefaultBatch: 1, Now: b.now}.NewRun(b.reg.NewID(), &q)
+	run, err := service.Options{DefaultBatch: 1, Now: b.now, Events: b.evs}.NewRun(b.reg.NewID(), &q)
 	if err != nil {
 		return service.RunInfo{}, err
 	}
@@ -151,6 +163,8 @@ func (b *directBackend) traceOf(run int) (*trace.Trace, error) {
 	}
 	return r.Host.Trace(), nil
 }
+
+func (b *directBackend) bus() *events.Bus { return b.evs }
 
 func (b *directBackend) close() {}
 
@@ -278,5 +292,7 @@ func (b *httpBackend) traceOf(run int) (*trace.Trace, error) {
 	}
 	return tr.Trace, err
 }
+
+func (b *httpBackend) bus() *events.Bus { return b.svc.Bus() }
 
 func (b *httpBackend) close() { b.ts.Close(); b.svc.Close() }

@@ -96,6 +96,11 @@ const (
 	evWake                 // wake up to k parked workers of a run
 	evSweep                // registry janitor pass
 	evScript               // scripted fault (crash/restart/slow/partition)
+	// Observer-plane events (worker indexes h.subs): processed off the
+	// virtual timeline — they advance neither the clock nor the event
+	// counter, so subscribers cannot perturb the outcome hash.
+	evDrain  // scripted slow-subscriber drain tick
+	evSubCtl // subscriber disconnect (k=0) / reconnect (k=1)
 )
 
 // ev is one event; at is a virtual-nanosecond offset from epoch and
@@ -208,6 +213,7 @@ type harness struct {
 	q       evHeap
 	seq     uint64
 	runs    []*runState
+	subs    []*subState
 	events  int
 	polls   int
 	nowNs   int64
@@ -274,6 +280,7 @@ func Run(sc Scenario, mode Mode) (*Result, error) {
 	if sc.JanitorEvery > 0 {
 		h.push(ev{at: int64(sc.JanitorEvery), kind: evSweep})
 	}
+	h.setupSubscribers()
 
 	deadline := int64(sc.Deadline)
 	for h.q.len() > 0 {
@@ -281,12 +288,19 @@ func Run(sc Scenario, mode Mode) (*Result, error) {
 		if e.at > deadline {
 			break
 		}
+		if e.kind == evDrain || e.kind == evSubCtl {
+			// Observer plane: processed in virtual order but off the
+			// timeline — no clock advance, no event count, no feedback.
+			h.dispatchObserver(e)
+			continue
+		}
 		h.nowNs = e.at
 		h.clock.advanceTo(epoch.Add(time.Duration(e.at)))
 		h.events++
 		if err := h.dispatch(e); err != nil {
 			return nil, err
 		}
+		h.drainEager()
 	}
 	return h.collect()
 }
@@ -312,7 +326,7 @@ func validate(sc Scenario) error {
 			return fmt.Errorf("cluster: event %d slows by factor %g < 1", i, e.Factor)
 		}
 	}
-	return nil
+	return validateSubscribers(sc)
 }
 
 func (h *harness) push(e ev) {
@@ -350,6 +364,7 @@ func (h *harness) arrive(run int) error {
 	}
 	rs.info = info
 	rs.arrived = true
+	h.attachSubscribers(run, info.ID)
 	for w := range rs.workers {
 		h.push(ev{at: h.nowNs + int64(w)*int64(h.sc.Stagger), kind: evPoll, run: run, worker: w})
 	}
@@ -558,12 +573,15 @@ func (h *harness) scheduleExpiryWake(run int, rs *runState, ws *workerState) {
 
 // collect snapshots every run's collectors into the Result.
 func (h *harness) collect() (*Result, error) {
+	h.collectSubscribers()
 	res := &Result{
 		Scenario:     h.sc,
 		Mode:         h.mode,
 		Events:       h.events,
 		Polls:        h.polls,
 		FinalVirtual: time.Duration(h.nowNs),
+		BusPublished: h.backend.bus().Published(),
+		BusDropped:   h.backend.bus().Dropped(),
 	}
 	for i, rs := range h.runs {
 		rr := RunResult{
@@ -586,6 +604,11 @@ func (h *harness) collect() (*Result, error) {
 				return nil, fmt.Errorf("cluster: trace of run %d: %w", i, err)
 			}
 			rr.Stats, rr.Trace = st, tr
+		}
+		for _, ss := range h.subs {
+			if ss.spec.Run == i {
+				rr.Subscribers = append(rr.Subscribers, ss.ledger)
+			}
 		}
 		res.Runs = append(res.Runs, rr)
 	}

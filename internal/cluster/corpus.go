@@ -119,6 +119,26 @@ func StragglersAndPartitions(n, p int, seed uint64) Scenario {
 	}
 }
 
+// BackpressureObservers attaches every subscriber shape to a crashing
+// Cholesky run: an eager full-stream reader, a slow cadenced drainer
+// and a stalled never-reading reader (both on tiny buffers), and an
+// SSE-style disconnect/resume. The observability acceptance scenario:
+// the stalled subscriber must shed load through drops while the
+// scheduling outcome hashes identically to the subscriber-free run
+// (strip Subscribers and re-run to compare).
+func BackpressureObservers(seed uint64) Scenario {
+	sc := CrashHeavy(service.KernelCholesky, 12, 16, 4, seed)
+	sc.Name = "backpressure-observers"
+	sc.Subscribers = []SubscriberSpec{
+		{Run: 0, Kind: SubFast},
+		{Run: 0, Kind: SubSlow, Buffer: 16, DrainEvery: 250 * time.Millisecond},
+		{Run: 0, Kind: SubStalled, Buffer: 16},
+		{Run: 0, Kind: SubDisconnecting, Buffer: 32,
+			DisconnectAt: 200 * time.Millisecond, ReconnectAt: 15 * time.Second},
+	}
+	return sc
+}
+
 // Acceptance is the issue's flagship scenario: a 1000-worker
 // dynamically drifting (dyn.20) Cholesky fleet with a wave of mid-run
 // crashes — completing deterministically, exactly-once, within the

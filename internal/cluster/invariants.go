@@ -35,6 +35,11 @@ type RunResult struct {
 	// Arrived is false when the scenario ended before the run's
 	// arrival instant.
 	Arrived bool
+	// Subscribers are the scripted event-bus observers' ledgers, in
+	// Scenario.Subscribers order. Deliberately excluded from Hash():
+	// observers must not perturb the outcome, and the 0-vs-N identity
+	// test relies on the exclusion.
+	Subscribers []SubscriberLedger
 
 	maxFactor float64
 }
@@ -45,9 +50,13 @@ type Result struct {
 	Mode     Mode
 	Runs     []RunResult
 	// Events and Polls size the executed schedule; FinalVirtual is the
-	// virtual instant of the last processed event.
+	// virtual instant of the last processed event. (Observer-plane
+	// events count toward none of these.)
 	Events, Polls int
 	FinalVirtual  time.Duration
+	// BusPublished and BusDropped snapshot the event bus at collection:
+	// the raw material of the subscriber conservation law.
+	BusPublished, BusDropped uint64
 }
 
 // CheckInvariants asserts everything a finished scenario must satisfy
@@ -65,12 +74,22 @@ type Result struct {
 //     work over the fleet's maximum achievable speed (valid under
 //     drift, whose clamp bounds the climb at 4×), each worker's
 //     accepted busy time, and — for crash-free flat runs — the
-//     a-posteriori communication lower bound of internal/analysis.
+//     a-posteriori communication lower bound of internal/analysis;
+//   - every subscriber ledger is consistent with the stats: seen +
+//     dropped == published (the bus's conservation law), and loss-free
+//     full-stream observers witnessed exactly the counters — one
+//     completion event per task, assignment counts summing to
+//     Assigned, reclaim and conflict events matching the ledgers.
 func (res *Result) CheckInvariants() error {
 	for i := range res.Runs {
 		if err := res.Runs[i].check(); err != nil {
 			return fmt.Errorf("run %d (%s/%s n=%d p=%d): %w",
 				i, res.Runs[i].Spec.Kernel, res.Runs[i].Spec.Strategy, res.Runs[i].Spec.N, res.Runs[i].Spec.P, err)
+		}
+		for j := range res.Runs[i].Subscribers {
+			if err := res.Runs[i].checkLedger(&res.Runs[i].Subscribers[j]); err != nil {
+				return fmt.Errorf("run %d subscriber %d: %w", i, j, err)
+			}
 		}
 	}
 	return nil

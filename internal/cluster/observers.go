@@ -1,0 +1,264 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"hetsched/internal/events"
+)
+
+// This file is the observability side of the harness: scripted
+// event-bus subscribers (SubscriberSpec) attached to the real
+// service's bus in both modes. Subscribers are strictly off the
+// virtual timeline — their drain and reconnect events never advance
+// the clock, never count as loop events, and feed nothing back into
+// the scheduler — so Result.Hash() is bit-identical with zero or any
+// number of them (TestSubscribersDoNotPerturb pins that), which is the
+// harness-level proof of the bus's drop-don't-block contract.
+
+// SubscriberLedger is one scripted subscriber's collected view of its
+// run, checked against the service's own stats by CheckInvariants.
+type SubscriberLedger struct {
+	Spec SubscriberSpec
+	// Seen and Dropped partition the stream: every published event was
+	// either delivered to this subscriber or counted in its drop
+	// total — Seen + Dropped == Published, across disconnects.
+	Seen, Dropped uint64
+	// Published is the stream's event count at collection time.
+	Published uint64
+	// Resumes counts successful Last-Event-ID-style reattachments.
+	Resumes int
+	// Closed reports the stream ended under the subscriber (run swept).
+	Closed bool
+	// AssignTasks sums the Count of every assign event seen; Completes
+	// counts completion events per task; Reclaims/Conflicts count their
+	// event types; States lists lifecycle transitions in order.
+	AssignTasks int
+	Completes   map[int64]int
+	Reclaims    int
+	Conflicts   int
+	States      []string
+	// Events retains the raw stream when Spec.Record is set.
+	Events []events.Event
+}
+
+// subState is one live scripted subscriber.
+type subState struct {
+	spec   SubscriberSpec
+	stream *events.Stream
+	sub    *events.Subscriber // nil while disconnected or closed
+	ledger SubscriberLedger
+	// lastSeq is the resume cursor; dropsBase accumulates the drop
+	// totals of closed subscription instances (Poll reports per-instance
+	// cumulative drops).
+	lastSeq   uint64
+	dropsBase uint64
+	scratch   []events.Event
+}
+
+// validateSubscribers extends validate to the observability script.
+func validateSubscribers(sc Scenario) error {
+	for i, ss := range sc.Subscribers {
+		if ss.Run < 0 || ss.Run >= len(sc.Runs) {
+			return fmt.Errorf("cluster: subscriber %d targets run %d of %d", i, ss.Run, len(sc.Runs))
+		}
+		if ss.Kind == SubDisconnecting && ss.ReconnectAt <= ss.DisconnectAt {
+			return fmt.Errorf("cluster: subscriber %d reconnects at %v, before its disconnect at %v",
+				i, ss.ReconnectAt, ss.DisconnectAt)
+		}
+	}
+	return nil
+}
+
+// setupSubscribers builds the sub states and schedules their scripted
+// control events (slow drains, disconnect/reconnect).
+func (h *harness) setupSubscribers() {
+	for _, spec := range h.sc.Subscribers {
+		if spec.Kind == SubSlow && spec.DrainEvery <= 0 {
+			spec.DrainEvery = 100 * time.Millisecond
+		}
+		ss := &subState{spec: spec, ledger: SubscriberLedger{Spec: spec, Completes: make(map[int64]int)}}
+		idx := len(h.subs)
+		h.subs = append(h.subs, ss)
+		arriveAt := int64(h.sc.Runs[spec.Run].ArriveAt)
+		switch spec.Kind {
+		case SubSlow:
+			h.push(ev{at: arriveAt + int64(spec.DrainEvery), kind: evDrain, run: spec.Run, worker: idx})
+		case SubDisconnecting:
+			h.push(ev{at: int64(spec.DisconnectAt), kind: evSubCtl, run: spec.Run, worker: idx, k: 0})
+			h.push(ev{at: int64(spec.ReconnectAt), kind: evSubCtl, run: spec.Run, worker: idx, k: 1})
+		}
+	}
+}
+
+// attachSubscribers subscribes run's scripted observers from sequence
+// 0 — called at the arrival instant, right after the backend created
+// the run (and published run_created).
+func (h *harness) attachSubscribers(run int, id string) {
+	for _, ss := range h.subs {
+		if ss.spec.Run != run {
+			continue
+		}
+		ss.stream = h.backend.bus().Run(id)
+		ss.sub = ss.stream.Subscribe(0, ss.spec.Buffer)
+	}
+}
+
+// dispatchObserver handles the observer-plane events. Unlike dispatch
+// it runs outside the virtual timeline: the caller advances neither
+// the clock nor the event counter for these.
+func (h *harness) dispatchObserver(e ev) {
+	ss := h.subs[e.worker]
+	switch e.kind {
+	case evDrain:
+		h.drainSub(ss)
+		// Keep the cadence while the run is live; the final collect
+		// drain covers anything published after completion.
+		if !h.runs[e.run].complete && ss.sub != nil {
+			h.push(ev{at: e.at + int64(ss.spec.DrainEvery), kind: evDrain, run: e.run, worker: e.worker})
+		}
+	case evSubCtl:
+		if e.k == 0 { // disconnect
+			if ss.sub == nil {
+				return
+			}
+			// Drain before detaching: the eager discipline means the
+			// cursor equals the stream head, so post-resume drops are
+			// exactly the ring evictions of the outage window.
+			h.drainSub(ss)
+			ss.dropsBase = ss.ledger.Dropped
+			if ss.sub != nil {
+				ss.sub.Close()
+				ss.sub = nil
+			}
+			return
+		}
+		// Reconnect: resume from the last sequence number seen, the
+		// Last-Event-ID contract. A swept stream stays gone.
+		if ss.sub != nil || ss.ledger.Closed || ss.stream == nil {
+			return
+		}
+		if _, ok := h.backend.bus().Lookup(ss.stream.RunID()); !ok {
+			ss.ledger.Closed = true
+			return
+		}
+		ss.sub = ss.stream.Subscribe(ss.lastSeq, ss.spec.Buffer)
+		ss.ledger.Resumes++
+		h.drainSub(ss)
+	}
+}
+
+// drainEager drains the always-current subscribers (fast, and
+// disconnecting while attached) after every scheduler event.
+func (h *harness) drainEager() {
+	for _, ss := range h.subs {
+		if ss.spec.Kind == SubFast || ss.spec.Kind == SubDisconnecting {
+			h.drainSub(ss)
+		}
+	}
+}
+
+// drainSub empties the subscriber's buffer into its ledger.
+func (h *harness) drainSub(ss *subState) {
+	if ss.sub == nil {
+		return
+	}
+	evs, dropped, closed := ss.sub.Poll(ss.scratch[:0])
+	ss.scratch = evs
+	for _, e := range evs {
+		ss.ledger.Seen++
+		ss.lastSeq = e.Seq
+		switch e.Type {
+		case events.TypeAssign:
+			ss.ledger.AssignTasks += e.Count
+		case events.TypeComplete:
+			ss.ledger.Completes[e.Task]++
+		case events.TypeReclaim:
+			ss.ledger.Reclaims++
+		case events.TypeConflict:
+			ss.ledger.Conflicts++
+		case events.TypeState:
+			ss.ledger.States = append(ss.ledger.States, e.State)
+		}
+		if ss.spec.Record {
+			ss.ledger.Events = append(ss.ledger.Events, e)
+		}
+	}
+	ss.ledger.Dropped = ss.dropsBase + dropped
+	if closed {
+		ss.ledger.Closed = true
+		ss.sub = nil
+	}
+}
+
+// collectSubscribers finalizes every ledger: one last drain (the
+// stalled subscriber's only one) and the stream's published total.
+func (h *harness) collectSubscribers() {
+	for _, ss := range h.subs {
+		h.drainSub(ss)
+		if ss.stream != nil {
+			ss.ledger.Published = ss.stream.Published()
+		}
+		if ss.sub != nil {
+			ss.sub.Close()
+			ss.sub = nil
+		}
+	}
+}
+
+// checkLedger asserts one subscriber ledger against the run's service
+// stats: conservation (seen + dropped == published), and — for
+// loss-free full-stream observers — the event-level ledger matching
+// the counters exactly (completions exactly once, assignment counts,
+// reclaims, conflicts, ordered lifecycle).
+func (rr *RunResult) checkLedger(l *SubscriberLedger) error {
+	if l.Seen+l.Dropped != l.Published {
+		return fmt.Errorf("subscriber (%s): seen %d + dropped %d != published %d",
+			l.Spec.Kind, l.Seen, l.Dropped, l.Published)
+	}
+	st := rr.Stats
+	if l.Dropped > 0 || l.Resumes > 0 || l.Spec.Kind == SubStalled {
+		// A lossy or late view cannot be checked event-for-event; the
+		// conservation law above is its contract. A stalled subscriber
+		// on a non-trivial run must actually have shed load — otherwise
+		// the scenario proved nothing.
+		if l.Spec.Kind == SubStalled && l.Published > uint64(clampedBuffer(l.Spec.Buffer)) && l.Dropped == 0 {
+			return fmt.Errorf("stalled subscriber dropped nothing over %d published events", l.Published)
+		}
+		return nil
+	}
+	if len(l.Completes) != st.Completed {
+		return fmt.Errorf("subscriber (%s): %d distinct completion events, stats say %d",
+			l.Spec.Kind, len(l.Completes), st.Completed)
+	}
+	for t, n := range l.Completes {
+		if n != 1 {
+			return fmt.Errorf("subscriber (%s): task %d completed %d times in the stream", l.Spec.Kind, t, n)
+		}
+	}
+	if l.AssignTasks != st.Assigned {
+		return fmt.Errorf("subscriber (%s): assign events sum to %d, stats say %d",
+			l.Spec.Kind, l.AssignTasks, st.Assigned)
+	}
+	if l.Reclaims != st.Reclaimed {
+		return fmt.Errorf("subscriber (%s): %d reclaim events, stats say %d",
+			l.Spec.Kind, l.Reclaims, st.Reclaimed)
+	}
+	if l.Conflicts != rr.Conflicts {
+		return fmt.Errorf("subscriber (%s): %d conflict events, harness absorbed %d",
+			l.Spec.Kind, l.Conflicts, rr.Conflicts)
+	}
+	return nil
+}
+
+// clampedBuffer mirrors the events package's capacity clamping for the
+// stalled-subscriber check.
+func clampedBuffer(n int) int {
+	if n <= 0 {
+		return events.DefaultBuffer
+	}
+	if n < 8 {
+		return 8
+	}
+	return n
+}

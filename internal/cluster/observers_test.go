@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"hetsched/internal/service"
+)
+
+// findLedger returns run 0's first ledger of the given kind.
+func findLedger(t *testing.T, res *Result, kind SubKind) *SubscriberLedger {
+	t.Helper()
+	for i := range res.Runs[0].Subscribers {
+		if l := &res.Runs[0].Subscribers[i]; l.Spec.Kind == kind {
+			return l
+		}
+	}
+	t.Fatalf("no %s subscriber in result", kind)
+	return nil
+}
+
+// TestSubscribersDoNotPerturb is the issue's acceptance criterion for
+// the event plane: the scheduling outcome of a seeded scenario is
+// bit-identical with zero subscribers and with the full adversarial
+// set attached — including a stalled subscriber that never reads and
+// must shed load through drops instead of blocking Host.Next.
+func TestSubscribersDoNotPerturb(t *testing.T) {
+	withSubs := BackpressureObservers(7)
+	bare := withSubs
+	bare.Subscribers = nil
+
+	a := run(t, bare, Direct)
+	b := run(t, withSubs, Direct)
+	if ah, bh := a.Hash(), b.Hash(); ah != bh {
+		t.Fatalf("subscribers perturbed the outcome: bare %016x, observed %016x", ah, bh)
+	}
+	if a.Events != b.Events || a.Polls != b.Polls || a.FinalVirtual != b.FinalVirtual {
+		t.Fatalf("observer events leaked onto the timeline: events %d/%d polls %d/%d final %v/%v",
+			a.Events, b.Events, a.Polls, b.Polls, a.FinalVirtual, b.FinalVirtual)
+	}
+
+	// The bus really carried the run: every event type the scenario
+	// exercises (crashes arm reclaims) went through it.
+	if b.BusPublished == 0 {
+		t.Fatal("no events published")
+	}
+	fast := findLedger(t, b, SubFast)
+	if fast.Dropped != 0 || fast.Seen != fast.Published {
+		t.Fatalf("eager subscriber lost events: seen %d dropped %d published %d",
+			fast.Seen, fast.Dropped, fast.Published)
+	}
+	if fast.Reclaims == 0 {
+		t.Fatal("crash-heavy run published no reclaim events")
+	}
+
+	// The stalled reader demonstrably shed load (checkLedger enforces
+	// the conservation law seen+dropped==published for every ledger).
+	stalled := findLedger(t, b, SubStalled)
+	if stalled.Dropped == 0 {
+		t.Fatalf("stalled subscriber dropped nothing over %d published events", stalled.Published)
+	}
+	if stalled.Seen > 16 {
+		t.Fatalf("stalled subscriber saw %d events through a 16-slot buffer", stalled.Seen)
+	}
+	if b.BusDropped < stalled.Dropped {
+		t.Fatalf("bus drop counter %d below the stalled subscriber's %d", b.BusDropped, stalled.Dropped)
+	}
+
+	// The disconnecting subscriber resumed exactly once and its ledger
+	// still balances across the outage.
+	disc := findLedger(t, b, SubDisconnecting)
+	if disc.Resumes != 1 {
+		t.Fatalf("disconnecting subscriber resumed %d times, want 1", disc.Resumes)
+	}
+}
+
+// TestModesAgreeWithSubscribers: attaching the observer script changes
+// nothing about direct-vs-HTTP agreement — both modes feed the same
+// bus through the same service constructor.
+func TestModesAgreeWithSubscribers(t *testing.T) {
+	sc := BackpressureObservers(11)
+	direct := run(t, sc, Direct)
+	http := run(t, sc, HTTP)
+	if d, h := direct.Hash(), http.Hash(); d != h {
+		t.Fatalf("%s: direct %016x != http %016x", sc.Name, d, h)
+	}
+	// The event streams themselves agree too: both modes published the
+	// same ledger to the eager subscriber.
+	df, hf := findLedger(t, direct, SubFast), findLedger(t, http, SubFast)
+	if df.Seen != hf.Seen || df.AssignTasks != hf.AssignTasks ||
+		df.Reclaims != hf.Reclaims || df.Conflicts != hf.Conflicts {
+		t.Fatalf("modes disagree on the event ledger: direct %+v, http %+v", df, hf)
+	}
+}
+
+// TestSlowSubscriberCadence: a slow drainer with a tiny buffer on a
+// busy run obeys conservation whether or not it dropped, and a
+// recorded subscriber retains the raw stream in arrival order.
+func TestRecordedSubscriberStream(t *testing.T) {
+	sc := HeterogeneousDrift(service.KernelCholesky, 8, 8, 0.20, 31)
+	sc.Subscribers = []SubscriberSpec{
+		{Run: 0, Kind: SubFast, Record: true},
+		{Run: 0, Kind: SubSlow, Buffer: 16, DrainEvery: 500 * time.Millisecond},
+	}
+	res := run(t, sc, Direct)
+	rec := findLedger(t, res, SubFast)
+	if uint64(len(rec.Events)) != rec.Seen {
+		t.Fatalf("recorded %d events, saw %d", len(rec.Events), rec.Seen)
+	}
+	var last uint64
+	for i, e := range rec.Events {
+		if e.Seq <= last {
+			t.Fatalf("event %d out of order: seq %d after %d", i, e.Seq, last)
+		}
+		last = e.Seq
+		if e.Run != res.Runs[0].Info.ID {
+			t.Fatalf("event %d tagged run %q, want %q", i, e.Run, res.Runs[0].Info.ID)
+		}
+	}
+}

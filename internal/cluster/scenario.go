@@ -150,8 +150,70 @@ type Event struct {
 	Duration time.Duration
 }
 
+// SubKind scripts a subscriber's drain discipline against the event
+// bus — the observability plane's load shapes, from well-behaved to
+// adversarial.
+type SubKind int
+
+const (
+	// SubFast drains after every harness event: it observes the full
+	// ledger and never drops.
+	SubFast SubKind = iota
+	// SubSlow drains on a virtual cadence (DrainEvery); a small Buffer
+	// plus a fast run makes it shed load through drops.
+	SubSlow
+	// SubStalled never drains until the scenario ends — the
+	// wedged-reader worst case. Everything past its buffer is dropped;
+	// the scheduler must not notice (the 0-vs-N hash test pins that).
+	SubStalled
+	// SubDisconnecting detaches at DisconnectAt and resubscribes at
+	// ReconnectAt from the last sequence number it saw — the SSE
+	// Last-Event-ID reconnect, with ring eviction during the outage
+	// surfacing as drops.
+	SubDisconnecting
+)
+
+func (k SubKind) String() string {
+	switch k {
+	case SubFast:
+		return "fast"
+	case SubSlow:
+		return "slow"
+	case SubStalled:
+		return "stalled"
+	case SubDisconnecting:
+		return "disconnecting"
+	}
+	return "?"
+}
+
+// SubscriberSpec attaches one scripted event-bus subscriber to a run.
+// Subscribers are pure observers: they subscribe at the run's arrival
+// instant (sequence 0) and feed nothing back into the loop, so a
+// scenario's outcome hash is identical with or without them.
+type SubscriberSpec struct {
+	// Run indexes Scenario.Runs.
+	Run  int
+	Kind SubKind
+	// Buffer is the subscriber's bounded queue capacity (0 takes the
+	// bus default; the events package clamps tiny values to its
+	// minimum).
+	Buffer int
+	// DrainEvery is the SubSlow polling cadence (default 100ms
+	// virtual).
+	DrainEvery time.Duration
+	// DisconnectAt/ReconnectAt are the SubDisconnecting outage window,
+	// as virtual instants (like Event.At).
+	DisconnectAt, ReconnectAt time.Duration
+	// Record retains every event seen in the ledger's Events slice —
+	// the JSONL dump cmd/clustersim -events uses. Off by default: a
+	// 10k-worker scenario's ledger is counts, not bodies.
+	Record bool
+}
+
 // Scenario is a complete scripted experiment: a set of runs with
-// their fleets, a fault script, and the harness knobs.
+// their fleets, a fault script, scripted event subscribers, and the
+// harness knobs.
 type Scenario struct {
 	Name string
 	// Seed feeds everything the scenario itself randomizes (platform
@@ -161,6 +223,9 @@ type Scenario struct {
 	Runs []RunSpec
 	// Events is the fault script; it need not be sorted.
 	Events []Event
+	// Subscribers is the observability script: scripted event-bus
+	// consumers attached to runs at arrival.
+	Subscribers []SubscriberSpec
 	// WaitDelay is how long a worker that drew "wait" backs off before
 	// its wake-up retry (default 20ms virtual). It trades virtual-time
 	// fidelity against event count.

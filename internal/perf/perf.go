@@ -18,6 +18,7 @@ import (
 	"hetsched/internal/cholesky"
 	"hetsched/internal/cluster"
 	"hetsched/internal/core"
+	"hetsched/internal/events"
 	"hetsched/internal/lu"
 	"hetsched/internal/matmul"
 	"hetsched/internal/outer"
@@ -57,6 +58,7 @@ var ServiceBenchmarks = []Benchmark{
 	{"ServiceHostNext", ServiceHostNext},
 	{"ServiceHostNextLease", ServiceHostNextLease},
 	{"ServiceHostNextParallel", ServiceHostNextParallel},
+	{"ServiceHostNextParallelEvents", ServiceHostNextParallelEvents},
 	{"ClusterHost1k", ClusterHost1k},
 	{"ClusterHost10k", ClusterHost10k},
 }
@@ -298,13 +300,27 @@ func clusterHostBench(b *testing.B, n, p int) {
 
 // ServiceHostNextParallel is the contended variant: 64 logical workers
 // hammering the Host mutex from all procs.
-func ServiceHostNextParallel(b *testing.B) {
+func ServiceHostNextParallel(b *testing.B) { serviceHostNextParallelBench(b, false) }
+
+// ServiceHostNextParallelEvents is the contended variant with the
+// observability plane attached and idle (a live event stream, zero
+// subscribers): its delta to ServiceHostNextParallel prices the
+// publish hooks on the poll hot path — the issue's acceptance budget
+// is ≤ 5% over the subscriber-free row.
+func ServiceHostNextParallelEvents(b *testing.B) { serviceHostNextParallelBench(b, true) }
+
+func serviceHostNextParallelBench(b *testing.B, withEvents bool) {
 	const n, p, batch = 128, 64, 4
 	var mu sync.Mutex
 	var wseq int
 	var h *service.Host
 	reset := func(seed uint64) {
 		h = service.NewHost(core.NewSchedulerDriver(outer.NewTwoPhasesAuto(n, p, rng.New(seed).Split())), batch, 0)
+		if withEvents {
+			// A fresh bus per run, as in production one stream is live per
+			// run and swept streams are unreachable.
+			h.AttachEvents(events.NewBus(0).Run("bench"))
+		}
 	}
 	seed := uint64(1)
 	reset(seed)

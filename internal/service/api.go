@@ -168,8 +168,13 @@ type StatsResponse struct {
 	LeaseSeconds float64 `json:"lease_seconds"`
 	// Blocks is the communication volume so far (the paper's metric).
 	Blocks int `json:"blocks"`
-	// Requests counts granted worker interactions.
-	Requests int `json:"requests"`
+	// Requests counts granted worker interactions; Polls counts every
+	// valid interaction (granted, wait and done alike), and
+	// PollsPerSecond is Polls over the run's elapsed time — the
+	// master-pressure gauge the batching knob exists to relieve.
+	Requests       int     `json:"requests"`
+	Polls          int     `json:"polls"`
+	PollsPerSecond float64 `json:"polls_per_second"`
 	// Phase1Tasks is the two-phase switch report, -1 when the strategy
 	// is not two-phase (the sim.Metrics sentinel).
 	Phase1Tasks int `json:"phase1_tasks"`
@@ -179,9 +184,21 @@ type StatsResponse struct {
 	ElapsedSeconds  float64 `json:"elapsed_seconds"`
 	MakespanSeconds float64 `json:"makespan_seconds"`
 	// BatchTasks summarizes the per-assignment task counts actually
-	// served (mean tracks the batching knob's effect).
-	BatchTasks stats.Summary `json:"batch_tasks"`
-	Workers    []WorkerStats `json:"workers"`
+	// served (mean tracks the batching knob's effect); BatchSizes is
+	// the full power-of-two histogram behind it (nil until the first
+	// grant).
+	BatchTasks stats.Summary   `json:"batch_tasks"`
+	BatchSizes *BatchHistogram `json:"batch_sizes,omitempty"`
+	Workers    []WorkerStats   `json:"workers"`
+}
+
+// BatchHistogram is a power-of-two histogram of served batch sizes:
+// Counts[i] grants fell in (Le[i-1], Le[i]] tasks (Le[0] covers
+// exactly size 1). Trailing empty buckets are trimmed, so Le always
+// ends at the largest bucket actually hit.
+type BatchHistogram struct {
+	Le     []int   `json:"le"`
+	Counts []int64 `json:"counts"`
 }
 
 // TraceResponse is the body of GET /v1/runs/{id}/trace: the recorded

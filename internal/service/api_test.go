@@ -44,10 +44,16 @@ func TestAPIRoundTrips(t *testing.T) {
 		&NextResponse{Status: StatusDone},
 		&StatsResponse{ID: "r", Kernel: KernelOuter, Strategy: "random", State: StateComplete,
 			Total: 100, Assigned: 104, Completed: 100, Remaining: 0, Reclaimed: 4, LeaseSeconds: 30,
-			Blocks: 42, Requests: 17,
+			Blocks: 42, Requests: 17, Polls: 21, PollsPerSecond: 14,
 			Phase1Tasks: -1, ElapsedSeconds: 1.5, MakespanSeconds: 1.25,
 			BatchTasks: stats.Summary{N: 17, Mean: 5.88, StdDev: 1.1, Min: 1, Max: 9},
+			BatchSizes: &BatchHistogram{Le: []int{1, 2, 4, 8}, Counts: []int64{3, 0, 10, 4}},
 			Workers:    []WorkerStats{{Worker: 0, Requests: 17, Tasks: 100, Blocks: 42, Reclaimed: 4}}},
+		&MetricsResponse{Runs: 2, Polls: 40, PollsPerSecond: 3.5, Assigned: 200, Completed: 190,
+			Outstanding: 6, Reclaimed: 4, Blocks: 80,
+			BatchSizes:      &BatchHistogram{Le: []int{1, 2}, Counts: []int64{30, 10}},
+			EventsPublished: 500, EventsDropped: 12, Subscribers: 3,
+			PerRun: []StatsResponse{{ID: "r", State: StateDraining, Phase1Tasks: -1}}},
 		&TraceResponse{ID: "r", Trace: &trace.Trace{P: 2, Segments: []trace.Segment{
 			{Proc: 1, Start: 0.5, End: 0.75, Tasks: 4, Blocks: 2}}}},
 		&ErrorResponse{Error: "boom"},

@@ -2,10 +2,12 @@ package service
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"time"
 
 	"hetsched/internal/core"
+	"hetsched/internal/events"
 	"hetsched/internal/stats"
 	"hetsched/internal/trace"
 )
@@ -60,6 +62,23 @@ type Host struct {
 	polls     int
 	workers   []WorkerStats
 	batchAcc  stats.Accumulator
+	// batchHist counts served batch sizes in power-of-two buckets
+	// (bucket i covers (2^(i-1), 2^i] tasks; the last bucket absorbs
+	// the indivisible-step overshoot past maxBatch).
+	batchHist [batchBuckets]int64
+
+	// ev is the run's event stream, nil unless observability is
+	// attached (AttachEvents). Every publish is O(1) and non-blocking —
+	// see package events — so the hooks below run under mu without
+	// giving a slow subscriber a handle on the poll hot path. The hooks
+	// accumulate one poll's events in evBuf (guarded by mu) and flush
+	// them in one PublishBatch on the way out, paying the stream
+	// synchronization once per poll instead of once per event. lastState
+	// tracks the last published lifecycle state so transitions emit
+	// exactly one TypeState event.
+	ev        *events.Stream
+	evBuf     []events.Event
+	lastState string
 
 	start time.Time
 	// last is the instant of the last granted assignment or applied
@@ -201,7 +220,76 @@ func NewHostWithClock(drv core.Driver, batch int, lease time.Duration, now func(
 	h.start = h.now()
 	h.last = h.start
 	h.lastPoll = h.start
+	h.lastState = StateCreated
 	return h
+}
+
+// AttachEvents connects the host to its per-run event stream. Call it
+// before the first poll (it is not synchronized against Next);
+// Options.NewRun does. A nil-stream host pays nothing on the poll
+// path.
+func (h *Host) AttachEvents(st *events.Stream) { h.ev = st }
+
+// batchBuckets covers batch sizes 1, 2, 4, ..., maxBatch (2^12) in
+// power-of-two buckets.
+const batchBuckets = 13
+
+// batchBucket maps a served batch size to its histogram bucket:
+// ceil(log2(n)), clamped into the last bucket for the overshoot past
+// maxBatch that indivisible driver steps may produce.
+func batchBucket(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	b := bits.Len(uint(n - 1))
+	if b >= batchBuckets {
+		return batchBuckets - 1
+	}
+	return b
+}
+
+// batchHistogram freezes the counters into the wire shape, trimming
+// trailing empty buckets.
+func batchHistogram(hist [batchBuckets]int64) *BatchHistogram {
+	last := -1
+	for i, c := range hist {
+		if c > 0 {
+			last = i
+		}
+	}
+	if last < 0 {
+		return nil
+	}
+	out := &BatchHistogram{Le: make([]int, last+1), Counts: make([]int64, last+1)}
+	for i := 0; i <= last; i++ {
+		out.Le[i] = 1 << i
+		out.Counts[i] = hist[i]
+	}
+	return out
+}
+
+// noteStateLocked queues a TypeState event when the lifecycle state
+// moved since the last publish. Called (with mu held) at the end of
+// every successful poll; no-op without an attached stream.
+func (h *Host) noteStateLocked(now time.Time) {
+	if h.ev == nil {
+		return
+	}
+	if st := h.stateLocked(); st != h.lastState {
+		h.lastState = st
+		h.evBuf = append(h.evBuf, events.Event{Type: events.TypeState, TimeNs: now.UnixNano(), Worker: -1, Task: -1, State: st})
+	}
+}
+
+// flushEventsLocked publishes everything the current call queued, in
+// order, under one stream lock acquisition. Deferred (with mu held)
+// by every path that can queue events.
+func (h *Host) flushEventsLocked() {
+	if len(h.evBuf) == 0 {
+		return
+	}
+	h.ev.PublishBatch(h.evBuf)
+	h.evBuf = h.evBuf[:0]
 }
 
 // Batch returns the configured batch size.
@@ -248,6 +336,10 @@ func (h *Host) Next(w int, completed []core.Task) (core.Assignment, string, erro
 	if w < 0 || w >= h.drv.P() {
 		return core.Assignment{}, "", fmt.Errorf("worker %d out of range [0, %d)", w, h.drv.P())
 	}
+	if h.ev != nil {
+		// Runs before the mu unlock (LIFO), so the flush still owns evBuf.
+		defer h.flushEventsLocked()
+	}
 	now := h.now()
 	// Reclaim before validating: a report racing its own lease expiry
 	// resolves the same way (409) whether it arrives just after this
@@ -269,6 +361,9 @@ func (h *Host) Next(w int, completed []core.Task) (core.Assignment, string, erro
 		}
 		if h.reclaimedFrom != nil {
 			if _, rec := h.reclaimedFrom[taskOwner{t, w}]; rec {
+				if h.ev != nil {
+					h.evBuf = append(h.evBuf, events.Event{Type: events.TypeConflict, TimeNs: now.UnixNano(), Worker: w, Task: int64(t)})
+				}
 				return core.Assignment{}, "", &LeaseExpiredError{Task: t}
 			}
 		}
@@ -286,6 +381,11 @@ func (h *Host) Next(w int, completed []core.Task) (core.Assignment, string, erro
 			// The worker may have lost this task to an expiry once and
 			// won it back; the legitimate completion clears the stain.
 			delete(h.reclaimedFrom, taskOwner{t, w})
+			if h.ev != nil {
+				// One event per task, so exactly-once accounting is
+				// checkable from the stream alone.
+				h.evBuf = append(h.evBuf, events.Event{Type: events.TypeComplete, TimeNs: now.UnixNano(), Worker: w, Task: int64(t)})
+			}
 		}
 		h.completed += len(completed)
 		h.workers[w].Tasks += len(completed)
@@ -309,8 +409,10 @@ func (h *Host) Next(w int, completed []core.Task) (core.Assignment, string, erro
 	}
 	if !granted {
 		if h.drv.Remaining() == 0 && len(h.outstanding) == 0 {
+			h.noteStateLocked(now)
 			return core.Assignment{}, StatusDone, nil
 		}
+		h.noteStateLocked(now)
 		return core.Assignment{}, StatusWait, nil
 	}
 
@@ -330,7 +432,12 @@ func (h *Host) Next(w int, completed []core.Task) (core.Assignment, string, erro
 	h.workers[w].Requests++
 	h.workers[w].Blocks += a.Blocks
 	h.batchAcc.Add(float64(len(a.Tasks)))
+	h.batchHist[batchBucket(len(a.Tasks))]++
 	h.last = now
+	if h.ev != nil {
+		h.evBuf = append(h.evBuf, events.Event{Type: events.TypeAssign, TimeNs: now.UnixNano(), Worker: w, Task: -1,
+			Count: len(a.Tasks), Blocks: a.Blocks})
+	}
 	if len(a.Tasks) > 0 {
 		at := now.Sub(h.start).Seconds()
 		// A worker that re-polls without reporting holds two batches at
@@ -342,6 +449,7 @@ func (h *Host) Next(w int, completed []core.Task) (core.Assignment, string, erro
 		h.tr.Add(trace.Segment{Proc: w, Start: at, End: at, Tasks: len(a.Tasks), Blocks: a.Blocks})
 		h.open[w] = len(h.tr.Segments) - 1
 	}
+	h.noteStateLocked(now)
 	return a, StatusOK, nil
 }
 
@@ -353,6 +461,9 @@ func (h *Host) Next(w int, completed []core.Task) (core.Assignment, string, erro
 func (h *Host) ReclaimExpired() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.ev != nil {
+		defer h.flushEventsLocked()
+	}
 	return h.reclaimExpiredLocked(h.now())
 }
 
@@ -398,6 +509,11 @@ func (h *Host) reclaimExpiredLocked(now time.Time) int {
 		h.reassigner.Reassign(w, ts)
 		h.reclaimed += len(ts)
 		h.workers[w].Reclaimed += len(ts)
+		if h.ev != nil {
+			for _, t := range ts {
+				h.evBuf = append(h.evBuf, events.Event{Type: events.TypeReclaim, TimeNs: now.UnixNano(), Worker: w, Task: int64(t)})
+			}
+		}
 		// Close the dead worker's open trace segment: the batch ended —
 		// by expiry, not completion — at reclaim time. A reassignment
 		// opens a fresh segment under the new owner as usual.
@@ -449,13 +565,20 @@ func (h *Host) Stats() StatsResponse {
 		LeaseSeconds:    h.lease.Seconds(),
 		Blocks:          h.blocks,
 		Requests:        h.requests,
+		Polls:           h.polls,
 		Phase1Tasks:     -1,
 		ElapsedSeconds:  now.Sub(h.start).Seconds(),
 		MakespanSeconds: h.last.Sub(h.start).Seconds(),
 		Workers:         append([]WorkerStats(nil), h.workers...),
 	}
+	// Polls per second over the run's elapsed time (0 before the clock
+	// first advances — a zero denominator must not leak NaN into JSON).
+	if resp.ElapsedSeconds > 0 {
+		resp.PollsPerSecond = float64(h.polls) / resp.ElapsedSeconds
+	}
 	if h.batchAcc.N() > 0 { // Summary of an empty accumulator is NaN, which JSON rejects
 		resp.BatchTasks = h.batchAcc.Summarize()
+		resp.BatchSizes = batchHistogram(h.batchHist)
 	}
 	if po, ok := h.drv.(core.PhaseObserver); ok {
 		resp.Phase1Tasks = po.Phase1Tasks()

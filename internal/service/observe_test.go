@@ -1,0 +1,469 @@
+package service
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"hetsched/internal/core"
+	"hetsched/internal/events"
+)
+
+// newEventedRun builds a run on an injected clock with an attached
+// bus, the way Options.NewRun wires it in production.
+func newEventedRun(t *testing.T, bus *events.Bus, q CreateRunRequest) (*Run, *fakeClock) {
+	t.Helper()
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := newFakeClock()
+	run, err := Options{Events: bus, Now: c.Now}.NewRun("run-ev", &q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run, c
+}
+
+// TestHostEventLedger drains a run with a subscriber attached and
+// checks the stream against the stats ledger: run_created first,
+// assignment counts summing to Assigned, exactly one complete per
+// task, and the created → draining → complete lifecycle in order.
+func TestHostEventLedger(t *testing.T) {
+	bus := events.NewBus(4096)
+	run, clock := newEventedRun(t, bus, CreateRunRequest{Kernel: KernelOuter, N: 4, P: 2, Seed: 1, Batch: 3})
+	sub := bus.Run(run.ID).Subscribe(0, 4096)
+
+	held := make([][]core.Task, 2)
+	for done := 0; done < 2; {
+		done = 0
+		for w := 0; w < 2; w++ {
+			a, status := mustNext(t, run.Host, w, held[w])
+			held[w] = a.Tasks
+			clock.Advance(time.Millisecond)
+			if status == StatusDone {
+				done++
+			}
+		}
+	}
+
+	evs, dropped, _ := sub.Poll(nil)
+	if dropped != 0 {
+		t.Fatalf("dropped %d events with an ample buffer", dropped)
+	}
+	if evs[0].Type != events.TypeRunCreated || evs[0].Count != run.Host.Total() || evs[0].State != StateCreated {
+		t.Fatalf("first event = %+v, want run_created with total", evs[0])
+	}
+	st := run.Host.Stats()
+	assigned, completes, states := 0, map[int64]int{}, []string(nil)
+	for _, e := range evs {
+		if e.Run != run.ID {
+			t.Fatalf("event for run %q on stream %q", e.Run, run.ID)
+		}
+		switch e.Type {
+		case events.TypeAssign:
+			assigned += e.Count
+		case events.TypeComplete:
+			completes[e.Task]++
+		case events.TypeState:
+			states = append(states, e.State)
+		}
+	}
+	if assigned != st.Assigned {
+		t.Errorf("assign events sum to %d, stats say %d", assigned, st.Assigned)
+	}
+	if len(completes) != st.Total {
+		t.Errorf("complete events cover %d tasks, want %d", len(completes), st.Total)
+	}
+	for task, n := range completes {
+		if n != 1 {
+			t.Errorf("task %d completed %d times in the stream", task, n)
+		}
+	}
+	if want := []string{StateDraining, StateComplete}; fmt.Sprint(states) != fmt.Sprint(want) {
+		t.Errorf("state transitions %v, want %v", states, want)
+	}
+	if got := bus.Published(); got != uint64(len(evs)) {
+		t.Errorf("bus published %d, subscriber saw %d", got, len(evs))
+	}
+}
+
+// TestHostLeaseEventLedger pins the failure-path events: reclaim per
+// expired task, then a conflict event when the late report answers 409.
+func TestHostLeaseEventLedger(t *testing.T) {
+	bus := events.NewBus(1024)
+	run, clock := newEventedRun(t, bus, CreateRunRequest{Kernel: KernelOuter, N: 4, P: 2, Seed: 1, Batch: 4, LeaseSeconds: 10})
+	sub := bus.Run(run.ID).Subscribe(0, 1024)
+
+	a0, _ := mustNext(t, run.Host, 0, nil) // worker 0 takes a batch and dies
+	clock.Advance(11 * time.Second)
+	mustNext(t, run.Host, 1, nil) // worker 1's poll reclaims the expired batch
+
+	_, _, err := run.Host.Next(0, a0.Tasks) // the late report loses
+	var lerr *LeaseExpiredError
+	if !errors.As(err, &lerr) {
+		t.Fatalf("late report: got %v, want LeaseExpiredError", err)
+	}
+
+	evs, _, _ := sub.Poll(nil)
+	reclaims, conflicts := 0, 0
+	for _, e := range evs {
+		switch e.Type {
+		case events.TypeReclaim:
+			reclaims++
+			if e.Worker != 0 {
+				t.Errorf("reclaim from worker %d, want 0", e.Worker)
+			}
+		case events.TypeConflict:
+			conflicts++
+			if e.Worker != 0 || e.Task != int64(a0.Tasks[0]) {
+				t.Errorf("conflict event = %+v", e)
+			}
+		}
+	}
+	if reclaims != len(a0.Tasks) {
+		t.Errorf("%d reclaim events, want %d (one per task)", reclaims, len(a0.Tasks))
+	}
+	if conflicts != 1 {
+		t.Errorf("%d conflict events, want 1", conflicts)
+	}
+}
+
+// parseSSE splits an SSE body into frames of (id, event, data).
+type sseFrame struct{ id, event, data string }
+
+func parseSSE(t *testing.T, body string) []sseFrame {
+	t.Helper()
+	var out []sseFrame
+	var cur sseFrame
+	flush := func() {
+		if cur != (sseFrame{}) {
+			out = append(out, cur)
+			cur = sseFrame{}
+		}
+	}
+	for _, line := range strings.Split(body, "\n") {
+		switch {
+		case line == "":
+			flush()
+		case strings.HasPrefix(line, ":"): // comment / heartbeat
+		case strings.HasPrefix(line, "id: "):
+			cur.id = line[4:]
+		case strings.HasPrefix(line, "event: "):
+			cur.event = line[7:]
+		case strings.HasPrefix(line, "data: "):
+			cur.data = line[6:]
+		default:
+			t.Fatalf("unparseable SSE line %q", line)
+		}
+	}
+	flush()
+	return out
+}
+
+func getBody(t *testing.T, url string, header map[string]string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	return resp.StatusCode, sb.String()
+}
+
+// TestSSERunEventsOverHTTP drains a run, then replays its stream over
+// the wire: ring backfill with ?after, bounded reads with ?max, and
+// the Last-Event-ID resume contract.
+func TestSSERunEventsOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	info := createRun(t, ts.URL, CreateRunRequest{Kernel: KernelOuter, N: 3, P: 1, Seed: 5, Batch: 9})
+	drainHTTP(t, ts.URL, info)
+
+	base := fmt.Sprintf("%s/v1/runs/%s/events", ts.URL, info.ID)
+	code, body := getBody(t, base+"?after=0&max=4", nil)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	frames := parseSSE(t, body)
+	if len(frames) != 4 {
+		t.Fatalf("got %d frames, want 4:\n%s", len(frames), body)
+	}
+	var first events.Event
+	if err := DecodeStrict(strings.NewReader(frames[0].data), &first); err != nil {
+		t.Fatalf("frame data %q: %v", frames[0].data, err)
+	}
+	if first.Type != events.TypeRunCreated || first.Seq != 1 || frames[0].id != "1" {
+		t.Fatalf("first frame = %+v (id %q)", first, frames[0].id)
+	}
+
+	// Reconnect the way EventSource does: Last-Event-ID picks up
+	// exactly after the last seen sequence number.
+	code, body = getBody(t, base+"?max=1", map[string]string{"Last-Event-ID": "2"})
+	if code != http.StatusOK {
+		t.Fatalf("resume status %d", code)
+	}
+	if frames = parseSSE(t, body); len(frames) != 1 || frames[0].id != "3" {
+		t.Fatalf("resume from 2 delivered %+v, want seq 3", frames)
+	}
+
+	if code, _ = getBody(t, ts.URL+"/v1/runs/nope/events?max=1", nil); code != http.StatusNotFound {
+		t.Errorf("unknown run: status %d, want 404", code)
+	}
+	if code, _ = getBody(t, base+"?after=zebra", nil); code != http.StatusBadRequest {
+		t.Errorf("bad after: status %d, want 400", code)
+	}
+	if code, _ = getBody(t, base+"?max=-3", nil); code != http.StatusBadRequest {
+		t.Errorf("bad max: status %d, want 400", code)
+	}
+}
+
+// TestSSEFirehoseOverHTTP starts a live firehose reader, then runs a
+// workload: the reader sees events from the run that started after it
+// connected, with the firehose's own sequence numbering.
+func TestSSEFirehoseOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	type result struct {
+		code int
+		body string
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/events?max=3")
+		if err != nil {
+			done <- result{0, err.Error()}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		done <- result{resp.StatusCode, string(b)}
+	}()
+	// Wait for the subscriber to attach before generating events (the
+	// firehose is live-only by design).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var m MetricsResponse
+		call(t, "GET", ts.URL+"/v1/metrics", nil, &m)
+		if m.Subscribers > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("firehose subscriber never attached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	info := createRun(t, ts.URL, CreateRunRequest{Kernel: KernelOuter, N: 3, P: 1, Seed: 5})
+	drainHTTP(t, ts.URL, info)
+	r := <-done
+	if r.code != http.StatusOK {
+		t.Fatalf("status %d", r.code)
+	}
+	frames := parseSSE(t, r.body)
+	if len(frames) != 3 {
+		t.Fatalf("got %d frames, want 3:\n%s", len(frames), r.body)
+	}
+	for i, f := range frames {
+		var e events.Event
+		if err := DecodeStrict(strings.NewReader(f.data), &e); err != nil {
+			t.Fatalf("frame %d data %q: %v", i, f.data, err)
+		}
+		if e.Run != info.ID {
+			t.Errorf("frame %d from run %q, want %q", i, e.Run, info.ID)
+		}
+		if f.id != fmt.Sprint(i+1) {
+			t.Errorf("frame %d has firehose id %q, want %d", i, f.id, i+1)
+		}
+	}
+}
+
+// TestDeleteAndSweepEvents pins the lifecycle tail: DELETE publishes
+// the expired state, the sweep publishes run_swept and closes the
+// stream.
+func TestDeleteAndSweepEvents(t *testing.T) {
+	svc, ts := newTestServer(t, Options{})
+	info := createRun(t, ts.URL, CreateRunRequest{Kernel: KernelOuter, N: 3, P: 1, Seed: 5})
+	st, ok := svc.Bus().Lookup(info.ID)
+	if !ok {
+		t.Fatal("run has no event stream")
+	}
+	sub := st.Subscribe(0, 64)
+	if code := call(t, "DELETE", ts.URL+"/v1/runs/"+info.ID, nil, nil); code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+	if n := svc.SweepNow(); n != 1 {
+		t.Fatalf("sweep collected %d runs, want 1", n)
+	}
+	evs, _, closed := sub.Poll(nil)
+	if !closed {
+		t.Fatal("subscriber survived the sweep")
+	}
+	last := evs[len(evs)-1]
+	prev := evs[len(evs)-2]
+	if prev.Type != events.TypeState || prev.State != StateExpired {
+		t.Errorf("penultimate event = %+v, want state=expired", prev)
+	}
+	if last.Type != events.TypeRunSwept {
+		t.Errorf("final event = %+v, want run_swept", last)
+	}
+}
+
+// TestMetricsEndpoint checks the JSON aggregates against per-run
+// stats and lints the Prometheus rendering without promtool.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	a := createRun(t, ts.URL, CreateRunRequest{Kernel: KernelOuter, N: 4, P: 2, Seed: 5, Batch: 2})
+	drainHTTP(t, ts.URL, a)
+	b := createRun(t, ts.URL, CreateRunRequest{Kernel: KernelCholesky, N: 6, P: 3, Seed: 6})
+	drainHTTP(t, ts.URL, b)
+
+	var m MetricsResponse
+	if code := call(t, "GET", ts.URL+"/v1/metrics", nil, &m); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if m.Runs != 2 || len(m.PerRun) != 2 {
+		t.Fatalf("runs = %d / %d per-run entries, want 2", m.Runs, len(m.PerRun))
+	}
+	var completed, polls int
+	for _, st := range m.PerRun {
+		completed += st.Completed
+		polls += st.Polls
+	}
+	if m.Completed != completed || m.Completed == 0 {
+		t.Errorf("completed = %d, per-run sum %d", m.Completed, completed)
+	}
+	if m.Polls != polls || m.Outstanding != 0 {
+		t.Errorf("polls = %d (sum %d), outstanding = %d", m.Polls, polls, m.Outstanding)
+	}
+	if m.EventsPublished == 0 {
+		t.Error("no events published draining two runs")
+	}
+	if m.BatchSizes == nil || len(m.BatchSizes.Le) == 0 {
+		t.Error("no aggregate batch histogram")
+	}
+
+	code, text := getBody(t, ts.URL+"/v1/metrics?format=prometheus", nil)
+	if code != http.StatusOK {
+		t.Fatalf("prometheus: status %d", code)
+	}
+	lintPrometheus(t, text)
+	for _, want := range []string{
+		"schedd_runs 2", "schedd_events_dropped_total 0",
+		"schedd_batch_size_bucket{le=\"+Inf\"}",
+		fmt.Sprintf("schedd_run_completed{run=%q}", a.ID),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+
+	if code, _ := getBody(t, ts.URL+"/v1/metrics?format=yaml", nil); code != http.StatusBadRequest {
+		t.Errorf("unknown format: status %d, want 400", code)
+	}
+}
+
+// lintPrometheus validates the text exposition format: HELP/TYPE
+// comment shape, known types, sample-line grammar, samples grouped
+// under a declared family, histogram suffixes only under histogram
+// type.
+func lintPrometheus(t *testing.T, text string) {
+	t.Helper()
+	var (
+		helpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+		typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+		sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]Inf|NaN)$`)
+	)
+	types := map[string]string{}
+	for i, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			if !helpRe.MatchString(line) {
+				t.Errorf("line %d: malformed HELP: %q", i+1, line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			mm := typeRe.FindStringSubmatch(line)
+			if mm == nil {
+				t.Errorf("line %d: malformed TYPE: %q", i+1, line)
+				continue
+			}
+			types[mm[1]] = mm[2]
+		case line == "":
+			t.Errorf("line %d: blank line in exposition", i+1)
+		default:
+			mm := sampleRe.FindStringSubmatch(line)
+			if mm == nil {
+				t.Errorf("line %d: malformed sample: %q", i+1, line)
+				continue
+			}
+			name := mm[1]
+			family := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if base := strings.TrimSuffix(name, suffix); base != name && types[base] == "histogram" {
+					family = base
+				}
+			}
+			if _, ok := types[family]; !ok {
+				t.Errorf("line %d: sample %q outside any declared family", i+1, name)
+			}
+		}
+	}
+	if len(types) == 0 {
+		t.Error("no metric families declared")
+	}
+}
+
+// TestHostStatsPollRate pins the new Stats fields on the virtual
+// clock: Polls counts every valid interaction, PollsPerSecond is polls
+// over elapsed, and the histogram matches the batch knob.
+func TestHostStatsPollRate(t *testing.T) {
+	run, clock := newEventedRun(t, nil, CreateRunRequest{Kernel: KernelOuter, N: 4, P: 1, Seed: 2, Batch: 4})
+	var held []core.Task
+	for {
+		a, status := mustNext(t, run.Host, 0, held)
+		clock.Advance(time.Second)
+		held = a.Tasks
+		if status == StatusDone {
+			break
+		}
+	}
+	st := run.Host.Stats()
+	if st.Polls <= st.Requests {
+		t.Errorf("polls = %d, requests = %d: the done poll should count", st.Polls, st.Requests)
+	}
+	want := float64(st.Polls) / st.ElapsedSeconds
+	if st.PollsPerSecond != want {
+		t.Errorf("polls/s = %g, want %g", st.PollsPerSecond, want)
+	}
+	if st.BatchSizes == nil {
+		t.Fatal("no batch histogram after grants")
+	}
+	var n int64
+	for _, c := range st.BatchSizes.Counts {
+		n += c
+	}
+	if n != int64(st.Requests) {
+		t.Errorf("histogram holds %d grants, want %d", n, st.Requests)
+	}
+	// One indivisible driver step can overshoot the batch target, so
+	// the top bucket is pinned to the largest grant actually served.
+	top := st.BatchSizes.Le[len(st.BatchSizes.Le)-1]
+	if want := 1 << batchBucket(int(st.BatchTasks.Max)); top != want {
+		t.Errorf("top bucket le=%d, want %d (max grant %g)", top, want, st.BatchTasks.Max)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hetsched/internal/events"
 	"hetsched/internal/rng"
 )
 
@@ -70,6 +71,10 @@ type Registry struct {
 	shards []*registryShard
 	ttl    time.Duration
 	now    func() time.Time
+	// bus, when attached, is told about each run the sweep collects so
+	// its event stream can emit a final run_swept and release
+	// subscribers. Publishing happens outside the shard locks.
+	bus *events.Bus
 
 	seq   atomic.Uint64
 	idmu  sync.Mutex
@@ -110,6 +115,11 @@ func NewRegistryWithClock(shards int, ttl time.Duration, now func() time.Time) *
 	}
 	return g
 }
+
+// AttachBus wires the registry to an event bus: every run Sweep
+// collects gets a terminal run_swept event and its stream is closed.
+// Call before serving traffic.
+func (g *Registry) AttachBus(b *events.Bus) { g.bus = b }
 
 func (g *Registry) shardFor(id string) *registryShard {
 	// Inline FNV-1a: the stdlib hasher would allocate on every lookup,
@@ -231,13 +241,20 @@ func (g *Registry) Sweep() int {
 			continue
 		}
 		s.mu.Lock()
+		removed := expired[:0]
 		for _, run := range expired {
 			if cur, ok := s.runs[run.ID]; ok && cur == run {
 				delete(s.runs, run.ID)
+				removed = append(removed, run)
 				collected++
 			}
 		}
 		s.mu.Unlock()
+		if g.bus != nil {
+			for _, run := range removed {
+				g.bus.Swept(run.ID, now.UnixNano())
+			}
+		}
 	}
 	return collected
 }

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"hetsched/internal/core"
+	"hetsched/internal/events"
+	"hetsched/internal/ui"
 )
 
 // Options configures a Server.
@@ -32,6 +34,15 @@ type Options struct {
 	DefaultLease time.Duration
 	// MaxBodyBytes caps request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// Events is the observability bus runs publish to. Server.New
+	// builds one when nil (sized by EventsBuffer); the cluster harness
+	// injects a shared bus so direct mode and scripted subscribers see
+	// the same streams.
+	Events *events.Bus
+	// EventsBuffer sizes the per-run event-retention ring (the SSE
+	// Last-Event-ID resume window) and the default per-subscriber
+	// buffer; 0 selects events.DefaultBuffer.
+	EventsBuffer int
 	// Now is the server's time source (default time.Now). Every Host
 	// and the Registry's TTL sweep are built on it, so injecting a
 	// virtual clock here (the internal/cluster harness does) makes
@@ -77,6 +88,10 @@ func (o *Options) fill() {
 //	POST   /v1/runs/{id}/next  worker poll: report completions, get a batch
 //	GET    /v1/runs/{id}/stats run statistics
 //	GET    /v1/runs/{id}/trace recorded assignment trace (?gantt=1 for text)
+//	GET    /v1/runs/{id}/events per-run event stream (SSE, Last-Event-ID resume)
+//	GET    /v1/events          global event firehose (SSE, live only)
+//	GET    /v1/metrics         aggregates (JSON; ?format=prometheus for text)
+//	GET    /v1/ui              live Gantt dashboard (embedded, no external deps)
 //	GET    /healthz            liveness probe
 type Server struct {
 	opts Options
@@ -92,12 +107,16 @@ type Server struct {
 // Close to stop the janitor.
 func New(opts Options) *Server {
 	opts.fill()
+	if opts.Events == nil {
+		opts.Events = events.NewBus(opts.EventsBuffer)
+	}
 	s := &Server{
 		opts: opts,
 		reg:  NewRegistryWithClock(opts.Shards, opts.TTL, opts.Now),
 		mux:  http.NewServeMux(),
 		stop: make(chan struct{}),
 	}
+	s.reg.AttachBus(opts.Events)
 	s.mux.HandleFunc("POST /v1/runs", s.handleCreate)
 	s.mux.HandleFunc("GET /v1/runs", s.handleList)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleInfo)
@@ -105,6 +124,13 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/runs/{id}/next", s.handleNext)
 	s.mux.HandleFunc("GET /v1/runs/{id}/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleRunEvents)
+	s.mux.HandleFunc("GET /v1/events", s.handleFirehose)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/ui", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(ui.Dashboard)
+	})
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -128,6 +154,9 @@ func (s *Server) Close() {
 
 // Registry exposes the run table (examples and tests use it).
 func (s *Server) Registry() *Registry { return s.reg }
+
+// Bus exposes the server's event bus (never nil after New).
+func (s *Server) Bus() *events.Bus { return s.opts.Events }
 
 // SweepNow runs one GC pass and returns the number of runs collected.
 func (s *Server) SweepNow() int { return s.reg.Sweep() }
@@ -193,7 +222,7 @@ func (o Options) NewRun(id string, q *CreateRunRequest) (*Run, error) {
 	if lease < 0 {
 		lease = 0
 	}
-	return &Run{
+	run := &Run{
 		ID:       id,
 		Kernel:   q.Kernel,
 		Strategy: q.Strategy,
@@ -203,7 +232,20 @@ func (o Options) NewRun(id string, q *CreateRunRequest) (*Run, error) {
 		Beta:     q.Beta,
 		Created:  now(),
 		Host:     NewHostWithClock(drv, batch, lease, now),
-	}, nil
+	}
+	if o.Events != nil {
+		st := o.Events.Run(id)
+		run.Host.AttachEvents(st)
+		st.Publish(events.Event{
+			Type:   events.TypeRunCreated,
+			TimeNs: run.Created.UnixNano(),
+			Worker: -1,
+			Task:   -1,
+			Count:  run.Host.Total(),
+			State:  StateCreated,
+		})
+	}
+	return run, nil
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -242,7 +284,17 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	run.Expire()
+	if run.Expire() {
+		if st, ok := s.opts.Events.Lookup(run.ID); ok {
+			st.Publish(events.Event{
+				Type:   events.TypeState,
+				TimeNs: s.opts.Now().UnixNano(),
+				Worker: -1,
+				Task:   -1,
+				State:  StateExpired,
+			})
+		}
+	}
 	writeJSON(w, http.StatusOK, run.Info())
 }
 

@@ -1,0 +1,13 @@
+// Package ui embeds the schedd live dashboard: one self-contained
+// HTML+JS page (no external assets, no build step) that subscribes to
+// the server's SSE event streams and renders a streaming Gantt/cluster
+// view plus the /v1/metrics aggregates. The service mounts it at
+// GET /v1/ui.
+package ui
+
+import _ "embed"
+
+// Dashboard is the dashboard page, served verbatim.
+//
+//go:embed dashboard.html
+var Dashboard []byte
