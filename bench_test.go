@@ -84,10 +84,11 @@ func BenchmarkServiceHostNextLease(b *testing.B) { perf.ServiceHostNextLease(b) 
 func BenchmarkServiceHostNextParallel(b *testing.B)       { perf.ServiceHostNextParallel(b) }
 func BenchmarkServiceHostNextParallelEvents(b *testing.B) { perf.ServiceHostNextParallelEvents(b) }
 
-// BenchmarkClusterHost1k / 10k price Host throughput under virtual
-// worker fleets: one op is a complete internal/cluster scenario (1k or
-// 10k heterogeneous workers draining an outer run against the real
-// Host); polls/op is reported alongside so ns/op divides into a
-// per-master-interaction cost at fleet scale.
-func BenchmarkClusterHost1k(b *testing.B)  { perf.ClusterHost1k(b) }
-func BenchmarkClusterHost10k(b *testing.B) { perf.ClusterHost10k(b) }
+// BenchmarkClusterHost1k / 10k / 100k price Host throughput under
+// virtual worker fleets: one op is a complete internal/cluster
+// scenario (1k, 10k, or 100k heterogeneous workers draining an outer
+// run against the real Host); polls/op is reported alongside so ns/op
+// divides into a per-master-interaction cost at fleet scale.
+func BenchmarkClusterHost1k(b *testing.B)   { perf.ClusterHost1k(b) }
+func BenchmarkClusterHost10k(b *testing.B)  { perf.ClusterHost10k(b) }
+func BenchmarkClusterHost100k(b *testing.B) { perf.ClusterHost100k(b) }

@@ -25,13 +25,19 @@ import (
 	"hetsched/internal/perf"
 )
 
-// benchResult is one micro-benchmark measurement.
+// benchResult is one micro-benchmark measurement. Parallelism is the
+// number of goroutines the body drove concurrently (1 for serial
+// loops, GOMAXPROCS for RunParallel bodies): recorded per row so a
+// baseline taken on a single-core container is distinguishable from a
+// multi-core CI artifact — the contended rows measure different
+// regimes under the two.
 type benchResult struct {
 	Name        string  `json:"name"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	Parallelism int     `json:"parallelism"`
 }
 
 // suiteResult is the wall-clock timing of the full quick figure suite
@@ -83,6 +89,7 @@ func runBenchmarks(bs []perf.Benchmark) []benchResult {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			Parallelism: bench.Parallelism(),
 		})
 	}
 	return results

@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "acceptance", "acceptance | drift | crash | janitor | herd | stragglers | backpressure")
+	scenario := flag.String("scenario", "acceptance", "acceptance | drift | crash | janitor | herd | herd100k | herd1m | stragglers | backpressure")
 	kernel := flag.String("kernel", "cholesky", "workload for drift/crash/janitor: outer | matmul | cholesky | lu | qr")
 	n := flag.Int("n", 12, "blocks/tiles per dimension (drift/crash/janitor/stragglers)")
 	p := flag.Int("p", 100, "fleet size (scenario-dependent)")
@@ -55,6 +55,10 @@ func main() {
 		sc = cluster.JanitorRace(*kernel, *n, *p, *seed)
 	case "herd":
 		sc = cluster.ThunderingHerd(*p, *seed)
+	case "herd100k":
+		sc = cluster.Herd100k(*seed)
+	case "herd1m":
+		sc = cluster.Herd1M(*seed)
 	case "stragglers":
 		sc = cluster.StragglersAndPartitions(*n, *p, *seed)
 	case "backpressure":

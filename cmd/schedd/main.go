@@ -11,6 +11,12 @@
 //	curl -s -X POST localhost:8080/v1/runs/<id>/next -d '{"worker":0}'
 //	curl -s localhost:8080/v1/runs/<id>/stats
 //
+// The next endpoint also speaks a compact binary framing for
+// protocol-bytes-bound fleets: a worker sends its poll as
+// Content-Type: application/x-schedd-frame and/or asks for framed
+// responses via Accept (negotiated per request; everything else stays
+// JSON).
+//
 // Watch a run live (SSE event stream, Prometheus metrics, dashboard):
 //
 //	curl -N localhost:8080/v1/runs/<id>/events

@@ -144,6 +144,29 @@ func OptimalBetaOuter(rs []float64, n int) (beta, ratio float64) {
 	return minimize(func(b float64) float64 { return RatioOuter(b, rs, n) })
 }
 
+// RatioOuterHomogeneous is RatioOuter on the homogeneous p-worker
+// platform (rs_k = 1/p for every k) computed in O(1) instead of O(p):
+// the three per-worker sums have identical terms, so V₁ = 2n·p·x,
+// V₂ = e^(−β)·n²·2/(1+x) (the Σrs factor collapses to 1), and
+// LB = 2n·p·√(1/p).
+func RatioOuterHomogeneous(beta float64, p, n int) float64 {
+	pf := float64(p)
+	x := XOuter(beta, 1/pf)
+	v1 := 2 * float64(n) * pf * x
+	v2 := math.Exp(-beta) * float64(n) * float64(n) * 2 / (1 + x)
+	lb := 2 * float64(n) * pf * math.Sqrt(1/pf)
+	return (v1 + v2) / lb
+}
+
+// OptimalBetaOuterHomogeneous is
+// OptimalBetaOuter(speeds.Homogeneous(p), n) without materializing or
+// scanning a p-length speed vector — the §3.6 speed-agnostic optimum
+// the service evaluates on every run-creation, which must stay cheap
+// for million-worker fleets.
+func OptimalBetaOuterHomogeneous(p, n int) (beta, ratio float64) {
+	return minimize(func(b float64) float64 { return RatioOuterHomogeneous(b, p, n) })
+}
+
 // SwitchFraction returns e^(−β), the fraction of tasks still
 // unprocessed when the two-phase strategies switch to random
 // allocation (both kernels use the same form: e^(−β)·n² outer tasks,
@@ -264,6 +287,25 @@ func PaperRatioMatrix(beta float64, rs []float64, n int) float64 {
 // minimizer and the minimum normalized volume.
 func OptimalBetaMatrix(rs []float64, n int) (beta, ratio float64) {
 	return minimize(func(b float64) float64 { return RatioMatrix(b, rs, n) })
+}
+
+// RatioMatrixHomogeneous is RatioMatrix on the homogeneous p-worker
+// platform in O(1) — see RatioOuterHomogeneous for the collapse.
+func RatioMatrixHomogeneous(beta float64, p, n int) float64 {
+	pf := float64(p)
+	x := XMatrix(beta, 1/pf)
+	n2 := float64(n) * float64(n)
+	v1 := 3 * n2 * pf * x * x
+	v2 := math.Exp(-beta) * n2 * float64(n) * 3 * (1 - x*x/(1+x+x*x))
+	lb := 3 * n2 * pf * math.Pow(1/pf, 2.0/3.0)
+	return (v1 + v2) / lb
+}
+
+// OptimalBetaMatrixHomogeneous is
+// OptimalBetaMatrix(speeds.Homogeneous(p), n) without the p-length
+// vector — the matrix kernel's speed-agnostic optimum.
+func OptimalBetaMatrixHomogeneous(p, n int) (beta, ratio float64) {
+	return minimize(func(b float64) float64 { return RatioMatrixHomogeneous(b, p, n) })
 }
 
 // --- Refined phase-2 model (extension / ablation) ----------------------

@@ -22,6 +22,23 @@ func New(n int) *Bitset {
 	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
 }
 
+// NewSlab returns count independent bit sets of capacity n each,
+// packed into a single shared backing allocation. A million-worker
+// run keeps two ownership sets per worker; allocating them
+// individually costs millions of tiny objects, a slab costs two.
+func NewSlab(count, n int) []Bitset {
+	if count < 0 || n < 0 {
+		panic("bitset: negative capacity")
+	}
+	wordsPer := (n + 63) / 64
+	words := make([]uint64, count*wordsPer)
+	sets := make([]Bitset, count)
+	for i := range sets {
+		sets[i] = Bitset{words: words[i*wordsPer : (i+1)*wordsPer : (i+1)*wordsPer], n: n}
+	}
+	return sets
+}
+
 // Len returns the capacity of the set.
 func (b *Bitset) Len() int { return b.n }
 

@@ -26,8 +26,12 @@ type backend interface {
 	// next is one worker poll: report completed, receive a verdict.
 	// conflict is the 409 lease-expired answer (the batch is lost to a
 	// reassignment and the worker must drop it); any other non-OK
-	// answer is a scenario bug and surfaces as err.
-	next(run int, worker int, completed []core.Task) (r nextResult, conflict bool, err error)
+	// answer is a scenario bug and surfaces as err. A granted batch is
+	// written into grantBuf (append from length 0, growing it at most
+	// once per worker in steady state) — the caller owns the buffer
+	// and must not alias it with completed; r.tasks is only valid
+	// until the buffer's next reuse.
+	next(run int, worker int, completed, grantBuf []core.Task) (r nextResult, conflict bool, err error)
 	// sweep runs one registry janitor pass.
 	sweep()
 	// stats and traceOf snapshot the run's collectors.
@@ -123,7 +127,7 @@ func (b *directBackend) lookup(run int) (*service.Run, error) {
 	return r, nil
 }
 
-func (b *directBackend) next(run, worker int, completed []core.Task) (nextResult, bool, error) {
+func (b *directBackend) next(run, worker int, completed, grantBuf []core.Task) (nextResult, bool, error) {
 	r, err := b.lookup(run)
 	if err != nil {
 		return nextResult{}, false, err
@@ -135,13 +139,13 @@ func (b *directBackend) next(run, worker int, completed []core.Task) (nextResult
 		}
 		return nextResult{}, false, err
 	}
-	// The assignment's Tasks may alias driver-internal state only until
-	// the next call; the worker retains its batch across events, so
-	// copy. (service.Host builds a fresh slice per grant today, but the
-	// harness must not depend on that.)
+	// The assignment's Tasks alias Host-internal per-worker buffers
+	// that are overwritten on a later poll; the worker retains its
+	// batch across events, so copy — into the caller's recycled grant
+	// buffer, which makes the steady-state poll loop allocation-free.
 	res := nextResult{status: status, blocks: a.Blocks}
 	if len(a.Tasks) > 0 {
-		res.tasks = append([]core.Task(nil), a.Tasks...)
+		res.tasks = append(grantBuf, a.Tasks...)
 	}
 	return res, false, nil
 }
@@ -243,7 +247,7 @@ func (b *httpBackend) create(spec RunSpec) (service.RunInfo, error) {
 	return info, nil
 }
 
-func (b *httpBackend) next(run, worker int, completed []core.Task) (nextResult, bool, error) {
+func (b *httpBackend) next(run, worker int, completed, grantBuf []core.Task) (nextResult, bool, error) {
 	q := service.NextRequest{Worker: worker}
 	if len(completed) > 0 {
 		q.Completed = make([]int64, len(completed))
@@ -264,11 +268,11 @@ func (b *httpBackend) next(run, worker int, completed []core.Task) (nextResult, 
 		return nextResult{}, false, fmt.Errorf("worker %d poll: status %d", worker, code)
 	}
 	r := nextResult{status: resp.Status, blocks: resp.Blocks}
+	for _, t := range resp.Tasks {
+		grantBuf = append(grantBuf, core.Task(t))
+	}
 	if len(resp.Tasks) > 0 {
-		r.tasks = make([]core.Task, len(resp.Tasks))
-		for i, t := range resp.Tasks {
-			r.tasks[i] = core.Task(t)
-		}
+		r.tasks = grantBuf
 	}
 	return r, false, nil
 }

@@ -175,11 +175,17 @@ type workerState struct {
 	dead      bool
 	retired   bool
 	parked    bool
+	cur       uint8   // which of bufs holds the pending batch
 	slow      float64 // service-time multiplier (straggler knob)
 	partUntil int64   // virtual ns; unreachable until then (0 = reachable)
 	pending   []core.Task
 	grantAt   int64 // virtual ns of the pending batch's grant
 	execNs    int64 // scheduled execution time of the pending batch
+	// bufs are the worker's two alternating grant buffers: a poll
+	// reports bufs[cur] (the pending batch) while the backend writes
+	// the new grant into bufs[cur^1], so each worker's steady-state
+	// polling allocates nothing. Recycled with the fleet slab.
+	bufs [2][]core.Task
 }
 
 // runState is one run's live bookkeeping during the loop.
@@ -217,6 +223,7 @@ type harness struct {
 	events  int
 	polls   int
 	nowNs   int64
+	slabs   *slabs
 }
 
 const (
@@ -240,7 +247,9 @@ func Run(sc Scenario, mode Mode) (*Result, error) {
 	if err := validate(sc); err != nil {
 		return nil, err
 	}
-	h := &harness{sc: sc, mode: mode, clock: &clock{t: epoch}}
+	h := &harness{sc: sc, mode: mode, clock: &clock{t: epoch}, slabs: slabPool.Get().(*slabs)}
+	h.q.h = h.slabs.heap[:0]
+	defer h.release()
 	switch mode {
 	case Direct:
 		h.backend = newDirectBackend(sc.TTL, h.clock.now)
@@ -258,16 +267,18 @@ func Run(sc Scenario, mode Mode) (*Result, error) {
 	for i, spec := range sc.Runs {
 		model := spec.Speeds.build(spec.P, root.Split())
 		h.runs = append(h.runs, &runState{
-			idx:      i,
-			spec:     spec,
-			model:    model,
-			initial:  model.Initial(),
-			coster:   costerFor(spec.Kernel, spec.N),
-			isDAG:    isDAGKernel(spec.Kernel),
-			leaseNs:  int64(leaseDuration(spec.LeaseSeconds)),
-			workers:  make([]workerState, spec.P),
-			accepted: make(map[core.Task]int),
-			busyNs:   make([]int64, spec.P),
+			idx:     i,
+			spec:    spec,
+			model:   model,
+			initial: model.Initial(),
+			coster:  costerFor(spec.Kernel, spec.N),
+			isDAG:   isDAGKernel(spec.Kernel),
+			leaseNs: int64(leaseDuration(spec.LeaseSeconds)),
+			workers: h.slabs.fleet(spec.P),
+			// accepted and busyNs escape into the Result, so they are
+			// fresh per Run; accepted is presized at arrival, when the
+			// run's task total is known.
+			busyNs: make([]int64, spec.P),
 		})
 		for w := range h.runs[i].workers {
 			h.runs[i].workers[w].slow = 1
@@ -364,6 +375,7 @@ func (h *harness) arrive(run int) error {
 	}
 	rs.info = info
 	rs.arrived = true
+	rs.accepted = make(map[core.Task]int, info.Total)
 	h.attachSubscribers(run, info.ID)
 	for w := range rs.workers {
 		h.push(ev{at: h.nowNs + int64(w)*int64(h.sc.Stagger), kind: evPoll, run: run, worker: w})
@@ -385,7 +397,11 @@ func (h *harness) poll(run, worker int, gen uint64) error {
 		return nil
 	}
 	h.polls++
-	res, conflict, err := h.backend.next(run, worker, ws.pending)
+	// The backend writes the new grant into the buffer the worker is
+	// NOT currently reporting from (bufs[cur^1]); ws.pending stays
+	// readable for the acceptance accounting below, then the buffers
+	// swap roles.
+	res, conflict, err := h.backend.next(run, worker, ws.pending, ws.bufs[ws.cur^1][:0])
 	if err != nil {
 		return fmt.Errorf("cluster: run %d worker %d: %w", run, worker, err)
 	}
@@ -431,6 +447,8 @@ func (h *harness) poll(run, worker int, gen uint64) error {
 		if durNs < 1 {
 			durNs = 1
 		}
+		ws.cur ^= 1
+		ws.bufs[ws.cur] = res.tasks
 		ws.pending = res.tasks
 		ws.grantAt = h.nowNs
 		ws.execNs = durNs

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"time"
 
 	"hetsched/internal/service"
@@ -137,6 +138,38 @@ func BackpressureObservers(seed uint64) Scenario {
 			DisconnectAt: 200 * time.Millisecond, ReconnectAt: 15 * time.Second},
 	}
 	return sc
+}
+
+// Herd100k is the 100,000-worker registration stampede: one flat
+// outer run (n=128, 16384 tasks, batch 4, leases armed) whose entire
+// fleet polls on the same virtual instant. Roughly 4k workers win
+// grants and drain the run while the rest park on their first wait —
+// so the scenario prices the poll path at the fleet size ROADMAP item
+// 3 targets, and its invariant check proves exactly-once accounting
+// holds under a 100k-poll burst. Runs in well under a second of wall
+// time in direct mode thanks to the slab-recycled harness.
+func Herd100k(seed uint64) Scenario {
+	return herd(100_000, 128, seed)
+}
+
+// Herd1M is the stretch smoke: a million-worker stampede over a small
+// task set. Direct mode only (a million httptest round-trips buys
+// bytes, not coverage) and skipped under -short: the fleet slab alone
+// is ~100MB.
+func Herd1M(seed uint64) Scenario {
+	return herd(1_000_000, 64, seed)
+}
+
+func herd(p, n int, seed uint64) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("herd-%dk", p/1000),
+		Seed: seed,
+		Runs: []RunSpec{{
+			Kernel: service.KernelOuter, Strategy: "2phases", N: n, P: p,
+			Seed: seed + 1, Batch: 4, LeaseSeconds: 30,
+			Speeds: SpeedSpec{Kind: Uniform},
+		}},
+	}
 }
 
 // Acceptance is the issue's flagship scenario: a 1000-worker

@@ -14,12 +14,12 @@ package matmul
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"hetsched/internal/analysis"
 	"hetsched/internal/bitset"
 	"hetsched/internal/core"
 	"hetsched/internal/rng"
-	"hetsched/internal/speeds"
 )
 
 // TaskID encodes the block triple (i, j, k) of an n-block instance.
@@ -421,8 +421,22 @@ func ThresholdFromBeta(beta float64, n int) int {
 // homogeneous platform with the same processor count, so the scheduler
 // needs to know only n and p.
 func NewTwoPhasesAuto(n, p int, r *rng.PCG) *TwoPhases {
-	beta, _ := analysis.OptimalBetaMatrix(speeds.Homogeneous(p), n)
-	return NewTwoPhases(n, p, ThresholdFromBeta(beta, n), r)
+	return NewTwoPhases(n, p, ThresholdFromBeta(autoBeta(n, p), n), r)
+}
+
+// autoBetaCache memoizes the speed-agnostic β by (n, p), exactly as in
+// internal/outer: the optimization is a pure function of the two ints
+// and should not be redone per run-creation.
+var autoBetaCache sync.Map // [2]int{n, p} → float64
+
+func autoBeta(n, p int) float64 {
+	key := [2]int{n, p}
+	if v, ok := autoBetaCache.Load(key); ok {
+		return v.(float64)
+	}
+	beta, _ := analysis.OptimalBetaMatrixHomogeneous(p, n)
+	autoBetaCache.Store(key, beta)
+	return beta
 }
 
 // ThresholdFromPhase1Fraction returns the threshold such that a

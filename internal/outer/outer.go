@@ -14,12 +14,12 @@ package outer
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"hetsched/internal/analysis"
 	"hetsched/internal/bitset"
 	"hetsched/internal/core"
 	"hetsched/internal/rng"
-	"hetsched/internal/speeds"
 )
 
 // TaskID encodes the block pair (i, j) of an n-block instance.
@@ -42,8 +42,8 @@ type Instance struct {
 	remaining int
 	r         *rng.PCG
 
-	aKnown []*bitset.Bitset // per processor, n bits
-	bKnown []*bitset.Bitset
+	aKnown []bitset.Bitset // per processor, n bits; slab-backed
+	bKnown []bitset.Bitset
 }
 
 func newInstance(n, p int, r *rng.PCG) *Instance {
@@ -59,12 +59,10 @@ func newInstance(n, p int, r *rng.PCG) *Instance {
 		processed: bitset.New(n * n),
 		remaining: n * n,
 		r:         r,
-		aKnown:    make([]*bitset.Bitset, p),
-		bKnown:    make([]*bitset.Bitset, p),
-	}
-	for w := 0; w < p; w++ {
-		inst.aKnown[w] = bitset.New(n)
-		inst.bKnown[w] = bitset.New(n)
+		// Slab-backed ownership sets: two allocations for the whole
+		// fleet instead of 2p, which dominates construction at p=10^6.
+		aKnown: bitset.NewSlab(p, n),
+		bKnown: bitset.NewSlab(p, n),
 	}
 	return inst
 }
@@ -216,17 +214,12 @@ type Dynamic struct {
 	dyn  []dynState
 }
 
-// NewDynamic builds a DynamicOuter scheduler.
+// NewDynamic builds a DynamicOuter scheduler. Per-worker state (index
+// pools, known lists) is materialized lazily on a worker's first step:
+// constructing a million-worker run must not cost two million index
+// pools when only the few thousand workers that win grants ever draw.
 func NewDynamic(n, p int, r *rng.PCG) *Dynamic {
-	inst := newInstance(n, p, r)
-	d := &Dynamic{inst: inst, dyn: make([]dynState, p)}
-	for w := 0; w < p; w++ {
-		d.dyn[w] = dynState{
-			iPool: core.NewIndexPool(n),
-			jPool: core.NewIndexPool(n),
-		}
-	}
-	return d
+	return &Dynamic{inst: newInstance(n, p, r), dyn: make([]dynState, p)}
 }
 
 // Next implements core.Scheduler. It performs one step of Algorithm 1
@@ -246,6 +239,19 @@ func (s *Dynamic) NextInto(w int, buf core.TaskBuf) (core.Assignment, bool) {
 // appending them to buf[:0].
 func (s *Dynamic) step(w int, buf core.TaskBuf) (core.Assignment, bool) {
 	st := &s.dyn[w]
+	if st.iPool == nil {
+		// First step for this worker: both known-index lists reach
+		// exactly n entries at the end-game, so one full-capacity
+		// allocation each here keeps every later append in place —
+		// and workers that never poll (most of a parked 100k fleet)
+		// never pay it, nor their draw pools.
+		nn := s.inst.n
+		slab := make([]int32, 2*nn)
+		st.iKnown = slab[:0:nn]
+		st.jKnown = slab[nn : nn : 2*nn]
+		st.iPool = core.NewIndexPool(nn)
+		st.jPool = core.NewIndexPool(nn)
+	}
 	i, okI := st.iPool.Draw(s.inst.r)
 	j, okJ := st.jPool.Draw(s.inst.r)
 	if !okI && !okJ {
@@ -347,8 +353,25 @@ func ThresholdFromBeta(beta float64, n int) int {
 // shows costs at most ~0.1% extra predicted volume versus
 // per-platform tuning — so the scheduler needs to know only n and p.
 func NewTwoPhasesAuto(n, p int, r *rng.PCG) *TwoPhases {
-	beta, _ := analysis.OptimalBetaOuter(speeds.Homogeneous(p), n)
-	return NewTwoPhases(n, p, ThresholdFromBeta(beta, n), r)
+	return NewTwoPhases(n, p, ThresholdFromBeta(autoBeta(n, p), n), r)
+}
+
+// autoBetaCache memoizes the §3.6 homogeneous β by (n, p): the
+// optimization is a pure function of the two ints, and a service
+// creating many runs of the same shape (or a cluster scenario
+// registering thousands) should not redo the numeric search per run.
+var autoBetaCache sync.Map // [2]int{n, p} → float64
+
+func autoBeta(n, p int) float64 {
+	key := [2]int{n, p}
+	if v, ok := autoBetaCache.Load(key); ok {
+		return v.(float64)
+	}
+	// The O(1) homogeneous form: building and scanning a p-length
+	// uniform speed vector ~640 times costs seconds at p=10⁶.
+	beta, _ := analysis.OptimalBetaOuterHomogeneous(p, n)
+	autoBetaCache.Store(key, beta)
+	return beta
 }
 
 // ThresholdFromPhase1Fraction returns the threshold such that a

@@ -10,6 +10,7 @@
 package perf
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -29,38 +30,53 @@ import (
 	"hetsched/internal/speeds"
 )
 
-// Benchmark is a named micro-benchmark body.
+// Benchmark is a named micro-benchmark body. Parallel marks bodies
+// built on b.RunParallel: their effective parallelism is GOMAXPROCS,
+// so a recorded row from a single-core container and one from a
+// multi-core CI runner measure different contention regimes.
 type Benchmark struct {
-	Name string
-	F    func(*testing.B)
+	Name     string
+	F        func(*testing.B)
+	Parallel bool
+}
+
+// Parallelism returns the number of goroutines the benchmark drives
+// concurrently under the current GOMAXPROCS: 1 for serial bodies,
+// GOMAXPROCS for RunParallel bodies.
+func (b Benchmark) Parallelism() int {
+	if b.Parallel {
+		return runtime.GOMAXPROCS(0)
+	}
+	return 1
 }
 
 // SimBenchmarks are the simulator-path micro-benchmarks recorded in
 // BENCH_sim.json, in a stable order.
 var SimBenchmarks = []Benchmark{
-	{"SimRandomOuter", SimRandomOuter},
-	{"SimDynamicOuter", SimDynamicOuter},
-	{"SimTwoPhasesOuter", SimTwoPhasesOuter},
-	{"SimRandomMatrix", SimRandomMatrix},
-	{"SimDynamicMatrix", SimDynamicMatrix},
-	{"SimTwoPhasesMatrix", SimTwoPhasesMatrix},
-	{"SimBandwidthTwoPhases", SimBandwidthTwoPhases},
-	{"SimCholeskyLocality", SimCholeskyLocality},
-	{"SimLULocality", SimLULocality},
-	{"SimQRLocality", SimQRLocality},
-	{"OptimalBetaOuter100", OptimalBetaOuter100},
-	{"OptimalBetaMatrix100", OptimalBetaMatrix100},
+	{Name: "SimRandomOuter", F: SimRandomOuter},
+	{Name: "SimDynamicOuter", F: SimDynamicOuter},
+	{Name: "SimTwoPhasesOuter", F: SimTwoPhasesOuter},
+	{Name: "SimRandomMatrix", F: SimRandomMatrix},
+	{Name: "SimDynamicMatrix", F: SimDynamicMatrix},
+	{Name: "SimTwoPhasesMatrix", F: SimTwoPhasesMatrix},
+	{Name: "SimBandwidthTwoPhases", F: SimBandwidthTwoPhases},
+	{Name: "SimCholeskyLocality", F: SimCholeskyLocality},
+	{Name: "SimLULocality", F: SimLULocality},
+	{Name: "SimQRLocality", F: SimQRLocality},
+	{Name: "OptimalBetaOuter100", F: OptimalBetaOuter100},
+	{Name: "OptimalBetaMatrix100", F: OptimalBetaMatrix100},
 }
 
 // ServiceBenchmarks are the scheduler-as-a-service benchmarks recorded
 // in BENCH_service.json.
 var ServiceBenchmarks = []Benchmark{
-	{"ServiceHostNext", ServiceHostNext},
-	{"ServiceHostNextLease", ServiceHostNextLease},
-	{"ServiceHostNextParallel", ServiceHostNextParallel},
-	{"ServiceHostNextParallelEvents", ServiceHostNextParallelEvents},
-	{"ClusterHost1k", ClusterHost1k},
-	{"ClusterHost10k", ClusterHost10k},
+	{Name: "ServiceHostNext", F: ServiceHostNext},
+	{Name: "ServiceHostNextLease", F: ServiceHostNextLease},
+	{Name: "ServiceHostNextParallel", F: ServiceHostNextParallel, Parallel: true},
+	{Name: "ServiceHostNextParallelEvents", F: ServiceHostNextParallelEvents, Parallel: true},
+	{Name: "ClusterHost1k", F: ClusterHost1k},
+	{Name: "ClusterHost10k", F: ClusterHost10k},
+	{Name: "ClusterHost100k", F: ClusterHost100k},
 }
 
 // SimRandomOuter simulates RandomOuter at the paper's scale (n=100,
@@ -269,6 +285,12 @@ func ClusterHost1k(b *testing.B) { clusterHostBench(b, 64, 1000) }
 // most of the herd parks in wait while the batch pipeline drains, so
 // the row prices both the grant path and the registration stampede.
 func ClusterHost10k(b *testing.B) { clusterHostBench(b, 128, 10000) }
+
+// ClusterHost100k is the 100,000-worker variant (n=128, 16384 tasks):
+// only ~4k of the herd ever win a grant, so the row is dominated by
+// the registration stampede and the parked majority's wait polls —
+// the regime the striped host and slab-recycled harness are built for.
+func ClusterHost100k(b *testing.B) { clusterHostBench(b, 128, 100000) }
 
 func clusterHostBench(b *testing.B, n, p int) {
 	polls := 0

@@ -275,8 +275,12 @@ func (q *CreateRunRequest) Validate() error {
 // per-worker ownership bitsets, load counters and index pools scale
 // with the worker count.
 const (
-	maxTasks   = 1 << 24
-	maxWorkers = 1 << 16
+	maxTasks = 1 << 24
+	// maxWorkers admits the million-worker fleets the striped host is
+	// sized for; per-worker state (grant slot, counters, ownership
+	// bookkeeping) is a few hundred bytes, so the cap bounds a run's
+	// worker memory at a few hundred MB.
+	maxWorkers = 1 << 21
 	// maxBatch bounds the work done (and response built) under one
 	// Host lock acquisition; without it a single /next request could
 	// drain a whole instance inside one critical section.

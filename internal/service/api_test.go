@@ -104,7 +104,7 @@ func TestCreateRunRequestValidate(t *testing.T) {
 		{Kernel: KernelOuter, N: 10, P: 2, Beta: -0.5},        // bad beta
 		{Kernel: KernelOuter, N: 10, P: 2, LeaseSeconds: 1e6}, // over lease cap
 		{Kernel: KernelMatmul, N: 1 << 12, P: 2},              // over task cap
-		{Kernel: KernelOuter, N: 10, P: 1 << 20},              // over worker cap
+		{Kernel: KernelOuter, N: 10, P: 1<<21 + 1},            // over worker cap
 		{Kernel: KernelOuter, N: 1 << 30, P: 2},               // overflow guard
 	}
 	for _, q := range bad {

@@ -31,6 +31,17 @@ func FuzzAPIDecode(f *testing.F) {
 		`[]`,
 		`null`,
 		`{"kernel":"outer","n":-1,"p":0,"seed":18446744073709551615}`,
+		// Shapes the hand-rolled fast parser treats specially: it must
+		// defer all of these to DecodeStrict, whose verdict is pinned
+		// by the API tests. Seeding them here keeps the corpus shared
+		// with FuzzNextRequestParse exploring the same boundary.
+		`{"worker":1,"completed":[01]}`,
+		`{"worker":1.0,"completed":[]}`,
+		`{"worker":9223372036854775808}`,
+		`{"worker":-9223372036854775808,"completed":[9223372036854775807]}`,
+		`{ "completed" : [ 3 ] , "worker" : 2 }`,
+		"{\"worker\": 1}",
+		`{"worker":1e2}`,
 	} {
 		f.Add([]byte(s))
 	}

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"testing"
+
+	"hetsched/internal/core"
+	"hetsched/internal/rng"
+)
+
+// TestGrantTableDifferential churns a grantTable against a reference
+// map with the poll path's operation mix — insert batches, complete
+// (take) batches, wrong-owner probes, overwrites, deletes — and checks
+// full agreement after every operation burst. Backward-shift deletion
+// is exactly the kind of code that works on straight-line tests and
+// breaks on adversarial probe-chain overlap, hence the randomized
+// differential form.
+func TestGrantTableDifferential(t *testing.T) {
+	r := rng.New(42)
+	var g grantTable
+	g.init(4)
+	ref := map[int64]gtSlot{}
+
+	check := func(step int) {
+		t.Helper()
+		if g.n != len(ref) {
+			t.Fatalf("step %d: n=%d, ref has %d", step, g.n, len(ref))
+		}
+		count := 0
+		g.forEach(func(task core.Task, worker int32, expiryNs int64) {
+			count++
+			want, ok := ref[int64(task)]
+			if !ok {
+				t.Fatalf("step %d: table holds %d, ref does not", step, task)
+			}
+			if want.worker != worker || want.expiryNs != expiryNs {
+				t.Fatalf("step %d: task %d = (%d,%d), want (%d,%d)",
+					step, task, worker, expiryNs, want.worker, want.expiryNs)
+			}
+		})
+		if count != len(ref) {
+			t.Fatalf("step %d: forEach visited %d, ref has %d", step, count, len(ref))
+		}
+		// Every ref entry must be reachable by probing, not just by scan.
+		for task, want := range ref {
+			worker, expiryNs, ok := g.get(core.Task(task))
+			if !ok || worker != want.worker || expiryNs != want.expiryNs {
+				t.Fatalf("step %d: get(%d) = (%d,%d,%v), want (%d,%d,true)",
+					step, task, worker, expiryNs, ok, want.worker, want.expiryNs)
+			}
+		}
+	}
+
+	// Keys drawn from a small universe force probe-chain collisions.
+	key := func() int64 { return int64(r.Intn(97)) }
+
+	for step := 0; step < 3000; step++ {
+		switch r.Intn(5) {
+		case 0, 1: // grant a batch
+			worker := int32(r.Intn(8))
+			exp := int64(r.Intn(1000)) + 1
+			for k := 0; k < r.Intn(6)+1; k++ {
+				task := key()
+				g.put(core.Task(task), worker, exp)
+				ref[task] = gtSlot{task: task, worker: worker, expiryNs: exp}
+			}
+		case 2: // complete a batch (take owned)
+			worker := int32(r.Intn(8))
+			for k := 0; k < r.Intn(6)+1; k++ {
+				task := key()
+				want, inRef := ref[task]
+				s, found, took := g.takeOwned(core.Task(task), worker)
+				if found != inRef {
+					t.Fatalf("step %d: takeOwned(%d,%d) found=%v, ref=%v", step, task, worker, found, inRef)
+				}
+				if !inRef {
+					continue
+				}
+				if s.worker != want.worker || s.expiryNs != want.expiryNs {
+					t.Fatalf("step %d: takeOwned(%d) slot %+v, want %+v", step, task, s, want)
+				}
+				if wantTook := want.worker == worker; took != wantTook {
+					t.Fatalf("step %d: takeOwned(%d,%d) took=%v, want %v", step, task, worker, took, wantTook)
+				}
+				if took {
+					delete(ref, task)
+				}
+			}
+		case 3: // reclaim-style deletes
+			for k := 0; k < r.Intn(4)+1; k++ {
+				task := key()
+				_, inRef := ref[task]
+				if got := g.del(core.Task(task)); got != inRef {
+					t.Fatalf("step %d: del(%d) = %v, ref = %v", step, task, got, inRef)
+				}
+				delete(ref, task)
+			}
+		case 4: // misses and wrong-owner probes must not disturb anything
+			task := key()
+			want, inRef := ref[task]
+			worker, expiryNs, ok := g.get(core.Task(task))
+			if ok != inRef {
+				t.Fatalf("step %d: get(%d) ok=%v, ref=%v", step, task, ok, inRef)
+			}
+			if inRef && (worker != want.worker || expiryNs != want.expiryNs) {
+				t.Fatalf("step %d: get(%d) = (%d,%d), want (%d,%d)",
+					step, task, worker, expiryNs, want.worker, want.expiryNs)
+			}
+		}
+		check(step)
+	}
+}
+
+// TestGrantTableGrowth fills one table far past its initial size and
+// verifies every entry survives the rehashes, then drains it to zero.
+func TestGrantTableGrowth(t *testing.T) {
+	var g grantTable
+	g.init(0)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		g.put(core.Task(i*7), int32(i%31), int64(i)+1)
+	}
+	if g.n != n {
+		t.Fatalf("n = %d, want %d", g.n, n)
+	}
+	for i := 0; i < n; i++ {
+		worker, exp, ok := g.get(core.Task(i * 7))
+		if !ok || worker != int32(i%31) || exp != int64(i)+1 {
+			t.Fatalf("get(%d) = (%d,%d,%v)", i*7, worker, exp, ok)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !g.del(core.Task(i * 7)) {
+			t.Fatalf("del(%d) missed", i*7)
+		}
+	}
+	if g.n != 0 {
+		t.Fatalf("drained table has n = %d", g.n)
+	}
+}

@@ -3,7 +3,9 @@ package service
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hetsched/internal/core"
@@ -13,20 +15,45 @@ import (
 )
 
 // Host makes a single-goroutine core.Driver safe under concurrent
-// requests. One mutex guards the driver and all bookkeeping; a single
-// lock acquisition serves a whole batch of allocation steps (the
-// paper's multi-task-per-request knob), so the critical section
-// amortizes the synchronization cost exactly the way batching
-// amortizes the master round-trip in the paper.
+// requests. The poll path is split across two lock tiers so that the
+// parts of a poll that do not touch the driver do not serialize:
 //
-// The Host also owns the run's collectors: the exactly-once
-// outstanding-task table (which shields the DAG coordinators from
-// invalid completion reports), the per-worker load counters, a
-// stats.Accumulator over served batch sizes, and a wall-clock
-// trace.Trace of every assignment.
+//   - A power-of-two array of stripes, indexed by worker id, owns the
+//     exactly-once outstanding table and the reclaimed-from stain set.
+//     Every grant to worker w lives in stripe(w) — the owner's-stripe
+//     invariant — so report validation, duplicate detection and
+//     completion deletes for w touch only stripe(w)'s lock.
+//   - The core mutex (mu) owns the driver itself — a core.Driver is a
+//     single-goroutine state machine, so stepping it is irreducibly
+//     serial — plus the global counters, the batch statistics, the
+//     trace and the event-hook batch buffer.
+//
+// Lock order is stripes (ascending index) before core; a poll takes
+// stripe(w) then core, and the multi-stripe operations (lease reclaim,
+// Stats) take every stripe in ascending order, then core. The global
+// outstanding count and the earliest-lease lower bound are atomics so
+// the done-check and the lease fast path never touch foreign stripes.
+//
+// The Host also owns the run's collectors: the per-worker load
+// counters, a stats.Accumulator over served batch sizes, and a
+// wall-clock trace.Trace of every assignment.
+//
+// Ownership contract of Next's return value: the returned
+// Assignment.Tasks aliases one of two per-worker grant buffers that
+// alternate poll to poll, so a batch stays readable through the same
+// worker's next poll — in particular it can be passed back as that
+// poll's completion report, the universal client pattern — and is
+// overwritten on the worker's second subsequent poll. Callers that
+// retain a batch longer must copy it; server.handleNext and the
+// cluster harness do. Polls for one worker id must not be issued
+// concurrently (a real worker is one client awaiting one response at
+// a time).
 type Host struct {
-	mu    sync.Mutex
-	drv   core.Driver
+	drv core.Driver
+	// bdrv is drv's buffered fast path, nil when the driver cannot
+	// build assignments into a caller buffer (every current driver can).
+	bdrv  core.BufferedDriver
+	p     int
 	batch int
 
 	// lease is how long a granted assignment stays owned by its worker
@@ -36,32 +63,40 @@ type Host struct {
 	lease      time.Duration
 	reassigner core.Reassigner
 
-	// outstanding maps every assigned-but-unreported task to the
-	// worker executing it plus its lease deadline; completions not
-	// present here are rejected before they can reach (and panic) a
-	// DAG coordinator.
-	outstanding map[core.Task]grantInfo
-	// nextExpiry is a lower bound on the earliest outstanding lease
-	// deadline (zero when none), so the poll hot path pays one time
-	// comparison instead of a table scan. It can run stale-early when
-	// the earliest lease completes on time; the scan it then triggers
-	// finds nothing and recomputes the true minimum.
-	nextExpiry time.Time
-	// reclaimedFrom records (task, worker) pairs whose lease expired
-	// while the worker held the task, so its late completion report is
-	// rejected deterministically (409 lease expired) rather than as a
-	// generic protocol violation. An entry is dropped if the same
-	// worker legitimately completes the task after winning it back.
-	reclaimedFrom map[taskOwner]struct{}
+	stripes    []hostStripe
+	stripeMask int
+	slots      []workerSlot
 
+	// outstandingCount is the total size of every stripe's outstanding
+	// table; the done-check (driver drained and nothing in flight)
+	// reads it without visiting the stripes. Writers hold the owning
+	// stripe's lock; the count is incremented before the core lock is
+	// released on a grant, so a concurrent poll cannot observe a
+	// drained driver with the grant not yet counted.
+	outstandingCount atomic.Int64
+	// nextExpiryNs is a lower bound on the earliest outstanding lease
+	// deadline in UnixNano (0 when none), so the poll hot path pays one
+	// atomic load and a comparison instead of a table scan. It can run
+	// stale-early when the earliest lease completes on time; the scan
+	// it then triggers finds nothing and recomputes the true minimum.
+	// All writes happen under the core mutex (grants) or under every
+	// stripe plus core (the reclaim pass).
+	nextExpiryNs atomic.Int64
+
+	// mu is the core lock: the driver, the global counters, the batch
+	// statistics, the trace, the clock marks, and the event buffer.
+	mu        sync.Mutex
 	assigned  int
 	completed int
 	reclaimed int
 	blocks    int
 	requests  int
 	polls     int
-	workers   []WorkerStats
-	batchAcc  stats.Accumulator
+	// workers[w] is guarded by stripe(w)'s lock on the poll path; the
+	// multi-stripe operations (reclaim, Stats) touch it holding every
+	// stripe.
+	workers  []WorkerStats
+	batchAcc stats.Accumulator
 	// batchHist counts served batch sizes in power-of-two buckets
 	// (bucket i covers (2^(i-1), 2^i] tasks; the last bucket absorbs
 	// the indivisible-step overshoot past maxBatch).
@@ -72,10 +107,10 @@ type Host struct {
 	// see package events — so the hooks below run under mu without
 	// giving a slow subscriber a handle on the poll hot path. The hooks
 	// accumulate one poll's events in evBuf (guarded by mu) and flush
-	// them in one PublishBatch on the way out, paying the stream
-	// synchronization once per poll instead of once per event. lastState
-	// tracks the last published lifecycle state so transitions emit
-	// exactly one TypeState event.
+	// them in one PublishBatch per core-lock acquisition, paying the
+	// stream synchronization once per poll instead of once per event.
+	// lastState tracks the last published lifecycle state so
+	// transitions emit exactly one TypeState event.
 	ev        *events.Stream
 	evBuf     []events.Event
 	lastState string
@@ -105,13 +140,51 @@ type Host struct {
 	now func() time.Time
 }
 
-// grantInfo is the outstanding table's value: the worker executing the
-// task and the instant its lease runs out (zero when leases are
-// disabled).
-type grantInfo struct {
-	worker int
-	expiry time.Time
+// hostStripe is one shard of the per-worker poll state. The stripe for
+// worker w is stripes[w & stripeMask], and — the owner's-stripe
+// invariant — every grant to w is recorded here and nowhere else, so
+// w's validation path never leaves its stripe.
+type hostStripe struct {
+	mu sync.Mutex
+	// outstanding maps every assigned-but-unreported task owned by this
+	// stripe's workers to the executing worker plus its lease deadline;
+	// completions not present here are rejected before they can reach
+	// (and panic) a DAG coordinator. A specialized open-addressing
+	// table (see granttable.go): the per-completed-task
+	// lookup-and-delete and per-granted-task insert are the hottest map
+	// operations in the service.
+	outstanding grantTable
+	// reclaimedFrom records (task, worker) pairs whose lease expired
+	// while the worker held the task, so its late completion report is
+	// rejected deterministically (409 lease expired) rather than as a
+	// generic protocol violation. An entry is dropped if the same
+	// worker legitimately completes the task after winning it back.
+	// Keyed by the reporting worker, so it lives in that worker's
+	// stripe. nil when leases are disabled.
+	reclaimedFrom map[taskOwner]struct{}
+	// pad spaces stripes a cache line apart so neighboring stripe
+	// locks do not false-share under contention.
+	_ [24]byte
 }
+
+// workerSlot is worker w's private poll scratch, touched only while
+// stripe(w) is held: acc[flip] accumulates the granted batch (the
+// returned Assignment.Tasks aliases it; alternating buffers give the
+// caller one full poll of grace before the backing array is reused),
+// tmp holds one driver step and doubles as the sort scratch of the
+// large-report duplicate check.
+type workerSlot struct {
+	acc  [2][]core.Task
+	flip uint8
+	tmp  []core.Task
+	// undo journals the fused loop's deletions so a rejected report can
+	// restore the outstanding table exactly.
+	undo []gtSlot
+}
+
+// maxStripes caps the stripe array: past 64 stripes the poll path is
+// driver-bound, and a 100k-worker run should not pay 100k maps.
+const maxStripes = 64
 
 // taskOwner keys the reclaimedFrom set.
 type taskOwner struct {
@@ -132,21 +205,22 @@ func (e *LeaseExpiredError) Error() string {
 }
 
 // smallReport is the completion-report size up to which duplicate
-// detection uses an allocation-free O(k²) scan instead of a map.
-// Measured on the reference container (BenchmarkDupScan16 ≈ 99 ns, 0
-// allocs vs BenchmarkDupScanMap16 ≈ 403 ns, 3 allocs; k=17 variants
-// alongside, see host_bench_test.go), the scan wins comfortably at and
-// just past the cutoff — the true crossover sits far higher. The
-// constant is therefore a worst-case bound, not a tuning point: a
-// malicious or oversized report (up to maxBatch = 4096 tasks) must not
-// buy k²/2 ≈ 8M comparisons under the run's lock, so anything past a
-// batch-sized report switches to the O(k) map. Reports are batch-sized
-// in practice, so virtually every request takes the scan path.
+// detection uses an allocation-free O(k²) scan instead of sorting a
+// scratch copy. Measured on the reference container (BenchmarkDupScan16
+// ≈ 99 ns, 0 allocs vs BenchmarkDupScanMap16 ≈ 403 ns, 3 allocs; k=17
+// variants alongside, see host_bench_test.go), the scan wins
+// comfortably at and just past the cutoff — the true crossover sits far
+// higher. The constant is therefore a worst-case bound, not a tuning
+// point: a malicious or oversized report (up to maxBatch = 4096 tasks)
+// must not buy k²/2 ≈ 8M comparisons under the run's stripe lock, so
+// anything past a batch-sized report switches to the O(k log k) sort.
 const smallReport = 16
 
 // dupInReport returns a task reported more than once in completed, if
 // any. Reports of length ≤ smallReport use the quadratic scan; longer
-// ones build a map.
+// ones build a map. The poll path uses the allocation-free
+// (*workerSlot).dup instead; this standalone form remains for the
+// cutoff benchmarks.
 func dupInReport(completed []core.Task) (core.Task, bool) {
 	if len(completed) <= 1 {
 		return 0, false
@@ -195,22 +269,49 @@ func NewHostWithClock(drv core.Driver, batch int, lease time.Duration, now func(
 		lease = 0
 	}
 	p := drv.P()
-	h := &Host{
-		drv:         drv,
-		batch:       batch,
-		lease:       lease,
-		outstanding: make(map[core.Task]grantInfo),
-		workers:     make([]WorkerStats, p),
-		tr:          trace.New(p),
-		open:        make([]int, p),
-		now:         now,
+	nstripes := 1
+	for nstripes < p && nstripes < maxStripes {
+		nstripes <<= 1
 	}
+	h := &Host{
+		drv:        drv,
+		p:          p,
+		batch:      batch,
+		lease:      lease,
+		stripes:    make([]hostStripe, nstripes),
+		stripeMask: nstripes - 1,
+		slots:      make([]workerSlot, p),
+		workers:    make([]WorkerStats, p),
+		tr:         trace.New(p),
+		open:       make([]int, p),
+		now:        now,
+	}
+	// Pre-grow the outstanding tables so the poll path spends its
+	// steady state deleting and re-inserting into existing capacity
+	// instead of paying rehash allocations mid-run (the AllocsPerRun
+	// guards pin this). The hint is clamped: the tables together hold
+	// about one in-flight batch per worker, but a 100k-worker host must
+	// not pre-pay megabytes it may never use.
+	mapHint := (2*p*batch + nstripes - 1) / nstripes
+	if mapHint < 8 {
+		mapHint = 8
+	} else if mapHint > 1024 {
+		mapHint = 1024
+	}
+	h.bdrv, _ = drv.(core.BufferedDriver)
+	armed := false
 	if lease > 0 {
 		if ra, ok := drv.(core.Reassigner); ok {
 			h.reassigner = ra
-			h.reclaimedFrom = make(map[taskOwner]struct{})
+			armed = true
 		} else {
 			h.lease = 0 // the driver cannot take tasks back
+		}
+	}
+	for i := range h.stripes {
+		h.stripes[i].outstanding.init(mapHint)
+		if armed {
+			h.stripes[i].reclaimedFrom = make(map[taskOwner]struct{})
 		}
 	}
 	for w := range h.workers {
@@ -222,6 +323,25 @@ func NewHostWithClock(drv core.Driver, batch int, lease time.Duration, now func(
 	h.lastPoll = h.start
 	h.lastState = StateCreated
 	return h
+}
+
+// stripe returns worker w's stripe (the owner's-stripe invariant hangs
+// off this map being a pure function of w).
+func (h *Host) stripe(w int) *hostStripe { return &h.stripes[w&h.stripeMask] }
+
+// lockStripes / unlockStripes bracket the multi-stripe operations.
+// Ascending acquisition order is the deadlock rule; core (h.mu) is
+// always taken after the stripes.
+func (h *Host) lockStripes() {
+	for i := range h.stripes {
+		h.stripes[i].mu.Lock()
+	}
+}
+
+func (h *Host) unlockStripes() {
+	for i := len(h.stripes) - 1; i >= 0; i-- {
+		h.stripes[i].mu.Unlock()
+	}
 }
 
 // AttachEvents connects the host to its per-run event stream. Call it
@@ -282,8 +402,8 @@ func (h *Host) noteStateLocked(now time.Time) {
 }
 
 // flushEventsLocked publishes everything the current call queued, in
-// order, under one stream lock acquisition. Deferred (with mu held)
-// by every path that can queue events.
+// order, under one stream lock acquisition. Called (with mu held) on
+// the way out of every path that can queue events.
 func (h *Host) flushEventsLocked() {
 	if len(h.evBuf) == 0 {
 		return
@@ -318,6 +438,9 @@ func (h *Host) Total() int { return h.drv.Total() }
 // Accounting stays exactly-once either way; clients that poll (and
 // thereby report) once per batch never mix batches in one report.
 //
+// The returned Assignment.Tasks aliases w's reusable grant buffer and
+// is valid until w's next poll; see the ownership contract on Host.
+//
 // Batch-size contract: the driver is stepped until the batch reaches
 // the configured size, but one driver step is indivisible — its block
 // accounting covers the whole multi-task assignment — so the granted
@@ -326,62 +449,126 @@ func (h *Host) Total() int { return h.drv.Total() }
 // overshoot; TestHostBatchTargetNotClamped pins the general contract.
 //
 // When leases are armed, every poll first reclaims expired assignments
-// (cost: one time comparison unless something actually expired), so a
-// wedged run heals on the next poll from any surviving worker without
-// waiting for the registry janitor.
+// (cost: one atomic load and a comparison unless something actually
+// expired), so a wedged run heals on the next poll from any surviving
+// worker without waiting for the registry janitor.
 func (h *Host) Next(w int, completed []core.Task) (core.Assignment, string, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-
-	if w < 0 || w >= h.drv.P() {
-		return core.Assignment{}, "", fmt.Errorf("worker %d out of range [0, %d)", w, h.drv.P())
-	}
-	if h.ev != nil {
-		// Runs before the mu unlock (LIFO), so the flush still owns evBuf.
-		defer h.flushEventsLocked()
+	if w < 0 || w >= h.p {
+		return core.Assignment{}, "", fmt.Errorf("worker %d out of range [0, %d)", w, h.p)
 	}
 	now := h.now()
 	// Reclaim before validating: a report racing its own lease expiry
 	// resolves the same way (409) whether it arrives just after this
 	// poll's reclaim or after the janitor's — determinism the tests
-	// pin down to the injected clock.
-	h.reclaimExpiredLocked(now)
-	// Validate the whole report before applying any of it, so a
-	// partially bogus request has no effect. A duplicate within one
-	// report must be caught here too: the DAG coordinators would apply
-	// the first occurrence and panic on the second, leaving the run
-	// half-updated.
-	if t, dup := dupInReport(completed); dup {
-		return core.Assignment{}, "", fmt.Errorf("task %d reported complete twice in one request", t)
-	}
-	for _, t := range completed {
-		g, ok := h.outstanding[t]
-		if ok && g.worker == w {
-			continue
+	// pin down to the injected clock. The pass locks every stripe, so
+	// it must run before we take ours.
+	if h.lease > 0 {
+		if e := h.nextExpiryNs.Load(); e != 0 && now.UnixNano() >= e {
+			h.reclaimAll(now)
 		}
-		if h.reclaimedFrom != nil {
-			if _, rec := h.reclaimedFrom[taskOwner{t, w}]; rec {
-				if h.ev != nil {
-					h.evBuf = append(h.evBuf, events.Event{Type: events.TypeConflict, TimeNs: now.UnixNano(), Worker: w, Task: int64(t)})
+	}
+	st := h.stripe(w)
+	slot := &h.slots[w]
+	st.mu.Lock()
+	// Small reports get the quadratic duplicate pre-scan so a
+	// hand-written malformed request draws the duplicate diagnosis
+	// regardless of what else is wrong with it. Large reports skip it:
+	// the fused loop below detects duplicates as they collide with
+	// their own deletion, without an O(k log k) pass over the happy
+	// path. Rejection must be whole-report atomic in every case — a
+	// duplicate slipping through would panic the DAG coordinators with
+	// the run state half-updated.
+	if len(completed) > 1 && len(completed) <= smallReport {
+		for i := 1; i < len(completed); i++ {
+			for j := 0; j < i; j++ {
+				if completed[i] == completed[j] {
+					st.mu.Unlock()
+					return core.Assignment{}, "", fmt.Errorf("task %d reported complete twice in one request", completed[i])
 				}
-				return core.Assignment{}, "", &LeaseExpiredError{Task: t}
 			}
 		}
-		if !ok {
-			return core.Assignment{}, "", fmt.Errorf("task %d is not outstanding", t)
-		}
-		return core.Assignment{}, "", fmt.Errorf("task %d is outstanding for worker %d, not %d", t, g.worker, w)
 	}
+	// Fused validate-and-apply: each owned task is deleted from the
+	// outstanding table as it is validated — one map lookup chain per
+	// task instead of separate validate and apply passes — and the
+	// deletions are journaled so any rejection rolls the table back
+	// untouched. The journal lives in the worker's slot, so the happy
+	// path stays allocation-free.
+	undo := slot.undo[:0]
+	for idx, t := range completed {
+		s, found, took := st.outstanding.takeOwned(t, int32(w))
+		if took {
+			undo = append(undo, s)
+			continue
+		}
+		// Rejection. Diagnose under the stripe (everything relevant is
+		// stripe-local), then restore the journaled deletions.
+		var rejected error
+		conflict := false
+		if st.reclaimedFrom != nil {
+			if _, rec := st.reclaimedFrom[taskOwner{t, w}]; rec {
+				rejected = &LeaseExpiredError{Task: t}
+				conflict = true
+			}
+		}
+		if rejected == nil && found {
+			rejected = fmt.Errorf("task %d is outstanding for worker %d, not %d", t, s.worker, w)
+		}
+		if rejected == nil {
+			// A duplicate of a task this loop already consumed surfaces
+			// as a miss; the prefix scan (error path only) tells it
+			// apart from a genuinely stale report.
+			for j := 0; j < idx; j++ {
+				if completed[j] == t {
+					rejected = fmt.Errorf("task %d reported complete twice in one request", t)
+					break
+				}
+			}
+		}
+		for _, u := range undo {
+			st.outstanding.put(core.Task(u.task), u.worker, u.expiryNs)
+		}
+		slot.undo = undo[:0]
+		if conflict && h.ev != nil {
+			h.mu.Lock()
+			h.evBuf = append(h.evBuf, events.Event{Type: events.TypeConflict, TimeNs: now.UnixNano(), Worker: w, Task: int64(t)})
+			h.flushEventsLocked()
+			h.mu.Unlock()
+		}
+		st.mu.Unlock()
+		if rejected == nil {
+			// Not in any stripe-local table: consult the other stripes
+			// for the exact diagnosis (the messages the protocol tests
+			// pin down). Must run with our stripe released — the scan
+			// takes stripe locks and the order discipline is ascending.
+			rejected = h.staleReportError(t, w)
+		}
+		return core.Assignment{}, "", rejected
+	}
+	slot.undo = undo[:0]
+
+	// The report is applied. The global count is decremented before the
+	// driver hears the completion, so a concurrent done-check cannot
+	// observe a drained driver with these tasks still counted in
+	// flight.
+	if len(completed) > 0 {
+		if st.reclaimedFrom != nil {
+			for _, t := range completed {
+				// The worker may have lost this task to an expiry once and
+				// won it back; the legitimate completion clears the stain.
+				delete(st.reclaimedFrom, taskOwner{t, w})
+			}
+		}
+		h.outstandingCount.Add(-int64(len(completed)))
+	}
+
+	h.mu.Lock()
 	h.lastPoll = now
 	h.polls++
 	if len(completed) > 0 {
 		h.drv.Complete(w, completed)
-		for _, t := range completed {
-			delete(h.outstanding, t)
-			// The worker may have lost this task to an expiry once and
-			// won it back; the legitimate completion clears the stain.
-			delete(h.reclaimedFrom, taskOwner{t, w})
-			if h.ev != nil {
+		if h.ev != nil {
+			for _, t := range completed {
 				// One event per task, so exactly-once accounting is
 				// checkable from the stream alone.
 				h.evBuf = append(h.evBuf, events.Event{Type: events.TypeComplete, TimeNs: now.UnixNano(), Worker: w, Task: int64(t)})
@@ -396,49 +583,72 @@ func (h *Host) Next(w int, completed []core.Task) (core.Assignment, string, erro
 		h.last = now
 	}
 
-	var a core.Assignment
+	// Grant: step the driver into the worker's reusable buffers. The
+	// report is fully consumed and the buffers alternate, so the batch
+	// the caller is still holding (usually the one it just reported
+	// from) is not the one being overwritten.
+	slot.flip ^= 1
+	acc := slot.acc[slot.flip][:0]
+	blocks := 0
 	granted := false
-	for steps := 0; steps < h.batch && len(a.Tasks) < h.batch; steps++ {
-		na, ok := h.drv.Next(w)
+	for steps := 0; steps < h.batch && len(acc) < h.batch; steps++ {
+		var na core.Assignment
+		var ok bool
+		if h.bdrv != nil {
+			na, ok = h.bdrv.NextInto(w, slot.tmp)
+			if ok && na.Tasks != nil {
+				// NextInto may have regrown the buffer; keep the larger one.
+				slot.tmp = na.Tasks[:0]
+			}
+		} else {
+			na, ok = h.drv.Next(w)
+		}
 		if !ok {
 			break
 		}
 		granted = true
-		a.Tasks = append(a.Tasks, na.Tasks...)
-		a.Blocks += na.Blocks
+		acc = append(acc, na.Tasks...)
+		blocks += na.Blocks
 	}
+	slot.acc[slot.flip] = acc
 	if !granted {
-		if h.drv.Remaining() == 0 && len(h.outstanding) == 0 {
-			h.noteStateLocked(now)
-			return core.Assignment{}, StatusDone, nil
+		status := StatusWait
+		if h.drv.Remaining() == 0 && h.outstandingCount.Load() == 0 {
+			status = StatusDone
 		}
 		h.noteStateLocked(now)
-		return core.Assignment{}, StatusWait, nil
+		if h.ev != nil {
+			h.flushEventsLocked()
+		}
+		h.mu.Unlock()
+		st.mu.Unlock()
+		return core.Assignment{}, status, nil
 	}
 
-	g := grantInfo{worker: w}
+	var expNs int64
 	if h.lease > 0 {
-		g.expiry = now.Add(h.lease)
-		if h.nextExpiry.IsZero() || g.expiry.Before(h.nextExpiry) {
-			h.nextExpiry = g.expiry
+		expNs = now.Add(h.lease).UnixNano()
+		if e := h.nextExpiryNs.Load(); e == 0 || expNs < e {
+			h.nextExpiryNs.Store(expNs) // serialized: all writers hold mu
 		}
 	}
-	for _, t := range a.Tasks {
-		h.outstanding[t] = g
+	for _, t := range acc {
+		st.outstanding.put(t, int32(w), expNs)
 	}
-	h.assigned += len(a.Tasks)
-	h.blocks += a.Blocks
+	h.outstandingCount.Add(int64(len(acc)))
+	h.assigned += len(acc)
+	h.blocks += blocks
 	h.requests++
 	h.workers[w].Requests++
-	h.workers[w].Blocks += a.Blocks
-	h.batchAcc.Add(float64(len(a.Tasks)))
-	h.batchHist[batchBucket(len(a.Tasks))]++
+	h.workers[w].Blocks += blocks
+	h.batchAcc.Add(float64(len(acc)))
+	h.batchHist[batchBucket(len(acc))]++
 	h.last = now
 	if h.ev != nil {
 		h.evBuf = append(h.evBuf, events.Event{Type: events.TypeAssign, TimeNs: now.UnixNano(), Worker: w, Task: -1,
-			Count: len(a.Tasks), Blocks: a.Blocks})
+			Count: len(acc), Blocks: blocks})
 	}
-	if len(a.Tasks) > 0 {
+	if len(acc) > 0 {
 		at := now.Sub(h.start).Seconds()
 		// A worker that re-polls without reporting holds two batches at
 		// once; close the older segment now rather than orphaning it
@@ -446,11 +656,38 @@ func (h *Host) Next(w int, completed []core.Task) (core.Assignment, string, erro
 		if idx := h.open[w]; idx >= 0 {
 			h.tr.Segments[idx].End = at
 		}
-		h.tr.Add(trace.Segment{Proc: w, Start: at, End: at, Tasks: len(a.Tasks), Blocks: a.Blocks})
+		h.tr.Add(trace.Segment{Proc: w, Start: at, End: at, Tasks: len(acc), Blocks: blocks})
 		h.open[w] = len(h.tr.Segments) - 1
 	}
 	h.noteStateLocked(now)
+	if h.ev != nil {
+		h.flushEventsLocked()
+	}
+	h.mu.Unlock()
+	st.mu.Unlock()
+	a := core.Assignment{Blocks: blocks}
+	if len(acc) > 0 {
+		a.Tasks = acc
+	}
 	return a, StatusOK, nil
+}
+
+// staleReportError diagnoses a reported task that is not outstanding
+// for the reporting worker and not in its stripe: either another
+// worker holds it (in that worker's stripe) or nobody does. The scan
+// takes one stripe lock at a time — the error path mutates nothing, so
+// it does not need a cross-stripe atomic view.
+func (h *Host) staleReportError(t core.Task, w int) error {
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		s.mu.Lock()
+		owner, _, ok := s.outstanding.get(t)
+		s.mu.Unlock()
+		if ok {
+			return fmt.Errorf("task %d is outstanding for worker %d, not %d", t, owner, w)
+		}
+	}
+	return fmt.Errorf("task %d is not outstanding", t)
 }
 
 // ReclaimExpired reclaims every outstanding assignment whose lease
@@ -459,53 +696,97 @@ func (h *Host) Next(w int, completed []core.Task) (core.Assignment, string, erro
 // registry janitor calls it on every sweep so a run whose workers all
 // died still heals; the poll path runs the same check opportunistically.
 func (h *Host) ReclaimExpired() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.ev != nil {
-		defer h.flushEventsLocked()
-	}
-	return h.reclaimExpiredLocked(h.now())
-}
-
-// reclaimExpiredLocked is the mu-held reclaim pass. The fast path — no
-// leases, nothing outstanding, or the earliest deadline still in the
-// future — is a couple of comparisons; only an actual expiry (or a
-// stale-early nextExpiry) pays the table scan.
-func (h *Host) reclaimExpiredLocked(now time.Time) int {
-	if h.lease <= 0 || h.nextExpiry.IsZero() || now.Before(h.nextExpiry) {
+	if h.lease <= 0 {
 		return 0
 	}
-	var expired []core.Task
-	var next time.Time
-	for t, g := range h.outstanding {
-		if !now.Before(g.expiry) {
-			expired = append(expired, t)
-		} else if next.IsZero() || g.expiry.Before(next) {
-			next = g.expiry
-		}
+	now := h.now()
+	if e := h.nextExpiryNs.Load(); e == 0 || now.UnixNano() < e {
+		return 0
 	}
-	h.nextExpiry = next
+	return h.reclaimAll(now)
+}
+
+// reclaimAll is the full reclaim pass: every stripe locked ascending,
+// then core. Callers have already taken the atomic fast path, so
+// reaching here means some lease has (probably) expired.
+func (h *Host) reclaimAll(now time.Time) int {
+	h.lockStripes()
+	h.mu.Lock()
+	n := h.reclaimLocked(now)
+	if h.ev != nil {
+		h.flushEventsLocked()
+	}
+	h.mu.Unlock()
+	h.unlockStripes()
+	return n
+}
+
+// expiredGrant is one reclaim victim; sorting the batch (by worker,
+// then task) makes the reassignment order — and therefore which
+// surviving worker redoes which task — deterministic, where a map walk
+// would not be.
+type expiredGrant struct {
+	task   core.Task
+	worker int
+}
+
+// reclaimLocked runs with every stripe and the core mutex held. The
+// caller has already passed the atomic next-expiry gate.
+func (h *Host) reclaimLocked(now time.Time) int {
+	if h.lease <= 0 {
+		return 0
+	}
+	var expired []expiredGrant
+	var nextNs int64
+	nowNs := now.UnixNano()
+	for i := range h.stripes {
+		h.stripes[i].outstanding.forEach(func(t core.Task, worker int32, expiryNs int64) {
+			if nowNs >= expiryNs {
+				expired = append(expired, expiredGrant{task: t, worker: int(worker)})
+			} else if nextNs == 0 || expiryNs < nextNs {
+				nextNs = expiryNs
+			}
+		})
+	}
+	h.nextExpiryNs.Store(nextNs)
 	if len(expired) == 0 {
 		return 0
 	}
-	// Group by (presumed dead) worker so the driver sees one Reassign
-	// per owner, then hand the tasks back for reassignment.
-	byWorker := make(map[int][]core.Task)
-	for _, t := range expired {
-		g := h.outstanding[t]
-		delete(h.outstanding, t)
-		h.reclaimedFrom[taskOwner{t, g.worker}] = struct{}{}
-		byWorker[g.worker] = append(byWorker[g.worker], t)
+	sort.Slice(expired, func(i, j int) bool {
+		if expired[i].worker != expired[j].worker {
+			return expired[i].worker < expired[j].worker
+		}
+		return expired[i].task < expired[j].task
+	})
+	for _, eg := range expired {
+		s := h.stripe(eg.worker)
+		s.outstanding.del(eg.task)
+		s.reclaimedFrom[taskOwner{eg.task, eg.worker}] = struct{}{}
 	}
+	h.outstandingCount.Add(-int64(len(expired)))
 	// Workers that still hold an unexpired batch after the deletions:
 	// their open trace segment belongs to that newer, still-leased
 	// batch and must not be closed by the reclaim of an older one.
-	stillHolds := make(map[int]bool, len(byWorker))
-	for _, g := range h.outstanding {
-		stillHolds[g.worker] = true
+	stillHolds := make(map[int]bool)
+	for i := range h.stripes {
+		h.stripes[i].outstanding.forEach(func(_ core.Task, worker int32, _ int64) {
+			stillHolds[int(worker)] = true
+		})
 	}
 	at := now.Sub(h.start).Seconds()
-	for w, ts := range byWorker {
+	// The sort grouped each (presumed dead) worker's tasks into one
+	// contiguous ascending run; hand each run to the driver in one
+	// Reassign.
+	for lo := 0; lo < len(expired); {
+		hi := lo
+		w := expired[lo].worker
+		for hi < len(expired) && expired[hi].worker == w {
+			hi++
+		}
+		ts := make([]core.Task, 0, hi-lo)
+		for _, eg := range expired[lo:hi] {
+			ts = append(ts, eg.task)
+		}
 		h.reassigner.Reassign(w, ts)
 		h.reclaimed += len(ts)
 		h.workers[w].Reclaimed += len(ts)
@@ -521,6 +802,7 @@ func (h *Host) reclaimExpiredLocked(now time.Time) int {
 			h.tr.Segments[idx].End = at
 			h.open[w] = -1
 		}
+		lo = hi
 	}
 	return len(expired)
 }
@@ -541,7 +823,7 @@ func (h *Host) stateLocked() string {
 	// workers and is no longer "created".
 	case h.polls == 0:
 		return StateCreated
-	case h.drv.Remaining() == 0 && len(h.outstanding) == 0:
+	case h.drv.Remaining() == 0 && h.outstandingCount.Load() == 0:
 		return StateComplete
 	default:
 		return StateDraining
@@ -549,17 +831,25 @@ func (h *Host) stateLocked() string {
 }
 
 // Stats snapshots the run's counters. ID, kernel and strategy are
-// filled in by the server, which owns the run metadata.
+// filled in by the server, which owns the run metadata. The snapshot
+// holds every stripe plus the core lock, so it is as atomic as the
+// old single-mutex one.
 func (h *Host) Stats() StatsResponse {
+	h.lockStripes()
+	defer h.unlockStripes()
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	now := h.now()
+	outstanding := 0
+	for i := range h.stripes {
+		outstanding += h.stripes[i].outstanding.n
+	}
 	resp := StatsResponse{
 		State:           h.stateLocked(),
 		Total:           h.drv.Total(),
 		Assigned:        h.assigned,
 		Completed:       h.completed,
-		Outstanding:     len(h.outstanding),
+		Outstanding:     outstanding,
 		Remaining:       h.drv.Remaining(),
 		Reclaimed:       h.reclaimed,
 		LeaseSeconds:    h.lease.Seconds(),

@@ -1,10 +1,15 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -298,22 +303,91 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, run.Info())
 }
 
+// nextScratch is the pooled per-request working set of the poll
+// endpoint: the body bytes, the decoded completion report, and the
+// response buffer. Pooling it makes a steady-state poll allocation-free
+// on the service side of the transport.
+type nextScratch struct {
+	body  []byte
+	tasks []core.Task
+	out   []byte
+}
+
+var nextPool = sync.Pool{New: func() any { return new(nextScratch) }}
+
+// scratchCap caps what a returned scratch may retain, so one huge
+// report does not pin a megabyte buffer in the pool forever.
+const scratchCap = 1 << 18
+
+func putNextScratch(sc *nextScratch) {
+	if cap(sc.body) > scratchCap || cap(sc.out) > scratchCap || cap(sc.tasks)*8 > scratchCap {
+		return
+	}
+	nextPool.Put(sc)
+}
+
+// readBody drains r into the scratch buffer without the bytes.Buffer
+// detour. MaxBytesReader has already bounded the stream.
+func readBody(r io.Reader, buf []byte) ([]byte, error) {
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
 func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
-	var q NextRequest
+	sc := nextPool.Get().(*nextScratch)
+	defer putNextScratch(sc)
 	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
-	if err := DecodeStrict(r.Body, &q); err != nil {
+	var err error
+	sc.body, err = readBody(r.Body, sc.body)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
 		return
 	}
-	completed := make([]core.Task, len(q.Completed))
-	for i, t := range q.Completed {
-		completed[i] = core.Task(t)
+	var worker int64
+	var completed []core.Task
+	if r.Header.Get("Content-Type") == ContentTypeFrame {
+		worker, completed, err = decodeNextRequestFrame(sc.body, sc.tasks)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+			return
+		}
+	} else {
+		var fast bool
+		worker, completed, fast = parseNextRequest(sc.body, sc.tasks)
+		if !fast {
+			// Outside the fast subset: the stdlib renders the
+			// authoritative verdict (and error message) on the same
+			// bytes.
+			var q NextRequest
+			if err := DecodeStrict(bytes.NewReader(sc.body), &q); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+				return
+			}
+			worker = int64(q.Worker)
+			completed = sc.tasks[:0]
+			for _, t := range q.Completed {
+				completed = append(completed, core.Task(t))
+			}
+		}
 	}
-	a, status, err := run.Host.Next(q.Worker, completed)
+	sc.tasks = completed[:0]
+	a, status, err := run.Host.Next(int(worker), completed)
 	if err != nil {
 		// A late report for a reclaimed task is a lost race, not a
 		// protocol violation: 409 tells the worker its lease expired
@@ -326,10 +400,31 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	resp := NextResponse{Status: status, Blocks: a.Blocks}
+	lease := 0.0
 	if status == StatusOK {
-		resp.LeaseSeconds = run.Host.Lease().Seconds()
+		lease = run.Host.Lease().Seconds()
 	}
+	if frameOK := strings.Contains(r.Header.Get("Accept"), ContentTypeFrame); frameOK {
+		if out, ok := appendNextResponseFrame(sc.out[:0], status, a.Tasks, a.Blocks, lease); ok {
+			sc.out = out
+			w.Header().Set("Content-Type", ContentTypeFrame)
+			w.Header().Set("Content-Length", strconv.Itoa(len(out)))
+			w.WriteHeader(http.StatusOK)
+			w.Write(out)
+			return
+		}
+	}
+	if out, ok := appendNextResponseJSON(sc.out[:0], status, a.Tasks, a.Blocks, lease); ok {
+		sc.out = out
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.Itoa(len(out)))
+		w.WriteHeader(http.StatusOK)
+		w.Write(out)
+		return
+	}
+	// Exotic response values (unreachable for host-produced statuses):
+	// fall back to the stdlib encoder.
+	resp := NextResponse{Status: status, Blocks: a.Blocks, LeaseSeconds: lease}
 	if len(a.Tasks) > 0 {
 		resp.Tasks = make([]int64, len(a.Tasks))
 		for i, t := range a.Tasks {
@@ -368,8 +463,12 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is gone, so the client cannot be told; a
+		// truncated body will fail its decode. Keep the server-side
+		// signal instead of discarding it.
+		log.Printf("service: encoding %T response: %v", v, err)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
