@@ -92,3 +92,12 @@ func BenchmarkServiceHostNextParallelEvents(b *testing.B) { perf.ServiceHostNext
 func BenchmarkClusterHost1k(b *testing.B)   { perf.ClusterHost1k(b) }
 func BenchmarkClusterHost10k(b *testing.B)  { perf.ClusterHost10k(b) }
 func BenchmarkClusterHost100k(b *testing.B) { perf.ClusterHost100k(b) }
+
+// BenchmarkServiceRouterNext prices the federation router's per-poll
+// overhead (consistent-hash lookup + registry fetch) over the
+// single-host BenchmarkServiceHostNext baseline.
+func BenchmarkServiceRouterNext(b *testing.B) { perf.ServiceRouterNext(b) }
+
+// BenchmarkClusterHostFederated4x25k is the federated fleet-scale row:
+// 4 hosts × 25k workers through the virtual-time cluster harness.
+func BenchmarkClusterHostFederated4x25k(b *testing.B) { perf.ClusterHostFederated4x25k(b) }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func row(name string, ns float64, allocs int64, par int, topo string) benchResult {
+	return benchResult{Name: name, NsPerOp: ns, AllocsPerOp: allocs, Parallelism: par, Topology: topo}
+}
+
+func TestCompareWithinBudget(t *testing.T) {
+	base := &report{Benchmarks: []benchResult{row("A", 1000, 0, 1, "single")}}
+	cur := &report{Benchmarks: []benchResult{row("A", 1200, 0, 1, "single")}}
+	v, w := compareReports(base, cur, 25)
+	if len(v) != 0 || len(w) != 0 {
+		t.Fatalf("20%% regression inside a 25%% budget flagged: %v %v", v, w)
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	base := &report{Benchmarks: []benchResult{row("A", 1000, 0, 1, "single")}}
+	cur := &report{Benchmarks: []benchResult{row("A", 1300, 0, 1, "single")}}
+	v, _ := compareReports(base, cur, 25)
+	if len(v) != 1 || !strings.Contains(v[0], "30.0%") {
+		t.Fatalf("30%% regression not flagged: %v", v)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base := &report{Benchmarks: []benchResult{row("A", 1000, 0, 1, "single")}}
+	cur := &report{Benchmarks: []benchResult{row("A", 900, 3, 1, "single")}}
+	v, _ := compareReports(base, cur, 25)
+	if len(v) != 1 || !strings.Contains(v[0], "allocation-free") {
+		t.Fatalf("allocs on an allocation-free row not flagged: %v", v)
+	}
+}
+
+func TestCompareSkipsMismatchedRegimes(t *testing.T) {
+	base := &report{Benchmarks: []benchResult{
+		row("A", 1000, 0, 8, "single"),
+		row("B", 1000, 0, 1, "single"),
+		row("C", 1000, 0, 1, "federated-4"),
+	}}
+	cur := &report{Benchmarks: []benchResult{
+		row("A", 9000, 0, 1, "single"),      // parallelism moved: different machine
+		row("B", 9000, 0, 1, "federated-4"), // topology moved: different layout
+		row("D", 9000, 0, 1, "single"),      // new row: no baseline
+	}}
+	v, w := compareReports(base, cur, 25)
+	if len(v) != 0 {
+		t.Fatalf("mismatched regimes compared anyway: %v", v)
+	}
+	if len(w) != 3 {
+		t.Fatalf("want 3 skip warnings, got %v", w)
+	}
+}

@@ -8,7 +8,15 @@
 //
 // Usage:
 //
-//	benchjson [-out dir] [-benchtime 1s] [-skip-suite] [-only sim|service]
+//	benchjson [-out dir] [-benchtime 1s] [-skip-suite] [-only sim|service|ci]
+//	benchjson -compare new.json -against baseline.json [-max-regress 25]
+//
+// -only ci runs just the poll-hot-path subset (the contended
+// single-host row and the federated router row) and writes
+// BENCH_ci.json — the artifact the CI workflow measures on every push
+// and checks against the committed baseline with -compare, which exits
+// nonzero on a ns/op regression beyond the budget or on any
+// allocation appearing on an allocation-free row.
 package main
 
 import (
@@ -38,6 +46,12 @@ type benchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Parallelism int     `json:"parallelism"`
+	// Hosts and Topology record the federated layout the row drove
+	// (0/"single" for the classic rows, N/"federated-N" behind a
+	// consistent-hash router) so baselines from different topologies
+	// are never compared against each other.
+	Hosts    int    `json:"hosts,omitempty"`
+	Topology string `json:"topology"`
 }
 
 // suiteResult is the wall-clock timing of the full quick figure suite
@@ -90,6 +104,8 @@ func runBenchmarks(bs []perf.Benchmark) []benchResult {
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			Parallelism: bench.Parallelism(),
+			Hosts:       bench.Hosts,
+			Topology:    bench.Topology(),
 		})
 	}
 	return results
@@ -122,20 +138,122 @@ func writeReport(dir, name string, rep *report) error {
 	return nil
 }
 
+// compareReports checks current against baseline row by row and
+// returns the violations: a ns/op regression beyond maxRegress
+// percent, or an allocation count that went from zero to nonzero (the
+// poll path's allocation-free guarantee has no tolerance band). Rows
+// are matched by name; a row whose recorded parallelism or topology
+// differs between the two files measured a different regime and is
+// skipped with a warning — comparing a 1-core baseline against an
+// 8-core run (or a single-host row against a federated one) would
+// produce noise, not signal.
+func compareReports(baseline, current *report, maxRegress float64) (violations, warnings []string) {
+	base := make(map[string]benchResult, len(baseline.Benchmarks))
+	for _, r := range baseline.Benchmarks {
+		base[r.Name] = r
+	}
+	for _, cur := range current.Benchmarks {
+		b, ok := base[cur.Name]
+		if !ok {
+			warnings = append(warnings, fmt.Sprintf("%s: no baseline row, skipping", cur.Name))
+			continue
+		}
+		if b.Parallelism != cur.Parallelism {
+			warnings = append(warnings, fmt.Sprintf("%s: baseline parallelism %d vs current %d, skipping",
+				cur.Name, b.Parallelism, cur.Parallelism))
+			continue
+		}
+		if b.Topology != cur.Topology {
+			warnings = append(warnings, fmt.Sprintf("%s: baseline topology %q vs current %q, skipping",
+				cur.Name, b.Topology, cur.Topology))
+			continue
+		}
+		if b.NsPerOp > 0 {
+			pct := (cur.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+			if pct > maxRegress {
+				violations = append(violations, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (%.1f%% > %.1f%% budget)",
+					cur.Name, cur.NsPerOp, b.NsPerOp, pct, maxRegress))
+			}
+		}
+		if b.AllocsPerOp == 0 && cur.AllocsPerOp > 0 {
+			violations = append(violations, fmt.Sprintf("%s: %d allocs/op vs allocation-free baseline",
+				cur.Name, cur.AllocsPerOp))
+		}
+	}
+	return violations, warnings
+}
+
+func readReport(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// runCompare is the -compare entry point; it exits the process.
+func runCompare(currentPath, baselinePath string, maxRegress float64) {
+	cur, err := readReport(currentPath)
+	if err == nil {
+		var base *report
+		base, err = readReport(baselinePath)
+		if err == nil {
+			violations, warnings := compareReports(base, cur, maxRegress)
+			for _, w := range warnings {
+				fmt.Fprintf(os.Stderr, "benchjson: warning: %s\n", w)
+			}
+			if len(violations) > 0 {
+				for _, v := range violations {
+					fmt.Fprintf(os.Stderr, "benchjson: REGRESSION: %s\n", v)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("benchjson: %s within %.0f%% of %s\n", currentPath, maxRegress, baselinePath)
+			os.Exit(0)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(2)
+}
+
 func main() {
 	outDir := flag.String("out", ".", "directory for BENCH_*.json output")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark measuring time (test.benchtime)")
 	skipSuite := flag.Bool("skip-suite", false, "skip the quick-suite wall-clock timing")
 	seed := flag.Uint64("seed", 1, "root seed for the quick-suite timing")
-	only := flag.String("only", "", "refresh a single report: sim | service (default both)")
+	only := flag.String("only", "", "refresh a single report: sim | service | ci (default sim and service)")
+	compare := flag.String("compare", "", "compare this BENCH_*.json against -against instead of benchmarking")
+	against := flag.String("against", "", "baseline BENCH_*.json for -compare")
+	maxRegress := flag.Float64("max-regress", 25, "ns/op regression budget for -compare, in percent")
 	testing.Init()
 	flag.Parse()
+	if *compare != "" {
+		if *against == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs -against <baseline.json>")
+			os.Exit(2)
+		}
+		runCompare(*compare, *against, *maxRegress)
+	}
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: bad -benchtime: %v\n", err)
 		os.Exit(2)
 	}
-	if *only != "" && *only != "sim" && *only != "service" {
-		fmt.Fprintf(os.Stderr, "benchjson: bad -only %q (want sim or service)\n", *only)
+	switch *only {
+	case "", "sim", "service":
+	case "ci":
+		ciRep := newReport()
+		ciRep.Benchmarks = runBenchmarks(perf.CIBenchmarks)
+		if err := writeReport(*outDir, "BENCH_ci.json", ciRep); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: bad -only %q (want sim, service, or ci)\n", *only)
 		os.Exit(2)
 	}
 

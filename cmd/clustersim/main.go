@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "acceptance", "acceptance | drift | crash | janitor | herd | herd100k | herd1m | stragglers | backpressure")
+	scenario := flag.String("scenario", "acceptance", "acceptance | drift | crash | janitor | herd | herd100k | herd1m | stragglers | backpressure | federated | federated-crash")
 	kernel := flag.String("kernel", "cholesky", "workload for drift/crash/janitor: outer | matmul | cholesky | lu | qr")
 	n := flag.Int("n", 12, "blocks/tiles per dimension (drift/crash/janitor/stragglers)")
 	p := flag.Int("p", 100, "fleet size (scenario-dependent)")
@@ -63,6 +63,10 @@ func main() {
 		sc = cluster.StragglersAndPartitions(*n, *p, *seed)
 	case "backpressure":
 		sc = cluster.BackpressureObservers(*seed)
+	case "federated":
+		sc = cluster.Federated4x25k(*seed)
+	case "federated-crash":
+		sc = cluster.Federated4x25kHostCrash(*seed)
 	default:
 		fmt.Fprintf(os.Stderr, "clustersim: unknown scenario %q\n", *scenario)
 		os.Exit(2)
@@ -99,14 +103,23 @@ func main() {
 	fmt.Printf("events/polls  %d / %d\n", res.Events, res.Polls)
 	fmt.Printf("virtual time  %v   (wall %v)\n", res.FinalVirtual.Round(time.Millisecond), wall.Round(time.Microsecond))
 	for i, rr := range res.Runs {
+		host := ""
+		if res.Hosts > 1 {
+			host = fmt.Sprintf(" host=%d", rr.HostIdx)
+		}
 		if !rr.Arrived {
 			fmt.Printf("run %-2d never arrived\n", i)
 			continue
 		}
+		if rr.Lost {
+			fmt.Printf("run %-2d %-9s %-9s n=%-4d p=%-5d LOST (host crashed, %d tasks accepted before)%s\n",
+				i, rr.Spec.Kernel, rr.Spec.Strategy, rr.Spec.N, rr.Spec.P, len(rr.Accepted), host)
+			continue
+		}
 		st := rr.Stats
-		fmt.Printf("run %-2d %-9s %-9s n=%-4d p=%-5d state=%-9s tasks=%d assigned=%d reclaimed=%d conflicts=%d blocks=%d makespan=%.3fs\n",
+		fmt.Printf("run %-2d %-9s %-9s n=%-4d p=%-5d state=%-9s tasks=%d assigned=%d reclaimed=%d conflicts=%d blocks=%d makespan=%.3fs%s\n",
 			i, rr.Spec.Kernel, rr.Info.Strategy, rr.Spec.N, rr.Spec.P,
-			st.State, st.Completed, st.Assigned, st.Reclaimed, rr.Conflicts, st.Blocks, st.MakespanSeconds)
+			st.State, st.Completed, st.Assigned, st.Reclaimed, rr.Conflicts, st.Blocks, st.MakespanSeconds, host)
 	}
 	if err := res.CheckInvariants(); err != nil {
 		fmt.Printf("invariants    VIOLATED: %v\n", err)

@@ -22,6 +22,17 @@
 //	curl -N localhost:8080/v1/runs/<id>/events
 //	curl -s 'localhost:8080/v1/metrics?format=prometheus'
 //	open http://localhost:8080/v1/ui
+//
+// Router mode fronts a federated fleet of schedd hosts: runs are
+// placed on peers by a consistent hash of the run id, every per-run
+// request is forwarded to the owner with zero body inspection (JSON
+// and binary frames pass through byte-identical, SSE streams are
+// relayed with Last-Event-ID resume), and /v1/metrics aggregates the
+// whole fleet:
+//
+//	schedd -addr :8081 &
+//	schedd -addr :8082 &
+//	schedd -router -addr :8080 -peers http://localhost:8081,http://localhost:8082
 package main
 
 import (
@@ -32,9 +43,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"hetsched/internal/federation"
 	"hetsched/internal/service"
 )
 
@@ -46,23 +59,53 @@ func main() {
 	gc := flag.Duration("gc", time.Minute, "garbage-collection interval (0 = disabled)")
 	lease := flag.Duration("lease", 0, "default assignment lease: reclaim tasks a worker holds longer than this (0 = never; runs can override via lease_seconds)")
 	eventsBuffer := flag.Int("events-buffer", 0, "per-subscriber event buffer and per-run retention ring for /v1/events streams (0 = default 1024); a subscriber that reads slower than events arrive drops the overflow")
+	router := flag.Bool("router", false, "serve as a federation router over -peers instead of hosting runs")
+	peers := flag.String("peers", "", "comma-separated peer base URLs for -router mode (e.g. http://h1:8080,http://h2:8080)")
+	ringEpoch := flag.Uint64("ring-epoch", 0, "placement-ring epoch: bump to reshuffle where new runs land (router mode)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per peer on the placement ring (0 = default 64; router mode)")
 	flag.Parse()
-
-	opts := service.Options{Shards: *shards, DefaultBatch: *batch, TTL: *ttl, GCInterval: *gc,
-		DefaultLease: *lease, EventsBuffer: *eventsBuffer}
-	if *ttl == 0 {
-		opts.TTL = -1
-	}
-	if *gc == 0 {
-		opts.GCInterval = -1
-	}
-	svc := service.New(opts)
-	defer svc.Close()
-
-	srv := &http.Server{Addr: *addr, Handler: svc}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	var handler http.Handler
+	if *router {
+		urls := strings.Split(*peers, ",")
+		targets := make([]federation.Target, 0, len(urls))
+		for _, u := range urls {
+			if u = strings.TrimSpace(u); u != "" {
+				targets = append(targets, federation.Target{URL: strings.TrimRight(u, "/")})
+			}
+		}
+		rt, err := federation.NewRouter(targets, federation.Options{
+			Vnodes: *vnodes,
+			Epoch:  *ringEpoch,
+		})
+		if err != nil {
+			log.Fatalf("schedd: -router: %v", err)
+		}
+		handler = rt
+		log.Printf("schedd: routing over %d peers (epoch=%d vnodes=%d)",
+			len(targets), rt.Ring().Epoch(), rt.Ring().Vnodes())
+	} else {
+		if *peers != "" {
+			log.Fatalf("schedd: -peers needs -router")
+		}
+		opts := service.Options{Shards: *shards, DefaultBatch: *batch, TTL: *ttl, GCInterval: *gc,
+			DefaultLease: *lease, EventsBuffer: *eventsBuffer}
+		if *ttl == 0 {
+			opts.TTL = -1
+		}
+		if *gc == 0 {
+			opts.GCInterval = -1
+		}
+		svc := service.New(opts)
+		defer svc.Close()
+		handler = svc
+		log.Printf("schedd: listening on %s (shards=%d batch=%d ttl=%v)", *addr, *shards, *batch, *ttl)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -70,7 +113,9 @@ func main() {
 		srv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("schedd: listening on %s (shards=%d batch=%d ttl=%v)", *addr, *shards, *batch, *ttl)
+	if *router {
+		log.Printf("schedd: router listening on %s", *addr)
+	}
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("schedd: %v", err)
 	}

@@ -17,9 +17,12 @@
 //     (sim.Run for flat schedulers, sim.RunDriver for DAG drivers)
 //   - internal/exec     — real concurrent runtime executing block arithmetic
 //   - internal/service  — scheduler-as-a-service HTTP daemon (schedd)
+//   - internal/federation — consistent-hash run placement over a fleet
+//     of schedd hosts and the allocation-free pass-through router
 //   - internal/cluster  — deterministic virtual-time cluster harness
 //     driving the real service with scripted heterogeneous fleets
-//     (crashes, stragglers, partitions, bursty arrivals)
+//     (crashes, stragglers, partitions, bursty arrivals), single-host
+//     or federated behind the router
 //   - internal/experiments — regeneration of every figure of the paper,
 //     with deterministic parallel replication (replicate.go)
 //   - internal/perf     — shared micro-benchmark bodies

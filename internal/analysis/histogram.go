@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the bucketed sibling of the exact heterogeneous β*
+// solvers. OptimalBetaOuter/Matrix evaluate their objective with an
+// O(p) sum over the relative-speed vector on every one of the ~500
+// probe points of minimize — fine at the paper's p=100, a real cost
+// when a federated deployment wants per-run β* for 100k-worker
+// fleets. A SpeedHistogram collapses the vector into B buckets of
+// near-equal speeds once (O(p)), after which every objective
+// evaluation is O(B): the solver's total cost drops from O(p·probes)
+// to O(p + B·probes), with B defaulting to 64.
+//
+// The collapse is benign because every per-worker term of the
+// objective (√rs, x_k, rs·f(x_k), rs^(2/3), ...) is a smooth function
+// of the relative speed alone, and bucket boundaries are geometric —
+// members of one bucket differ by at most the bucket's width ratio,
+// so the representative-speed evaluation is a first-order-accurate
+// quadrature of the exact sum. The histogram tests verify the bucketed
+// β* against the exact solver over a grid of platforms.
+
+// DefaultSpeedBuckets is the histogram resolution NewSpeedHistogram
+// uses when buckets ≤ 0: fine enough that the bucketed ratio curve
+// tracks the exact one to a fraction of a percent on uniform [10,100)
+// platforms, coarse enough that an objective evaluation is ~64 flops.
+const DefaultSpeedBuckets = 64
+
+// SpeedHistogram is a relative-speed vector collapsed into geometric
+// buckets: Count[b] workers share the representative relative speed
+// Rep[b] (the exact mean of the bucket's members, so Σ Count·Rep
+// equals Σ rs exactly and the kernel-volume normalizations survive
+// the collapse unchanged).
+type SpeedHistogram struct {
+	Count []int
+	Rep   []float64
+	// P is the total worker count, Σ Count.
+	P int
+}
+
+// NewSpeedHistogram buckets a relative-speed vector (rs_k = s_k/Σs_i,
+// as for OptimalBetaOuter) into at most buckets geometric bins
+// between the slowest and fastest worker. buckets ≤ 0 takes
+// DefaultSpeedBuckets. Empty bins are dropped, so Count/Rep hold only
+// occupied buckets — a homogeneous fleet collapses to a single entry.
+func NewSpeedHistogram(rs []float64, buckets int) (SpeedHistogram, error) {
+	if len(rs) == 0 {
+		return SpeedHistogram{}, fmt.Errorf("analysis: empty speed vector")
+	}
+	if buckets <= 0 {
+		buckets = DefaultSpeedBuckets
+	}
+	lo, hi := rs[0], rs[0]
+	for _, r := range rs {
+		if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return SpeedHistogram{}, fmt.Errorf("analysis: bad relative speed %g", r)
+		}
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	// Geometric bins: bucket index is the position of log(r) between
+	// log(lo) and log(hi), so every bucket spans the same speed *ratio*
+	// and the relative error of using one representative per bucket is
+	// uniform across slow and fast workers.
+	logLo, logSpan := math.Log(lo), math.Log(hi)-math.Log(lo)
+	count := make([]int, buckets)
+	sum := make([]float64, buckets)
+	for _, r := range rs {
+		b := 0
+		if logSpan > 0 {
+			b = int(float64(buckets) * (math.Log(r) - logLo) / logSpan)
+			if b >= buckets {
+				b = buckets - 1
+			}
+		}
+		count[b]++
+		sum[b] += r
+	}
+	h := SpeedHistogram{P: len(rs)}
+	for b, c := range count {
+		if c == 0 {
+			continue
+		}
+		h.Count = append(h.Count, c)
+		h.Rep = append(h.Rep, sum[b]/float64(c))
+	}
+	return h, nil
+}
+
+// sumOver evaluates Σ_k f(rs_k) over the collapsed fleet in O(B).
+func (h SpeedHistogram) sumOver(f func(rsk float64) float64) float64 {
+	total := 0.0
+	for b, c := range h.Count {
+		total += float64(c) * f(h.Rep[b])
+	}
+	return total
+}
+
+// RatioOuterHistogram is RatioOuter evaluated over the collapsed
+// fleet: the predicted outer-product communication volume of the
+// two-phase strategy at switch parameter β, normalized by the lower
+// bound, in O(buckets) per call.
+func RatioOuterHistogram(beta float64, h SpeedHistogram, n int) float64 {
+	nf := float64(n)
+	v1 := 2 * nf * h.sumOver(func(r float64) float64 { return XOuter(beta, r) })
+	v2 := math.Exp(-beta) * nf * nf * h.sumOver(func(r float64) float64 {
+		return r * 2 / (1 + XOuter(beta, r))
+	})
+	lb := 2 * nf * h.sumOver(math.Sqrt)
+	return (v1 + v2) / lb
+}
+
+// RatioMatrixHistogram is RatioMatrix over the collapsed fleet.
+func RatioMatrixHistogram(beta float64, h SpeedHistogram, n int) float64 {
+	n2 := float64(n) * float64(n)
+	v1 := 3 * n2 * h.sumOver(func(r float64) float64 {
+		x := XMatrix(beta, r)
+		return x * x
+	})
+	v2 := math.Exp(-beta) * n2 * float64(n) * h.sumOver(func(r float64) float64 {
+		x := XMatrix(beta, r)
+		return r * 3 * (1 - x*x/(1+x+x*x))
+	})
+	lb := 3 * n2 * h.sumOver(func(r float64) float64 { return math.Pow(r, 2.0/3.0) })
+	return (v1 + v2) / lb
+}
+
+// OptimalBetaOuterHistogram minimizes RatioOuterHistogram over β: the
+// heterogeneous sibling of OptimalBetaOuterHomogeneous, O(p + B·probes)
+// instead of the exact solver's O(p·probes).
+func OptimalBetaOuterHistogram(h SpeedHistogram, n int) (beta, ratio float64) {
+	return minimize(func(b float64) float64 { return RatioOuterHistogram(b, h, n) })
+}
+
+// OptimalBetaMatrixHistogram is the matrix-kernel bucketed optimum.
+func OptimalBetaMatrixHistogram(h SpeedHistogram, n int) (beta, ratio float64) {
+	return minimize(func(b float64) float64 { return RatioMatrixHistogram(b, h, n) })
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"hetsched/internal/rng"
+	"hetsched/internal/speeds"
+)
+
+// platformGrid spans the paper's fleet shapes: uniform spreads of
+// three widths, discrete speed classes, and near-homogeneous fleets,
+// at several sizes.
+func platformGrid(t *testing.T) map[string][]float64 {
+	t.Helper()
+	root := rng.New(7)
+	grid := map[string][]float64{
+		"uniform-100":      speeds.Relative(speeds.UniformRange(100, 10, 100, root.Split())),
+		"uniform-1000":     speeds.Relative(speeds.UniformRange(1000, 10, 100, root.Split())),
+		"uniform-narrow":   speeds.Relative(speeds.UniformRange(500, 90, 100, root.Split())),
+		"uniform-wide-10k": speeds.Relative(speeds.UniformRange(10_000, 1, 100, root.Split())),
+		"set3-300":         speeds.Relative(speeds.FromSet(300, []float64{20, 50, 100}, root.Split())),
+		"set5-1000":        speeds.Relative(speeds.FromSet(1000, []float64{10, 30, 50, 70, 100}, root.Split())),
+	}
+	homog := make([]float64, 200)
+	for i := range homog {
+		homog[i] = 100
+	}
+	grid["homogeneous-200"] = speeds.Relative(homog)
+	return grid
+}
+
+// TestHistogramPreservesMass: Σ Count·Rep equals Σ rs exactly enough
+// that the volume normalizations survive the collapse.
+func TestHistogramPreservesMass(t *testing.T) {
+	for name, rs := range platformGrid(t) {
+		h, err := NewSpeedHistogram(rs, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h.P != len(rs) {
+			t.Fatalf("%s: histogram covers %d workers, want %d", name, h.P, len(rs))
+		}
+		mass, n := 0.0, 0
+		for b, c := range h.Count {
+			mass += float64(c) * h.Rep[b]
+			n += c
+		}
+		if n != len(rs) {
+			t.Fatalf("%s: counts sum to %d, want %d", name, n, len(rs))
+		}
+		if math.Abs(mass-1) > 1e-9 {
+			t.Fatalf("%s: bucketed relative speeds sum to %g, want 1", name, mass)
+		}
+	}
+}
+
+// TestHistogramHomogeneousCollapses: a homogeneous fleet is one
+// bucket, and its bucketed solver agrees with the O(1) homogeneous
+// solver to double precision.
+func TestHistogramHomogeneousCollapses(t *testing.T) {
+	const p, n = 200, 100
+	rs := make([]float64, p)
+	for i := range rs {
+		rs[i] = 1.0 / p
+	}
+	h, err := NewSpeedHistogram(rs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Count) != 1 {
+		t.Fatalf("homogeneous fleet spread over %d buckets", len(h.Count))
+	}
+	bh, rh := OptimalBetaOuterHistogram(h, n)
+	bo, ro := OptimalBetaOuterHomogeneous(p, n)
+	if math.Abs(bh-bo) > 1e-6 || math.Abs(rh-ro) > 1e-9 {
+		t.Fatalf("bucketed (β=%g r=%g) vs homogeneous (β=%g r=%g)", bh, rh, bo, ro)
+	}
+}
+
+// TestHistogramMatchesExactOuter grid-verifies the bucketed outer β*
+// against the exact heterogeneous solver: the achieved ratio (the
+// quantity the optimization exists for) must agree within 0.2%, and
+// evaluating the exact objective at the bucketed β must cost at most
+// 0.2% over the exact optimum — β itself may wander where the
+// objective is flat.
+func TestHistogramMatchesExactOuter(t *testing.T) {
+	const n = 100
+	for name, rs := range platformGrid(t) {
+		h, err := NewSpeedHistogram(rs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bExact, rExact := OptimalBetaOuter(rs, n)
+		bBuck, rBuck := OptimalBetaOuterHistogram(h, n)
+		if rel := math.Abs(rBuck-rExact) / rExact; rel > 2e-3 {
+			t.Errorf("%s: bucketed ratio %g vs exact %g (%.4f%% off)", name, rBuck, rExact, 100*rel)
+		}
+		if got := RatioOuter(bBuck, rs, n); (got-rExact)/rExact > 2e-3 {
+			t.Errorf("%s: exact objective at bucketed β=%g is %g, optimum %g (at β=%g)",
+				name, bBuck, got, rExact, bExact)
+		}
+	}
+}
+
+// TestHistogramMatchesExactMatrix is the matrix-kernel grid check.
+func TestHistogramMatchesExactMatrix(t *testing.T) {
+	const n = 40
+	for name, rs := range platformGrid(t) {
+		h, err := NewSpeedHistogram(rs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rExact := OptimalBetaMatrix(rs, n)
+		bBuck, rBuck := OptimalBetaMatrixHistogram(h, n)
+		if rel := math.Abs(rBuck-rExact) / rExact; rel > 2e-3 {
+			t.Errorf("%s: bucketed ratio %g vs exact %g (%.4f%% off)", name, rBuck, rExact, 100*rel)
+		}
+		if got := RatioMatrix(bBuck, rs, n); (got-rExact)/rExact > 2e-3 {
+			t.Errorf("%s: exact objective at bucketed β=%g costs %g, optimum %g", name, bBuck, got, rExact)
+		}
+	}
+}
+
+// TestHistogramRejectsBadInput: empty and non-positive speed vectors
+// are errors, not NaN factories.
+func TestHistogramRejectsBadInput(t *testing.T) {
+	if _, err := NewSpeedHistogram(nil, 0); err == nil {
+		t.Error("empty vector accepted")
+	}
+	if _, err := NewSpeedHistogram([]float64{0.5, 0}, 0); err == nil {
+		t.Error("zero speed accepted")
+	}
+	if _, err := NewSpeedHistogram([]float64{0.5, math.NaN()}, 0); err == nil {
+		t.Error("NaN speed accepted")
+	}
+}

@@ -32,15 +32,29 @@ type backend interface {
 	// and must not alias it with completed; r.tasks is only valid
 	// until the buffer's next reuse.
 	next(run int, worker int, completed, grantBuf []core.Task) (r nextResult, conflict bool, err error)
-	// sweep runs one registry janitor pass.
+	// sweep runs one registry janitor pass (every live host's, in a
+	// federated backend).
 	sweep()
 	// stats and traceOf snapshot the run's collectors.
 	stats(run int) (service.StatsResponse, error)
 	traceOf(run int) (*trace.Trace, error)
-	// bus is the service's event bus: scripted subscribers attach to
-	// it in process in both modes (the SSE wire framing is pinned by
-	// internal/service's own tests).
-	bus() *events.Bus
+	// busFor is the event bus of the host serving run: scripted
+	// subscribers attach to it in process in both modes (the SSE wire
+	// framing is pinned by internal/service's own tests).
+	busFor(run int) *events.Bus
+	// busTotals sums published/dropped across every host's bus.
+	busTotals() (published, dropped uint64)
+	// ownerOf is the topology index of the host serving run; -1 for
+	// the single-host backends.
+	ownerOf(run int) int
+	// crashHost kills an entire host: its runs lose their master and
+	// every later poll against them reports hostDown. Federated
+	// backends only.
+	crashHost(host int) error
+	// placement snapshots the run ids as seen through the router and
+	// as held by each live host, for the placement invariants. The
+	// single-host backends return nils.
+	placement() (router []string, perHost [][]string, err error)
 	close()
 }
 
@@ -49,6 +63,10 @@ type nextResult struct {
 	status string
 	tasks  []core.Task
 	blocks int
+	// hostDown reports the poll found no live master: the run's host
+	// crashed (federated 503 / dead in-process host). The other fields
+	// are meaningless when set.
+	hostDown bool
 }
 
 // leaseDuration mirrors service.Options.NewRun's lease derivation (0
@@ -64,6 +82,7 @@ func leaseDuration(ls float64) time.Duration {
 // request builds the CreateRunRequest a spec stands for.
 func (spec RunSpec) request() service.CreateRunRequest {
 	return service.CreateRunRequest{
+		ID:           spec.RunID,
 		Kernel:       spec.Kernel,
 		Strategy:     spec.Strategy,
 		N:            spec.N,
@@ -168,7 +187,17 @@ func (b *directBackend) traceOf(run int) (*trace.Trace, error) {
 	return r.Host.Trace(), nil
 }
 
-func (b *directBackend) bus() *events.Bus { return b.evs }
+func (b *directBackend) busFor(int) *events.Bus { return b.evs }
+
+func (b *directBackend) busTotals() (uint64, uint64) { return b.evs.Published(), b.evs.Dropped() }
+
+func (b *directBackend) ownerOf(int) int { return -1 }
+
+func (b *directBackend) crashHost(host int) error {
+	return fmt.Errorf("cluster: single-host backend cannot crash host %d", host)
+}
+
+func (b *directBackend) placement() ([]string, [][]string, error) { return nil, nil, nil }
 
 func (b *directBackend) close() {}
 
@@ -297,6 +326,18 @@ func (b *httpBackend) traceOf(run int) (*trace.Trace, error) {
 	return tr.Trace, err
 }
 
-func (b *httpBackend) bus() *events.Bus { return b.svc.Bus() }
+func (b *httpBackend) busFor(int) *events.Bus { return b.svc.Bus() }
+
+func (b *httpBackend) busTotals() (uint64, uint64) {
+	return b.svc.Bus().Published(), b.svc.Bus().Dropped()
+}
+
+func (b *httpBackend) ownerOf(int) int { return -1 }
+
+func (b *httpBackend) crashHost(host int) error {
+	return fmt.Errorf("cluster: single-host backend cannot crash host %d", host)
+}
+
+func (b *httpBackend) placement() ([]string, [][]string, error) { return nil, nil, nil }
 
 func (b *httpBackend) close() { b.ts.Close(); b.svc.Close() }

@@ -200,6 +200,9 @@ type runState struct {
 	leaseNs  int64
 	arrived  bool
 	complete bool
+	// lost: the run's host crashed (HostCrash). Its workers retired on
+	// discovery and the run is reported Lost, not wedged.
+	lost bool
 
 	workers     []workerState
 	parkedCount int
@@ -250,13 +253,21 @@ func Run(sc Scenario, mode Mode) (*Result, error) {
 	h := &harness{sc: sc, mode: mode, clock: &clock{t: epoch}, slabs: slabPool.Get().(*slabs)}
 	h.q.h = h.slabs.heap[:0]
 	defer h.release()
-	switch mode {
-	case Direct:
+	var berr error
+	switch {
+	case mode == Direct && sc.Hosts > 1:
+		h.backend, berr = newFederatedDirectBackend(sc.Hosts, sc.RingEpoch, sc.TTL, h.clock.now)
+	case mode == Direct:
 		h.backend = newDirectBackend(sc.TTL, h.clock.now)
-	case HTTP:
+	case mode == HTTP && sc.Hosts > 1:
+		h.backend, berr = newFederatedHTTPBackend(sc.Hosts, sc.RingEpoch, sc.TTL, h.clock.now)
+	case mode == HTTP:
 		h.backend = newHTTPBackend(sc.TTL, h.clock.now)
 	default:
 		return nil, fmt.Errorf("cluster: unknown mode %d", mode)
+	}
+	if berr != nil {
+		return nil, berr
 	}
 	defer h.backend.close()
 
@@ -321,7 +332,30 @@ func validate(sc Scenario) error {
 	if len(sc.Runs) == 0 {
 		return fmt.Errorf("cluster: scenario %q has no runs", sc.Name)
 	}
+	if sc.Hosts > 1 {
+		// Federated placement hashes the run id, so every run needs a
+		// pinned, unique, wire-valid one.
+		seen := make(map[string]bool, len(sc.Runs))
+		for i, r := range sc.Runs {
+			if err := service.ValidateRunID(r.RunID); err != nil {
+				return fmt.Errorf("cluster: federated run %d needs a pinned RunID: %v", i, err)
+			}
+			if seen[r.RunID] {
+				return fmt.Errorf("cluster: duplicate RunID %q", r.RunID)
+			}
+			seen[r.RunID] = true
+		}
+	}
 	for i, e := range sc.Events {
+		if e.Kind == HostCrash {
+			if sc.Hosts <= 1 {
+				return fmt.Errorf("cluster: event %d crashes host %d of a single-host scenario", i, e.Host)
+			}
+			if e.Host < 0 || e.Host >= sc.Hosts {
+				return fmt.Errorf("cluster: event %d crashes host %d of %d", i, e.Host, sc.Hosts)
+			}
+			continue
+		}
 		if e.Run < 0 || e.Run >= len(sc.Runs) {
 			return fmt.Errorf("cluster: event %d targets run %d of %d", i, e.Run, len(sc.Runs))
 		}
@@ -358,8 +392,7 @@ func (h *harness) dispatch(e ev) error {
 	case evSweep:
 		return h.sweepTick()
 	case evScript:
-		h.applyScript(e.script)
-		return nil
+		return h.applyScript(e.script)
 	}
 	return fmt.Errorf("cluster: unknown event kind %d", e.kind)
 }
@@ -404,6 +437,13 @@ func (h *harness) poll(run, worker int, gen uint64) error {
 	res, conflict, err := h.backend.next(run, worker, ws.pending, ws.bufs[ws.cur^1][:0])
 	if err != nil {
 		return fmt.Errorf("cluster: run %d worker %d: %w", run, worker, err)
+	}
+	if res.hostDown {
+		// The run's host crashed: this worker just discovered there is
+		// no master left. The whole fleet stands down — a real worker
+		// pool drains on persistent 503s the same way.
+		h.loseRun(rs)
+		return nil
 	}
 	if conflict {
 		// Lease lost in a race: the reassignment wins, the batch is
@@ -490,11 +530,29 @@ func (h *harness) finishRun(rs *runState) {
 	rs.parkedCount = 0
 }
 
+// loseRun marks a run lost to its host's crash: every worker retires
+// immediately — there is no master left to poll or report to — and
+// the run is reported Lost instead of wedged.
+func (h *harness) loseRun(rs *runState) {
+	if rs.lost {
+		return
+	}
+	rs.lost = true
+	for w := range rs.workers {
+		ws := &rs.workers[w]
+		ws.parked = false
+		ws.retired = true
+		ws.pending = nil
+		ws.execNs = 0
+	}
+	rs.parkedCount = 0
+}
+
 // wake unparks up to k workers of rs, round-robin from the wake
 // cursor, scheduling their polls at the current instant (FIFO after
 // the current event).
 func (h *harness) wake(rs *runState, k int) {
-	if rs.complete || rs.parkedCount == 0 {
+	if rs.complete || rs.lost || rs.parkedCount == 0 {
 		return
 	}
 	p := len(rs.workers)
@@ -520,7 +578,7 @@ func (h *harness) sweepTick() error {
 	h.backend.sweep()
 	unfinished := false
 	for _, rs := range h.runs {
-		if rs.complete {
+		if rs.complete || rs.lost {
 			continue
 		}
 		unfinished = true
@@ -535,13 +593,19 @@ func (h *harness) sweepTick() error {
 }
 
 // applyScript applies one scripted fault.
-func (h *harness) applyScript(e Event) {
+func (h *harness) applyScript(e Event) error {
+	if e.Kind == HostCrash {
+		// Kill the host; each of its runs stands down as its workers
+		// discover the outage on their next polls (scheduled polls of
+		// executing workers, janitor wakes for parked fleets).
+		return h.backend.crashHost(e.Host)
+	}
 	rs := h.runs[e.Run]
 	ws := &rs.workers[e.Worker]
 	switch e.Kind {
 	case Crash:
 		if ws.dead || ws.retired {
-			return
+			return nil
 		}
 		if ws.parked {
 			ws.parked = false
@@ -554,7 +618,7 @@ func (h *harness) applyScript(e Event) {
 		ws.execNs = 0
 	case Restart:
 		if !ws.dead {
-			return
+			return nil
 		}
 		ws.dead = false
 		ws.gen++
@@ -566,11 +630,12 @@ func (h *harness) applyScript(e Event) {
 		ws.slow = e.Factor // validate() guarantees ≥ 1
 	case Partition:
 		if ws.dead || ws.retired {
-			return
+			return nil
 		}
 		ws.partUntil = h.nowNs + int64(e.Duration)
 		h.scheduleExpiryWake(e.Run, rs, ws)
 	}
+	return nil
 }
 
 // scheduleExpiryWake schedules a wake just past the lease deadline of
@@ -592,19 +657,28 @@ func (h *harness) scheduleExpiryWake(run int, rs *runState, ws *workerState) {
 // collect snapshots every run's collectors into the Result.
 func (h *harness) collect() (*Result, error) {
 	h.collectSubscribers()
+	pub, drop := h.backend.busTotals()
 	res := &Result{
 		Scenario:     h.sc,
 		Mode:         h.mode,
+		Hosts:        h.sc.Hosts,
 		Events:       h.events,
 		Polls:        h.polls,
 		FinalVirtual: time.Duration(h.nowNs),
-		BusPublished: h.backend.bus().Published(),
-		BusDropped:   h.backend.bus().Dropped(),
+		BusPublished: pub,
+		BusDropped:   drop,
 	}
+	router, perHost, err := h.backend.placement()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: snapshotting placement: %w", err)
+	}
+	res.RouterRuns, res.HostRuns = router, perHost
 	for i, rs := range h.runs {
 		rr := RunResult{
 			Spec:          rs.spec,
 			Info:          rs.info,
+			HostIdx:       h.backend.ownerOf(i),
+			Lost:          rs.lost,
 			Accepted:      rs.accepted,
 			Conflicts:     rs.conflicts,
 			BusyNanos:     rs.busyNs,
@@ -612,7 +686,7 @@ func (h *harness) collect() (*Result, error) {
 			Arrived:       rs.arrived,
 			maxFactor:     rs.spec.Speeds.maxSpeedFactor(),
 		}
-		if rs.arrived {
+		if rs.arrived && !rs.lost {
 			st, err := h.backend.stats(i)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: stats of run %d: %w", i, err)
@@ -680,7 +754,8 @@ func totalWork(kernel string, n int) float64 {
 	return 0
 }
 
-// interface check: both backends satisfy the seam.
+// interface check: both single-host backends satisfy the seam (the
+// federated pair checks itself in federated.go).
 var (
 	_ backend = (*directBackend)(nil)
 	_ backend = (*httpBackend)(nil)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"hetsched/internal/federation"
 	"hetsched/internal/service"
 )
 
@@ -197,5 +198,49 @@ func Acceptance(seed uint64) Scenario {
 			At: 2500*time.Millisecond + time.Duration(v)*120*time.Millisecond, Worker: v * 20, Kind: Crash,
 		})
 	}
+	return sc
+}
+
+// Federated4x25k is the federated flagship: four flat outer runs,
+// 25,000 workers each (100k total), pinned ids fed-0..fed-3 that the
+// epoch-1 consistent-hash ring spreads one-per-host across a 4-host
+// fleet (owners 3, 0, 2, 1). Arrivals stagger by 10ms so the
+// registration stampedes land host by host. The hash must be
+// bit-identical between the in-process router and the full
+// httptest-per-host wire topology.
+func Federated4x25k(seed uint64) Scenario {
+	sc := Scenario{
+		Name:      "federated-4x25k",
+		Seed:      seed,
+		Hosts:     4,
+		RingEpoch: 1,
+	}
+	for i := 0; i < 4; i++ {
+		sc.Runs = append(sc.Runs, RunSpec{
+			RunID:  fmt.Sprintf("fed-%d", i),
+			Kernel: service.KernelOuter, Strategy: "2phases", N: 96, P: 25_000,
+			Seed: seed + uint64(i) + 1, Batch: 4, LeaseSeconds: 30,
+			ArriveAt: time.Duration(i) * 10 * time.Millisecond,
+			Speeds:   SpeedSpec{Kind: Uniform},
+		})
+	}
+	return sc
+}
+
+// Federated4x25kHostCrash is Federated4x25k with fed-0's host (ring
+// owner 3 at epoch 1) killed mid-run: fed-0 must surface as Lost with
+// a sane partial ledger while the three surviving hosts' runs drain
+// to completion, and the placement invariants must hold over the
+// survivors — the single-host-crash blast-radius contract.
+func Federated4x25kHostCrash(seed uint64) Scenario {
+	sc := Federated4x25k(seed)
+	sc.Name = "federated-4x25k-hostcrash"
+	ring, err := federation.NewRing(federation.HostNames(sc.Hosts), 0, sc.RingEpoch)
+	if err != nil {
+		panic(err)
+	}
+	sc.Events = append(sc.Events, Event{
+		At: 150 * time.Millisecond, Kind: HostCrash, Host: ring.Owner(sc.Runs[0].RunID),
+	})
 	return sc
 }

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"hetsched/internal/service"
+)
+
+// fedSmall is a compact 3-host federated scenario for the fast test
+// matrix: three pinned runs, mixed kernels, scripted subscribers.
+func fedSmall(seed uint64) Scenario {
+	return Scenario{
+		Name:      "federated-small",
+		Seed:      seed,
+		Hosts:     3,
+		RingEpoch: 7,
+		Runs: []RunSpec{
+			{RunID: "alpha", Kernel: service.KernelOuter, Strategy: "2phases", N: 12, P: 8,
+				Seed: seed + 1, Batch: 2, Speeds: SpeedSpec{Kind: Uniform}},
+			{RunID: "beta", Kernel: service.KernelCholesky, Strategy: "locality", N: 8, P: 6,
+				Seed: seed + 2, LeaseSeconds: 5, Speeds: SpeedSpec{Kind: Uniform, Drift: 0.05}},
+			{RunID: "gamma", Kernel: service.KernelMatmul, Strategy: "2phases", N: 6, P: 4,
+				Seed: seed + 3, ArriveAt: 5 * time.Millisecond, Speeds: SpeedSpec{Kind: Homogeneous}},
+		},
+		Subscribers: []SubscriberSpec{
+			{Run: 0, Kind: SubFast},
+			{Run: 1, Kind: SubSlow, Buffer: 32, DrainEvery: 50 * time.Millisecond},
+		},
+	}
+}
+
+// TestFederatedModesAgree: a federated scenario is the same
+// deterministic machine through the in-process router and the full
+// httptest-per-host wire topology.
+func TestFederatedModesAgree(t *testing.T) {
+	sc := fedSmall(401)
+	direct := run(t, sc, Direct)
+	direct2 := run(t, sc, Direct)
+	http := run(t, sc, HTTP)
+	if direct.Hash() != direct2.Hash() {
+		t.Fatalf("federated direct not deterministic: %016x vs %016x", direct.Hash(), direct2.Hash())
+	}
+	if direct.Hash() != http.Hash() {
+		t.Fatalf("transport changed the federated outcome: direct %016x, http %016x", direct.Hash(), http.Hash())
+	}
+	// The placement snapshot must be populated and every run owned.
+	if direct.Hosts != 3 || len(direct.HostRuns) != 3 {
+		t.Fatalf("placement snapshot missing: hosts=%d views=%d", direct.Hosts, len(direct.HostRuns))
+	}
+	for i, rr := range direct.Runs {
+		if rr.HostIdx < 0 || rr.HostIdx >= 3 {
+			t.Fatalf("run %d owner %d out of range", i, rr.HostIdx)
+		}
+	}
+}
+
+// TestFederated4x25kDeterministicAcrossModes is the issue's federated
+// acceptance scenario: 4 hosts, 100k total workers, pinned placement,
+// bit-identical across repetition and transport, golden-pinned.
+func TestFederated4x25kDeterministicAcrossModes(t *testing.T) {
+	sc := Federated4x25k(501)
+	start := time.Now()
+	a := run(t, sc, Direct)
+	b := run(t, sc, Direct)
+	wall := time.Since(start)
+	if a.Hash() != b.Hash() {
+		t.Fatalf("federated 4x25k not deterministic: %016x vs %016x", a.Hash(), b.Hash())
+	}
+	// One run per host (epoch-1 owners of fed-0..3 are 3,0,2,1).
+	wantOwner := map[string]int{"fed-0": 3, "fed-1": 0, "fed-2": 2, "fed-3": 1}
+	for _, rr := range a.Runs {
+		if rr.HostIdx != wantOwner[rr.Spec.RunID] {
+			t.Fatalf("run %s on host %d, ring places it on %d", rr.Spec.RunID, rr.HostIdx, wantOwner[rr.Spec.RunID])
+		}
+		if st := rr.Stats; st.Completed != 96*96 {
+			t.Fatalf("run %s completed %d tasks, want %d", rr.Spec.RunID, st.Completed, 96*96)
+		}
+	}
+	h := run(t, sc, HTTP)
+	if h.Hash() != a.Hash() {
+		t.Fatalf("transport changed the outcome: direct %016x, http %016x", a.Hash(), h.Hash())
+	}
+	// Golden pin, amd64 only (math.Exp last-bit rounding is
+	// arch-specific, as for the single-host herd golden).
+	const golden = uint64(0x696c9921bd374319)
+	if runtime.GOARCH == "amd64" && a.Hash() != golden {
+		t.Errorf("federated 4x25k hash %016x diverged from golden %016x", a.Hash(), golden)
+	}
+	t.Logf("federated 4x25k: %d polls, %v wall for 2 direct runs, hash %016x", a.Polls, wall, a.Hash())
+}
+
+// TestFederatedHostCrash: killing one host mid-run loses exactly that
+// host's runs — the others drain untouched — identically across
+// transports, including the golden hash.
+func TestFederatedHostCrash(t *testing.T) {
+	sc := Federated4x25kHostCrash(501)
+	a := run(t, sc, Direct)
+	h := run(t, sc, HTTP)
+	if a.Hash() != h.Hash() {
+		t.Fatalf("transport changed the crash outcome: direct %016x, http %016x", a.Hash(), h.Hash())
+	}
+	lost, survived := 0, 0
+	for _, rr := range a.Runs {
+		if rr.Spec.RunID == "fed-0" {
+			if !rr.Lost {
+				t.Fatal("fed-0's host crashed but the run is not Lost")
+			}
+			lost++
+			continue
+		}
+		if rr.Lost {
+			t.Fatalf("run %s lost, but only fed-0's host crashed", rr.Spec.RunID)
+		}
+		if rr.Stats.Completed != 96*96 {
+			t.Fatalf("survivor %s completed %d/%d", rr.Spec.RunID, rr.Stats.Completed, 96*96)
+		}
+		survived++
+	}
+	if lost != 1 || survived != 3 {
+		t.Fatalf("lost %d runs, %d survived; want 1/3", lost, survived)
+	}
+	// The dead host contributes nothing to the placement snapshot.
+	for _, id := range a.RouterRuns {
+		if id == "fed-0" {
+			t.Fatal("router still lists fed-0 after its host died")
+		}
+	}
+	const golden = uint64(0x661533141d6adaca)
+	if runtime.GOARCH == "amd64" && a.Hash() != golden {
+		t.Errorf("host-crash hash %016x diverged from golden %016x", a.Hash(), golden)
+	}
+}
+
+// TestFederatedValidation: the scenario validator rejects malformed
+// federated scripts up front.
+func TestFederatedValidation(t *testing.T) {
+	base := func() Scenario {
+		return Scenario{
+			Name: "bad", Hosts: 2, RingEpoch: 1,
+			Runs: []RunSpec{
+				{RunID: "a", Kernel: service.KernelOuter, N: 4, P: 2, Seed: 1, Speeds: SpeedSpec{Kind: Uniform}},
+				{RunID: "b", Kernel: service.KernelOuter, N: 4, P: 2, Seed: 2, Speeds: SpeedSpec{Kind: Uniform}},
+			},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+	}{
+		{"missing run id", func(sc *Scenario) { sc.Runs[0].RunID = "" }},
+		{"duplicate run id", func(sc *Scenario) { sc.Runs[1].RunID = "a" }},
+		{"bad run id", func(sc *Scenario) { sc.Runs[0].RunID = "no spaces" }},
+		{"host out of range", func(sc *Scenario) {
+			sc.Events = append(sc.Events, Event{At: time.Millisecond, Kind: HostCrash, Host: 2})
+		}},
+		{"negative host", func(sc *Scenario) {
+			sc.Events = append(sc.Events, Event{At: time.Millisecond, Kind: HostCrash, Host: -1})
+		}},
+		{"host crash single-host", func(sc *Scenario) {
+			sc.Hosts = 0
+			sc.Runs = sc.Runs[:1]
+			sc.Runs[0].RunID = ""
+			sc.Events = append(sc.Events, Event{At: time.Millisecond, Kind: HostCrash, Host: 0})
+		}},
+	}
+	for _, tc := range cases {
+		sc := base()
+		tc.mut(&sc)
+		if _, err := Run(sc, Direct); err == nil {
+			t.Errorf("%s: scenario accepted", tc.name)
+		}
+	}
+}
+
+// TestFederatedPlacementPinned: placement is a pure function of
+// (hosts, epoch, id) — rebuilding the scenario gives byte-identical
+// HostRuns, and changing the epoch moves runs.
+func TestFederatedPlacementPinned(t *testing.T) {
+	sc := fedSmall(601)
+	a := run(t, sc, Direct)
+	b := run(t, sc, Direct)
+	for h := range a.HostRuns {
+		if fmt.Sprint(a.HostRuns[h]) != fmt.Sprint(b.HostRuns[h]) {
+			t.Fatalf("host %d placement moved between identical runs", h)
+		}
+	}
+	sc2 := fedSmall(601)
+	sc2.RingEpoch = 9
+	c := run(t, sc2, Direct)
+	moved := false
+	for i := range a.Runs {
+		if a.Runs[i].HostIdx != c.Runs[i].HostIdx {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("epoch change moved no placement")
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"hetsched/internal/analysis"
 	"hetsched/internal/core"
+	"hetsched/internal/federation"
 	"hetsched/internal/service"
 	"hetsched/internal/trace"
 )
@@ -35,6 +36,14 @@ type RunResult struct {
 	// Arrived is false when the scenario ended before the run's
 	// arrival instant.
 	Arrived bool
+	// HostIdx is the federated topology index of the host that served
+	// the run (-1 in single-host scenarios). The placement invariant
+	// asserts it equals the consistent-hash ring's owner.
+	HostIdx int
+	// Lost reports the run's host crashed mid-run (HostCrash event):
+	// its fleet retired as polls discovered the outage, and no final
+	// stats or trace could be collected.
+	Lost bool
 	// Subscribers are the scripted event-bus observers' ledgers, in
 	// Scenario.Subscribers order. Deliberately excluded from Hash():
 	// observers must not perturb the outcome, and the 0-vs-N identity
@@ -55,8 +64,16 @@ type Result struct {
 	Events, Polls int
 	FinalVirtual  time.Duration
 	// BusPublished and BusDropped snapshot the event bus at collection:
-	// the raw material of the subscriber conservation law.
+	// the raw material of the subscriber conservation law. Federated
+	// scenarios sum across every host's bus.
 	BusPublished, BusDropped uint64
+	// Hosts is the federated topology size (0 or 1: single-host).
+	Hosts int
+	// RouterRuns is the run-id set visible through the router's list
+	// endpoint at collection; HostRuns[h] is host h's own registry
+	// view. Both are sorted. Single-host scenarios leave them nil.
+	RouterRuns []string
+	HostRuns   [][]string
 }
 
 // CheckInvariants asserts everything a finished scenario must satisfy
@@ -82,13 +99,106 @@ type Result struct {
 //     Assigned, reclaim and conflict events matching the ledgers.
 func (res *Result) CheckInvariants() error {
 	for i := range res.Runs {
-		if err := res.Runs[i].check(); err != nil {
-			return fmt.Errorf("run %d (%s/%s n=%d p=%d): %w",
-				i, res.Runs[i].Spec.Kernel, res.Runs[i].Spec.Strategy, res.Runs[i].Spec.N, res.Runs[i].Spec.P, err)
+		rr := &res.Runs[i]
+		if rr.Lost {
+			// A lost run's host died under it: no final stats or trace
+			// exist, but the partial ledger must still be sane.
+			if err := rr.checkLost(); err != nil {
+				return fmt.Errorf("run %d (lost, %s/%s): %w", i, rr.Spec.Kernel, rr.Spec.Strategy, err)
+			}
+			for j := range rr.Subscribers {
+				l := &rr.Subscribers[j]
+				if l.Seen+l.Dropped != l.Published {
+					return fmt.Errorf("run %d (lost) subscriber %d: seen %d + dropped %d != published %d",
+						i, j, l.Seen, l.Dropped, l.Published)
+				}
+			}
+			continue
 		}
-		for j := range res.Runs[i].Subscribers {
-			if err := res.Runs[i].checkLedger(&res.Runs[i].Subscribers[j]); err != nil {
+		if err := rr.check(); err != nil {
+			return fmt.Errorf("run %d (%s/%s n=%d p=%d): %w",
+				i, rr.Spec.Kernel, rr.Spec.Strategy, rr.Spec.N, rr.Spec.P, err)
+		}
+		for j := range rr.Subscribers {
+			if err := rr.checkLedger(&rr.Subscribers[j]); err != nil {
 				return fmt.Errorf("run %d subscriber %d: %w", i, j, err)
+			}
+		}
+	}
+	if res.Hosts > 1 {
+		if err := res.checkPlacement(); err != nil {
+			return fmt.Errorf("placement: %w", err)
+		}
+	}
+	return nil
+}
+
+// checkLost asserts the partial ledger of a run whose host crashed:
+// the run must have arrived (the harness refuses to create runs on a
+// dead host), and whatever completions the master accepted before
+// dying must still be exactly-once and within the workload size.
+func (rr *RunResult) checkLost() error {
+	if !rr.Arrived {
+		return fmt.Errorf("lost but never arrived")
+	}
+	if rr.Info.Total > 0 && len(rr.Accepted) > rr.Info.Total {
+		return fmt.Errorf("%d distinct tasks accepted, workload has only %d", len(rr.Accepted), rr.Info.Total)
+	}
+	for t, times := range rr.Accepted {
+		if times != 1 {
+			return fmt.Errorf("task %d accepted %d times", t, times)
+		}
+	}
+	return nil
+}
+
+// checkPlacement asserts the federated topology invariants: every run
+// is held only by its consistent-hash ring owner, no run appears on
+// two hosts, and the router's fleet-wide view is exactly the union of
+// the live hosts' registries.
+func (res *Result) checkPlacement() error {
+	ring, err := federation.NewRing(federation.HostNames(res.Hosts), 0, res.Scenario.RingEpoch)
+	if err != nil {
+		return err
+	}
+	if len(res.HostRuns) != res.Hosts {
+		return fmt.Errorf("%d per-host views for %d hosts", len(res.HostRuns), res.Hosts)
+	}
+	seen := make(map[string]int)
+	union := make([]string, 0, len(res.RouterRuns))
+	for h, ids := range res.HostRuns {
+		for _, id := range ids {
+			if owner := ring.Owner(id); owner != h {
+				return fmt.Errorf("run %q held by host %d, ring owner is %d", id, h, owner)
+			}
+			if prev, dup := seen[id]; dup {
+				return fmt.Errorf("run %q held by both host %d and host %d", id, prev, h)
+			}
+			seen[id] = h
+			union = append(union, id)
+		}
+	}
+	sort.Strings(union)
+	if len(union) != len(res.RouterRuns) {
+		return fmt.Errorf("router lists %d runs, live hosts hold %d", len(res.RouterRuns), len(union))
+	}
+	for i, id := range union {
+		if res.RouterRuns[i] != id {
+			return fmt.Errorf("router view diverges at %d: %q vs union %q", i, res.RouterRuns[i], id)
+		}
+	}
+	// Every surviving run must actually be on its owner (unless the
+	// scenario armed the TTL, which may have swept it by collection).
+	if res.Scenario.TTL <= 0 {
+		for i := range res.Runs {
+			rr := &res.Runs[i]
+			if !rr.Arrived || rr.Lost {
+				continue
+			}
+			if h, ok := seen[rr.Spec.RunID]; !ok {
+				return fmt.Errorf("run %q (index %d) missing from every live host", rr.Spec.RunID, i)
+			} else if h != rr.HostIdx {
+				return fmt.Errorf("run %q served by host %d but held by host %d", rr.Spec.RunID, rr.HostIdx, h)
 			}
 		}
 	}
@@ -236,7 +346,18 @@ func (res *Result) Hash() uint64 {
 		h.i64(int64(rr.Spec.P))
 		h.i64(int64(rr.Spec.Seed))
 		h.i64(int64(rr.Conflicts))
-		if !rr.Arrived {
+		if res.Hosts > 1 {
+			// Federated-only fields, gated so every single-host golden
+			// hash predates-and-survives the federation layer unchanged.
+			h.str(rr.Spec.RunID)
+			h.i64(int64(rr.HostIdx))
+			if rr.Lost {
+				h.byte(1)
+			} else {
+				h.byte(0)
+			}
+		}
+		if !rr.Arrived || rr.Lost {
 			continue
 		}
 		st := rr.Stats

@@ -99,7 +99,7 @@ func (h *harness) attachSubscribers(run int, id string) {
 		if ss.spec.Run != run {
 			continue
 		}
-		ss.stream = h.backend.bus().Run(id)
+		ss.stream = h.backend.busFor(run).Run(id)
 		ss.sub = ss.stream.Subscribe(0, ss.spec.Buffer)
 	}
 }
@@ -138,7 +138,7 @@ func (h *harness) dispatchObserver(e ev) {
 		if ss.sub != nil || ss.ledger.Closed || ss.stream == nil {
 			return
 		}
-		if _, ok := h.backend.bus().Lookup(ss.stream.RunID()); !ok {
+		if _, ok := h.backend.busFor(e.run).Lookup(ss.stream.RunID()); !ok {
 			ss.ledger.Closed = true
 			return
 		}

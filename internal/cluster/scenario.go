@@ -77,6 +77,11 @@ func (s SpeedSpec) maxSpeedFactor() float64 {
 // service's CreateRunRequest would carry, plus the fleet description
 // and the virtual arrival instant.
 type RunSpec struct {
+	// RunID pins the run identifier. Required when Scenario.Hosts > 1:
+	// consistent-hash placement is a pure function of the id, so a
+	// hash-pinned federated scenario needs wall-clock-free ids.
+	// Single-host scenarios leave it empty (the registry mints one).
+	RunID string
 	// Kernel and Strategy name the workload exactly as on the wire
 	// (service.KernelOuter, ... ; empty Strategy takes the API
 	// default).
@@ -121,6 +126,13 @@ const (
 	// the partition heals; a report that outlives its lease then draws
 	// 409 and the batch is abandoned.
 	Partition
+	// HostCrash kills an entire schedd host (federated scenarios
+	// only): every run placed on it loses its master, its workers
+	// retire as their polls discover the outage, and the run is
+	// reported Lost — exactly how a single-host crash surfaces to that
+	// host's runs. Run migration is out of scope until the durable
+	// journal lands.
+	HostCrash
 )
 
 func (k EventKind) String() string {
@@ -133,6 +145,8 @@ func (k EventKind) String() string {
 		return "slow"
 	case Partition:
 		return "partition"
+	case HostCrash:
+		return "host-crash"
 	}
 	return "?"
 }
@@ -141,9 +155,13 @@ func (k EventKind) String() string {
 type Event struct {
 	// At is the virtual instant the event fires.
 	At time.Duration
-	// Run indexes Scenario.Runs; Worker the run's fleet.
+	// Run indexes Scenario.Runs; Worker the run's fleet. Ignored by
+	// HostCrash, which targets Host instead.
 	Run, Worker int
-	Kind        EventKind
+	// Host is the HostCrash target, an index into the federated
+	// topology ([0, Scenario.Hosts)).
+	Host int
+	Kind EventKind
 	// Factor is the Slow service-time multiplier (≥ 1; 1 restores).
 	Factor float64
 	// Duration is the Partition length.
@@ -220,7 +238,15 @@ type Scenario struct {
 	// speed draws, in run order). Scheduler randomness comes from each
 	// RunSpec.Seed, exactly as over the wire.
 	Seed uint64
-	Runs []RunSpec
+	// Hosts selects the federated topology: that many schedd hosts
+	// behind a consistent-hash router, runs placed by their pinned
+	// RunID. 0 or 1 is the classic single-host harness.
+	Hosts int
+	// RingEpoch is the placement-ring epoch (federation.NewRing):
+	// pinned here so a federated scenario's placement — and therefore
+	// its outcome hash — is a pure function of the scenario.
+	RingEpoch uint64
+	Runs      []RunSpec
 	// Events is the fault script; it need not be sorted.
 	Events []Event
 	// Subscribers is the observability script: scripted event-bus

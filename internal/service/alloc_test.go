@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hetsched/internal/core"
+	"hetsched/internal/events"
 	"hetsched/internal/outer"
 	"hetsched/internal/rng"
 )
@@ -13,12 +14,21 @@ import (
 // performs one serial poll (round-robin worker, completing the
 // previous grant). The warmup drains enough polls that every
 // per-worker accumulator, grant-table slot, and scheduler slab has
-// been touched, so the closure exercises the steady state.
-func allocPollLoop(t *testing.T, lease time.Duration) func() {
+// been touched, so the closure exercises the steady state. withEvents
+// attaches a live event stream (with one parked subscriber, so the
+// publish path actually offers events somewhere) before the first
+// poll, exactly as Options.NewRun does.
+func allocPollLoop(t *testing.T, lease time.Duration, withEvents bool) func() {
 	t.Helper()
 	const n, p, batch = 128, 64, 4
 	drv := core.NewSchedulerDriver(outer.NewTwoPhasesAuto(n, p, rng.New(1).Split()))
 	h := NewHost(drv, batch, lease)
+	if withEvents {
+		st := events.NewBus(0).Run("alloc-test")
+		sub := st.Subscribe(0, 64)
+		t.Cleanup(sub.Close)
+		h.AttachEvents(st)
+	}
 	pending := make([][]core.Task, p)
 	i := 0
 	poll := func() {
@@ -43,19 +53,29 @@ func allocPollLoop(t *testing.T, lease time.Duration) func() {
 // regression here shows up as GC pressure at 100k-worker fleet scale
 // long before it shows up in ns/op.
 //
+// The events-enabled rows extend the guarantee to the hooks-on path:
+// the per-poll event batch is presized at AttachEvents and
+// Stream.PublishBatch stores pointer-free ring records into a
+// preallocated ring, so observability costs the hot path stores, not
+// allocations. (The full subscriber buffer sheds load through drop
+// counters — also allocation-free.)
+//
 // The scenario has 16384 tasks at batch 4; warmup (2000) plus the
 // measured polls (≤600) stay well inside the 4096-grant drain, so
 // every measured poll takes the full grant path, never the done path.
 func TestHostNextSteadyStateAllocFree(t *testing.T) {
 	for _, tc := range []struct {
-		name  string
-		lease time.Duration
+		name   string
+		lease  time.Duration
+		events bool
 	}{
-		{"NoLease", 0},
-		{"LeaseArmed", time.Hour},
+		{"NoLease", 0, false},
+		{"LeaseArmed", time.Hour, false},
+		{"NoLeaseEvents", 0, true},
+		{"LeaseArmedEvents", time.Hour, true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			poll := allocPollLoop(t, tc.lease)
+			poll := allocPollLoop(t, tc.lease, tc.events)
 			if avg := testing.AllocsPerRun(500, poll); avg != 0 {
 				t.Errorf("steady-state Host.Next allocates %.2f objects/poll, want 0", avg)
 			}

@@ -16,6 +16,14 @@
 // The wire format is JSON with strict decoding: unknown fields and
 // trailing data are rejected, and every request/response type
 // round-trips losslessly (see api_test.go).
+//
+// A fleet of Servers federates behind internal/federation's
+// consistent-hash router: runs are placed on one owning host by their
+// id, every per-run request is forwarded verbatim, and the fleet
+// aggregates its metrics into one MetricsResponse (Hosts > 0, per-run
+// Host labels). Nothing in this package knows about the topology —
+// CreateRunRequest.ID lets the router (or any client) pin a run id,
+// and the rest is upstream.
 package service
 
 import (
@@ -60,6 +68,12 @@ const (
 
 // CreateRunRequest is the body of POST /v1/runs.
 type CreateRunRequest struct {
+	// ID optionally pins the run identifier instead of letting the
+	// server mint one. The federation router assigns IDs before
+	// forwarding — consistent-hash placement is a pure function of the
+	// id, so the id must exist before the owning host is known. IDs are
+	// 1–64 characters of [A-Za-z0-9._-]; a duplicate answers 409.
+	ID string `json:"id,omitempty"`
 	// Kernel is one of outer | matmul | cholesky | lu | qr.
 	Kernel string `json:"kernel"`
 	// Strategy selects the allocation strategy. Flat kernels accept
@@ -149,8 +163,12 @@ type StatsResponse struct {
 	ID       string `json:"id"`
 	Kernel   string `json:"kernel"`
 	Strategy string `json:"strategy"`
-	State    string `json:"state"`
-	Total    int    `json:"total"`
+	// Host names the schedd host serving the run. A single host leaves
+	// it empty; the federation router's aggregated /v1/metrics fills it
+	// so per-run rows are attributable across the fleet.
+	Host  string `json:"host,omitempty"`
+	State string `json:"state"`
+	Total int    `json:"total"`
 	// Assigned and Completed count tasks handed out and reported back
 	// (a reclaimed task that is reassigned counts in Assigned again);
 	// Outstanding = Assigned − Completed − Reclaimed is the in-flight
@@ -231,6 +249,9 @@ func DecodeStrict(r io.Reader, v any) error {
 // normalizing defaulted fields (strategy). It does not construct the
 // scheduler; NewDriver does.
 func (q *CreateRunRequest) Validate() error {
+	if err := ValidateRunID(q.ID); q.ID != "" && err != nil {
+		return err
+	}
 	switch q.Kernel {
 	case KernelOuter, KernelMatmul, KernelCholesky, KernelLU, KernelQR:
 	case "":
@@ -269,6 +290,32 @@ func (q *CreateRunRequest) Validate() error {
 	}
 	return nil
 }
+
+// ValidateRunID checks a client- or router-pinned run identifier:
+// 1–64 characters of [A-Za-z0-9._-]. The charset keeps ids safe as
+// URL path segments, Prometheus label values and log tokens; the
+// length bound keeps the registry's inline FNV cheap.
+func ValidateRunID(id string) error {
+	if id == "" {
+		return errors.New("empty run id")
+	}
+	if len(id) > maxIDLen {
+		return fmt.Errorf("run id longer than %d characters", maxIDLen)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("run id %q contains %q (allowed: letters, digits, '.', '_', '-')", id, c)
+		}
+	}
+	return nil
+}
+
+// maxIDLen bounds pinned run identifiers.
+const maxIDLen = 64
 
 // maxTasks and maxWorkers bound per-run memory: the processed bitset,
 // pools and outstanding map scale with the task count, and the

@@ -348,7 +348,20 @@ func (h *Host) unlockStripes() {
 // before the first poll (it is not synchronized against Next);
 // Options.NewRun does. A nil-stream host pays nothing on the poll
 // path.
-func (h *Host) AttachEvents(st *events.Stream) { h.ev = st }
+//
+// The per-poll scratch batch is part of the allocation-free poll
+// contract: a steady-state poll queues at most one event per reported
+// completion plus an assign, a state transition and a conflict, so
+// presizing to batch+8 here means the hooks-on hot path never grows
+// the buffer (TestHostNextSteadyStateAllocFree covers events-enabled
+// hosts). Reclaim storms past the presize grow it once and the larger
+// buffer is retained — same policy as the worker grant accumulators.
+func (h *Host) AttachEvents(st *events.Stream) {
+	h.ev = st
+	if want := h.batch + 8; cap(h.evBuf) < want {
+		h.evBuf = make([]events.Event, 0, want)
+	}
+}
 
 // batchBuckets covers batch sizes 1, 2, 4, ..., maxBatch (2^12) in
 // power-of-two buckets.

@@ -166,6 +166,10 @@ func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, sub *events.Su
 // /v1/runs/{id}/stats).
 type MetricsResponse struct {
 	Runs int `json:"runs"`
+	// Hosts is the federated topology size when the response was
+	// assembled by a federation router aggregating a fleet; a single
+	// host leaves it 0 (omitted).
+	Hosts int `json:"hosts,omitempty"`
 	// Polls / PollsPerSecond aggregate master pressure across runs;
 	// Assigned..Blocks are task-ledger totals (Outstanding is the live
 	// in-flight window, the rest are monotone counters).
@@ -185,7 +189,10 @@ type MetricsResponse struct {
 	PerRun          []StatsResponse `json:"per_run"`
 }
 
-func (s *Server) metrics() MetricsResponse {
+// Metrics assembles the process-wide aggregates GET /v1/metrics
+// serves. Exported so a federation router can fold the fleet's
+// in-process hosts into one response without an HTTP round-trip.
+func (s *Server) Metrics() MetricsResponse {
 	runs := s.reg.Runs()
 	m := MetricsResponse{
 		Runs:            len(runs),
@@ -207,7 +214,7 @@ func (s *Server) metrics() MetricsResponse {
 		m.Outstanding += st.Outstanding
 		m.Reclaimed += st.Reclaimed
 		m.Blocks += st.Blocks
-		merged.merge(st.BatchSizes)
+		merged.Merge(st.BatchSizes)
 		m.PerRun = append(m.PerRun, st)
 	}
 	if len(merged.Le) > 0 {
@@ -216,9 +223,10 @@ func (s *Server) metrics() MetricsResponse {
 	return m
 }
 
-// merge folds other into h. Buckets align by index because Le[i] is
-// always 1<<i.
-func (h *BatchHistogram) merge(other *BatchHistogram) {
+// Merge folds other into h. Buckets align by index because Le[i] is
+// always 1<<i. Exported so a federation router can fold per-host
+// histograms into one fleet-wide distribution.
+func (h *BatchHistogram) Merge(other *BatchHistogram) {
 	if other == nil {
 		return
 	}
@@ -234,7 +242,7 @@ func (h *BatchHistogram) merge(other *BatchHistogram) {
 // handleMetrics serves GET /v1/metrics: JSON by default,
 // ?format=prometheus for the Prometheus text exposition format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	m := s.metrics()
+	m := s.Metrics()
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "json":
 		writeJSON(w, http.StatusOK, m)
@@ -269,6 +277,10 @@ func (m MetricsResponse) Prometheus() []byte {
 	}
 	family("runs", "Number of registered runs.", "gauge")
 	sample("runs", "", float64(m.Runs))
+	if m.Hosts > 0 {
+		family("hosts", "Schedd hosts behind this federation router.", "gauge")
+		sample("hosts", "", float64(m.Hosts))
+	}
 	family("polls_total", "Worker poll interactions across all runs.", "counter")
 	sample("polls_total", "", float64(m.Polls))
 	family("polls_per_second", "Aggregate poll rate across runs (polls over elapsed time).", "gauge")
@@ -300,19 +312,27 @@ func (m MetricsResponse) Prometheus() []byte {
 		sample("batch_size_count", "", float64(cum))
 	}
 	// All samples of a family must be grouped under its # TYPE line,
-	// so the per-run gauges emit family by family, not run by run.
+	// so the per-run gauges emit family by family, not run by run. A
+	// router-aggregated response carries the owning host as an extra
+	// label; a single host's rows stay unlabeled beyond the run id.
+	runLabels := func(st StatsResponse) string {
+		if st.Host == "" {
+			return fmt.Sprintf(`run=%q`, st.ID)
+		}
+		return fmt.Sprintf(`run=%q,host=%q`, st.ID, st.Host)
+	}
 	if len(m.PerRun) > 0 {
 		family("run_completed", "Completed tasks, per run.", "gauge")
 		for _, st := range m.PerRun {
-			sample("run_completed", fmt.Sprintf(`run=%q`, st.ID), float64(st.Completed))
+			sample("run_completed", runLabels(st), float64(st.Completed))
 		}
 		family("run_outstanding", "Outstanding tasks, per run.", "gauge")
 		for _, st := range m.PerRun {
-			sample("run_outstanding", fmt.Sprintf(`run=%q`, st.ID), float64(st.Outstanding))
+			sample("run_outstanding", runLabels(st), float64(st.Outstanding))
 		}
 		family("run_polls_per_second", "Poll rate, per run.", "gauge")
 		for _, st := range m.PerRun {
-			sample("run_polls_per_second", fmt.Sprintf(`run=%q`, st.ID), st.PollsPerSecond)
+			sample("run_polls_per_second", runLabels(st), st.PollsPerSecond)
 		}
 	}
 	return b

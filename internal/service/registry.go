@@ -149,6 +149,21 @@ func (g *Registry) Add(run *Run) {
 	s.mu.Unlock()
 }
 
+// AddNew registers run under its ID unless one is already present,
+// reporting whether it was added. Pinned IDs (CreateRunRequest.ID) go
+// through it so a duplicate answers 409 instead of silently replacing
+// the original run.
+func (g *Registry) AddNew(run *Run) bool {
+	s := g.shardFor(run.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.runs[run.ID]; ok {
+		return false
+	}
+	s.runs[run.ID] = run
+	return true
+}
+
 // Get returns the run with the given ID.
 func (g *Registry) Get(id string) (*Run, bool) {
 	s := g.shardFor(id)

@@ -191,12 +191,25 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	run, err := s.opts.NewRun(s.reg.NewID(), &q)
+	id := q.ID
+	if id == "" {
+		id = s.reg.NewID()
+	} else if _, exists := s.reg.Get(id); exists {
+		// Early duplicate check so the common conflict never constructs
+		// a driver or publishes a spurious run_created; the AddNew below
+		// closes the remaining race window.
+		writeError(w, http.StatusConflict, fmt.Sprintf("run %q already exists", id))
+		return
+	}
+	run, err := s.opts.NewRun(id, &q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.reg.Add(run)
+	if !s.reg.AddNew(run) {
+		writeError(w, http.StatusConflict, fmt.Sprintf("run %q already exists", id))
+		return
+	}
 	writeJSON(w, http.StatusCreated, run.Info())
 }
 
