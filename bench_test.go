@@ -73,6 +73,11 @@ func BenchmarkSimBandwidthTwoPhases(b *testing.B) { perf.SimBandwidthTwoPhases(b
 // throughput; see perf.ServiceHostNext for the setup.
 func BenchmarkServiceHostNext(b *testing.B) { perf.ServiceHostNext(b) }
 
+// BenchmarkServiceHostNextJournal is the lease loop with the
+// write-ahead journal armed: the delta to the lease row is the full
+// durability tax (mutation framing + group commit) on the poll path.
+func BenchmarkServiceHostNextJournal(b *testing.B) { perf.ServiceHostNextJournal(b) }
+
 // BenchmarkServiceHostNextLease is the same poll loop with a
 // never-firing lease armed: the delta to BenchmarkServiceHostNext is
 // the cost of reclamation bookkeeping on the hot path.
@@ -92,6 +97,10 @@ func BenchmarkServiceHostNextParallelEvents(b *testing.B) { perf.ServiceHostNext
 func BenchmarkClusterHost1k(b *testing.B)   { perf.ClusterHost1k(b) }
 func BenchmarkClusterHost10k(b *testing.B)  { perf.ClusterHost10k(b) }
 func BenchmarkClusterHost100k(b *testing.B) { perf.ClusterHost100k(b) }
+
+// BenchmarkClusterHost1M is the million-worker stress row (promoted
+// from the old TestHerd1MSmoke); it skips itself under -short.
+func BenchmarkClusterHost1M(b *testing.B) { perf.ClusterHost1M(b) }
 
 // BenchmarkServiceRouterNext prices the federation router's per-poll
 // overhead (consistent-hash lookup + registry fetch) over the

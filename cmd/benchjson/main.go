@@ -8,15 +8,19 @@
 //
 // Usage:
 //
-//	benchjson [-out dir] [-benchtime 1s] [-skip-suite] [-only sim|service|ci]
+//	benchjson [-out dir] [-benchtime 1s] [-short] [-skip-suite] [-only sim|service|ci]
 //	benchjson -compare new.json -against baseline.json [-max-regress 25]
 //
 // -only ci runs just the poll-hot-path subset (the contended
-// single-host row and the federated router row) and writes
-// BENCH_ci.json — the artifact the CI workflow measures on every push
-// and checks against the committed baseline with -compare, which exits
-// nonzero on a ns/op regression beyond the budget or on any
-// allocation appearing on an allocation-free row.
+// single-host row, the journaled poll row and the federated router
+// row) and writes BENCH_ci.json — the artifact the CI workflow
+// measures on every push and checks against the committed baseline
+// with -compare, which exits nonzero on a ns/op regression beyond the
+// budget or on any allocation appearing on an allocation-free row.
+//
+// -short propagates testing's -short to the bodies: scale-guarded
+// rows (ClusterHost1M, a million-worker drain per op) skip themselves
+// and are dropped from the report instead of recording a NaN.
 package main
 
 import (
@@ -97,6 +101,13 @@ func runBenchmarks(bs []perf.Benchmark) []benchResult {
 	for _, bench := range bs {
 		fmt.Fprintf(os.Stderr, "benchjson: running %s...\n", bench.Name)
 		r := testing.Benchmark(bench.F)
+		if r.N == 0 {
+			// The body skipped itself (scale-guarded rows under -short);
+			// a zero-iteration row would record NaN ns/op, so drop it
+			// loudly instead.
+			fmt.Fprintf(os.Stderr, "benchjson: %s skipped, no row recorded\n", bench.Name)
+			continue
+		}
 		results = append(results, benchResult{
 			Name:        bench.Name,
 			Iterations:  r.N,
@@ -226,6 +237,7 @@ func main() {
 	skipSuite := flag.Bool("skip-suite", false, "skip the quick-suite wall-clock timing")
 	seed := flag.Uint64("seed", 1, "root seed for the quick-suite timing")
 	only := flag.String("only", "", "refresh a single report: sim | service | ci (default sim and service)")
+	short := flag.Bool("short", false, "propagate testing -short to the benchmark bodies: scale-guarded rows (ClusterHost1M) skip themselves and are dropped from the report")
 	compare := flag.String("compare", "", "compare this BENCH_*.json against -against instead of benchmarking")
 	against := flag.String("against", "", "baseline BENCH_*.json for -compare")
 	maxRegress := flag.Float64("max-regress", 25, "ns/op regression budget for -compare, in percent")
@@ -241,6 +253,12 @@ func main() {
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: bad -benchtime: %v\n", err)
 		os.Exit(2)
+	}
+	if *short {
+		if err := flag.Set("test.short", "true"); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -short: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	switch *only {
 	case "", "sim", "service":

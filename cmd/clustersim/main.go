@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "acceptance", "acceptance | drift | crash | janitor | herd | herd100k | herd1m | stragglers | backpressure | federated | federated-crash")
+	scenario := flag.String("scenario", "acceptance", "acceptance | drift | crash | janitor | herd | herd100k | herd1m | stragglers | backpressure | federated | federated-crash | master-crash")
 	kernel := flag.String("kernel", "cholesky", "workload for drift/crash/janitor: outer | matmul | cholesky | lu | qr")
 	n := flag.Int("n", 12, "blocks/tiles per dimension (drift/crash/janitor/stragglers)")
 	p := flag.Int("p", 100, "fleet size (scenario-dependent)")
@@ -67,6 +67,12 @@ func main() {
 		sc = cluster.Federated4x25k(*seed)
 	case "federated-crash":
 		sc = cluster.Federated4x25kHostCrash(*seed)
+	case "master-crash":
+		// The journaled master is checkpointed and SIGKILLed twice
+		// mid-run, recovering from its write-ahead journal each time;
+		// the printed hash must equal the journal-less uninterrupted
+		// twin's (the determinism tests pin both).
+		sc = cluster.MasterCrashMidRun(*seed)
 	default:
 		fmt.Fprintf(os.Stderr, "clustersim: unknown scenario %q\n", *scenario)
 		os.Exit(2)

@@ -23,6 +23,14 @@
 //	curl -s 'localhost:8080/v1/metrics?format=prometheus'
 //	open http://localhost:8080/v1/ui
 //
+// A journaled master survives crashes: -journal-dir frames every run
+// mutation into a write-ahead log before its response is released,
+// -snapshot-every checkpoints the runs and prunes the log, and a
+// restart replays snapshot plus tail back to the exact pre-crash state
+// (serving 503 + Retry-After until the replay finishes):
+//
+//	schedd -addr :8080 -journal-dir /var/lib/schedd/journal -snapshot-every 5m
+//
 // Router mode fronts a federated fleet of schedd hosts: runs are
 // placed on peers by a consistent hash of the run id, every per-run
 // request is forwarded to the owner with zero body inspection (JSON
@@ -47,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"hetsched/internal/durable"
 	"hetsched/internal/federation"
 	"hetsched/internal/service"
 )
@@ -59,6 +68,8 @@ func main() {
 	gc := flag.Duration("gc", time.Minute, "garbage-collection interval (0 = disabled)")
 	lease := flag.Duration("lease", 0, "default assignment lease: reclaim tasks a worker holds longer than this (0 = never; runs can override via lease_seconds)")
 	eventsBuffer := flag.Int("events-buffer", 0, "per-subscriber event buffer and per-run retention ring for /v1/events streams (0 = default 1024); a subscriber that reads slower than events arrive drops the overflow")
+	journalDir := flag.String("journal-dir", "", "durable write-ahead journal directory: every run mutation is journaled there before its response is released, and startup replays snapshot+tail back to the exact pre-crash state (empty = volatile, no journal)")
+	snapshotEvery := flag.Duration("snapshot-every", 5*time.Minute, "periodic checkpoint interval with -journal-dir: snapshot every run and prune the journal behind the snapshots, bounding recovery time (0 = never; recovery then replays the whole log)")
 	router := flag.Bool("router", false, "serve as a federation router over -peers instead of hosting runs")
 	peers := flag.String("peers", "", "comma-separated peer base URLs for -router mode (e.g. http://h1:8080,http://h2:8080)")
 	ringEpoch := flag.Uint64("ring-epoch", 0, "placement-ring epoch: bump to reshuffle where new runs land (router mode)")
@@ -98,6 +109,24 @@ func main() {
 		}
 		if *gc == 0 {
 			opts.GCInterval = -1
+		}
+		if *journalDir != "" {
+			jr, err := durable.Open(*journalDir)
+			if err != nil {
+				log.Fatalf("schedd: -journal-dir: %v", err)
+			}
+			// LIFO with svc.Close() below: the server flushes and stops
+			// first, then the journal handle closes.
+			defer jr.Close()
+			opts.Journal = jr
+			opts.SnapshotEvery = *snapshotEvery
+			// Serve 503 + Retry-After while the replay runs instead of
+			// delaying the listener: a router in front forwards the
+			// recovering answer verbatim and pollers retry into the
+			// recovered state.
+			opts.AsyncRecover = true
+			log.Printf("schedd: journaling to %s (snapshot every %v), replaying journal in background",
+				*journalDir, *snapshotEvery)
 		}
 		svc := service.New(opts)
 		defer svc.Close()

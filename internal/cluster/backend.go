@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hetsched/internal/core"
+	"hetsched/internal/durable"
 	"hetsched/internal/events"
 	"hetsched/internal/service"
 	"hetsched/internal/trace"
@@ -51,6 +52,15 @@ type backend interface {
 	// every later poll against them reports hostDown. Federated
 	// backends only.
 	crashHost(host int) error
+	// checkpoint seals the master's journal generation and snapshots
+	// every registered run. Journaled single-host backends only.
+	checkpoint() error
+	// crashMaster kills the master without flushing anything beyond
+	// what group commit already wrote, then restarts it from its
+	// journal directory: snapshots load, the tail replays, and the
+	// restarted master serves the exact pre-crash state. Journaled
+	// single-host backends only.
+	crashMaster() error
 	// placement snapshots the run ids as seen through the router and
 	// as held by each live host, for the placement invariants. The
 	// single-host backends return nils.
@@ -96,22 +106,39 @@ func (spec RunSpec) request() service.CreateRunRequest {
 // --- direct backend ----------------------------------------------------
 
 // directBackend drives Host and Registry in process: the transport-free
-// mode, fast enough for 10k-worker fleets.
+// mode, fast enough for 10k-worker fleets. With a journal directory it
+// is also the transport-free durability harness: every mutation is
+// journaled through the registry exactly as the server journals it, and
+// crashMaster rebuilds the registry from disk.
 type directBackend struct {
 	reg  *service.Registry
 	runs []*service.Run
+	ids  []string
 	now  func() time.Time
 	evs  *events.Bus
+	ttl  time.Duration
+	dir  string
+	jr   *durable.Log
 }
 
-func newDirectBackend(ttl time.Duration, now func() time.Time) *directBackend {
+func newDirectBackend(ttl time.Duration, now func() time.Time, journalDir string) (*directBackend, error) {
 	b := &directBackend{
 		reg: service.NewRegistryWithClock(8, ttl, now),
 		now: now,
 		evs: events.NewBus(0),
+		ttl: ttl,
+		dir: journalDir,
 	}
 	b.reg.AttachBus(b.evs)
-	return b
+	if journalDir != "" {
+		jr, err := durable.Open(journalDir)
+		if err != nil {
+			return nil, err
+		}
+		b.jr = jr
+		b.reg.AttachJournal(jr)
+	}
+	return b, nil
 }
 
 func (b *directBackend) create(spec RunSpec) (service.RunInfo, error) {
@@ -121,13 +148,18 @@ func (b *directBackend) create(spec RunSpec) (service.RunInfo, error) {
 	}
 	// The server's own run constructor (service.Options.NewRun) with
 	// the same defaults opts.fill() would produce, so the direct mode
-	// cannot drift from handleCreate.
+	// cannot drift from handleCreate. Registration goes through AddNew
+	// — the same durable-before-visible path handleCreate uses — so a
+	// journaled scenario's creates are on disk before any poll.
 	run, err := service.Options{DefaultBatch: 1, Now: b.now, Events: b.evs}.NewRun(b.reg.NewID(), &q)
 	if err != nil {
 		return service.RunInfo{}, err
 	}
-	b.reg.Add(run)
+	if !b.reg.AddNew(run) {
+		return service.RunInfo{}, fmt.Errorf("run %q already exists", run.ID)
+	}
 	b.runs = append(b.runs, run)
+	b.ids = append(b.ids, run.ID)
 	return run.Info(), nil
 }
 
@@ -197,9 +229,53 @@ func (b *directBackend) crashHost(host int) error {
 	return fmt.Errorf("cluster: single-host backend cannot crash host %d", host)
 }
 
+func (b *directBackend) checkpoint() error {
+	if b.jr == nil {
+		return fmt.Errorf("cluster: checkpoint without a journal")
+	}
+	return b.reg.Checkpoint()
+}
+
+func (b *directBackend) crashMaster() error {
+	if b.jr == nil {
+		return fmt.Errorf("cluster: master crash without a journal")
+	}
+	// SIGKILL the master: drop the registry on the floor — nothing is
+	// flushed beyond what Commit already wrote — then reopen the
+	// journal directory and recover through the same Options.Recover
+	// path cmd/schedd uses at startup.
+	b.jr.Close()
+	jr, err := durable.Open(b.dir)
+	if err != nil {
+		return err
+	}
+	b.jr = jr
+	reg := service.NewRegistryWithClock(8, b.ttl, b.now)
+	reg.AttachBus(b.evs)
+	reg.AttachJournal(jr)
+	if _, err := (service.Options{Now: b.now, Events: b.evs}).Recover(reg, jr); err != nil {
+		return fmt.Errorf("cluster: recovering master: %w", err)
+	}
+	b.reg = reg
+	// Re-resolve the retained run pointers against the recovered
+	// registry. A run the durable state no longer knows (swept before
+	// the crash) keeps its old pointer; lookup's registry check fails
+	// it exactly as before the crash.
+	for i, id := range b.ids {
+		if run, ok := reg.Get(id); ok {
+			b.runs[i] = run
+		}
+	}
+	return nil
+}
+
 func (b *directBackend) placement() ([]string, [][]string, error) { return nil, nil, nil }
 
-func (b *directBackend) close() {}
+func (b *directBackend) close() {
+	if b.jr != nil {
+		b.jr.Close()
+	}
+}
 
 // --- HTTP backend ------------------------------------------------------
 
@@ -214,16 +290,36 @@ type httpBackend struct {
 	ts     *httptest.Server
 	client *http.Client
 	ids    []string
+	ttl    time.Duration
+	now    func() time.Time
+	dir    string
+	jr     *durable.Log
 }
 
-func newHTTPBackend(ttl time.Duration, now func() time.Time) *httpBackend {
-	svc := service.New(service.Options{
-		TTL:        ttlOption(ttl),
+func newHTTPBackend(ttl time.Duration, now func() time.Time, journalDir string) (*httpBackend, error) {
+	b := &httpBackend{ttl: ttl, now: now, dir: journalDir}
+	if journalDir != "" {
+		jr, err := durable.Open(journalDir)
+		if err != nil {
+			return nil, err
+		}
+		b.jr = jr
+	}
+	b.svc = service.New(b.options())
+	b.ts = httptest.NewServer(b.svc)
+	b.client = b.ts.Client()
+	return b, nil
+}
+
+// options builds the server options of one master life: the same knobs
+// on every restart, only the reopened journal handle differing.
+func (b *httpBackend) options() service.Options {
+	return service.Options{
+		TTL:        ttlOption(b.ttl),
 		GCInterval: -1,
-		Now:        now,
-	})
-	ts := httptest.NewServer(svc)
-	return &httpBackend{svc: svc, ts: ts, client: ts.Client()}
+		Now:        b.now,
+		Journal:    b.jr,
+	}
 }
 
 // ttlOption maps the scenario's "0 disables" convention onto
@@ -338,6 +434,42 @@ func (b *httpBackend) crashHost(host int) error {
 	return fmt.Errorf("cluster: single-host backend cannot crash host %d", host)
 }
 
+func (b *httpBackend) checkpoint() error {
+	if b.jr == nil {
+		return fmt.Errorf("cluster: checkpoint without a journal")
+	}
+	return b.svc.Checkpoint()
+}
+
+func (b *httpBackend) crashMaster() error {
+	if b.jr == nil {
+		return fmt.Errorf("cluster: master crash without a journal")
+	}
+	// Tear the whole wire stack down — listener, server, journal
+	// handle — and bring a fresh one up over the same directory. The
+	// new server recovers synchronously inside service.New, exactly as
+	// `schedd -journal-dir` does at boot, so the first post-crash poll
+	// already sees the replayed state.
+	b.ts.Close()
+	b.svc.Close()
+	b.jr.Close()
+	jr, err := durable.Open(b.dir)
+	if err != nil {
+		return err
+	}
+	b.jr = jr
+	b.svc = service.New(b.options())
+	b.ts = httptest.NewServer(b.svc)
+	b.client = b.ts.Client()
+	return nil
+}
+
 func (b *httpBackend) placement() ([]string, [][]string, error) { return nil, nil, nil }
 
-func (b *httpBackend) close() { b.ts.Close(); b.svc.Close() }
+func (b *httpBackend) close() {
+	b.ts.Close()
+	b.svc.Close()
+	if b.jr != nil {
+		b.jr.Close()
+	}
+}

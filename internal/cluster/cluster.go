@@ -28,6 +28,7 @@ package cluster
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -253,16 +254,29 @@ func Run(sc Scenario, mode Mode) (*Result, error) {
 	h := &harness{sc: sc, mode: mode, clock: &clock{t: epoch}, slabs: slabPool.Get().(*slabs)}
 	h.q.h = h.slabs.heap[:0]
 	defer h.release()
+	// A journaled scenario gets a private on-disk journal directory for
+	// the master's write-ahead log and snapshots; MasterCrash recovers
+	// from it. Removed with the scenario — durability is being tested,
+	// not accumulated.
+	var journalDir string
+	if sc.Journal {
+		dir, err := os.MkdirTemp("", "hetsched-cluster-journal-")
+		if err != nil {
+			return nil, fmt.Errorf("cluster: journal dir: %w", err)
+		}
+		journalDir = dir
+		defer os.RemoveAll(dir)
+	}
 	var berr error
 	switch {
 	case mode == Direct && sc.Hosts > 1:
 		h.backend, berr = newFederatedDirectBackend(sc.Hosts, sc.RingEpoch, sc.TTL, h.clock.now)
 	case mode == Direct:
-		h.backend = newDirectBackend(sc.TTL, h.clock.now)
+		h.backend, berr = newDirectBackend(sc.TTL, h.clock.now, journalDir)
 	case mode == HTTP && sc.Hosts > 1:
 		h.backend, berr = newFederatedHTTPBackend(sc.Hosts, sc.RingEpoch, sc.TTL, h.clock.now)
 	case mode == HTTP:
-		h.backend = newHTTPBackend(sc.TTL, h.clock.now)
+		h.backend, berr = newHTTPBackend(sc.TTL, h.clock.now, journalDir)
 	default:
 		return nil, fmt.Errorf("cluster: unknown mode %d", mode)
 	}
@@ -332,6 +346,9 @@ func validate(sc Scenario) error {
 	if len(sc.Runs) == 0 {
 		return fmt.Errorf("cluster: scenario %q has no runs", sc.Name)
 	}
+	if sc.Journal && sc.Hosts > 1 {
+		return fmt.Errorf("cluster: scenario %q journals a federated topology (single-host only)", sc.Name)
+	}
 	if sc.Hosts > 1 {
 		// Federated placement hashes the run id, so every run needs a
 		// pinned, unique, wire-valid one.
@@ -347,6 +364,19 @@ func validate(sc Scenario) error {
 		}
 	}
 	for i, e := range sc.Events {
+		if e.Kind == Checkpoint || e.Kind == MasterCrash {
+			// Master-side events: they target the journaled single host,
+			// not a run or worker.
+			if !sc.Journal {
+				return fmt.Errorf("cluster: event %d (%v) needs Scenario.Journal", i, e.Kind)
+			}
+			if e.Kind == MasterCrash && len(sc.Subscribers) > 0 {
+				// The restarted master's event bus is fresh; a scripted
+				// subscriber cannot span the crash.
+				return fmt.Errorf("cluster: event %d: MasterCrash with scripted subscribers", i)
+			}
+			continue
+		}
 		if e.Kind == HostCrash {
 			if sc.Hosts <= 1 {
 				return fmt.Errorf("cluster: event %d crashes host %d of a single-host scenario", i, e.Host)
@@ -594,11 +624,20 @@ func (h *harness) sweepTick() error {
 
 // applyScript applies one scripted fault.
 func (h *harness) applyScript(e Event) error {
-	if e.Kind == HostCrash {
+	switch e.Kind {
+	case HostCrash:
 		// Kill the host; each of its runs stands down as its workers
 		// discover the outage on their next polls (scheduled polls of
 		// executing workers, janitor wakes for parked fleets).
 		return h.backend.crashHost(e.Host)
+	case Checkpoint:
+		return h.backend.checkpoint()
+	case MasterCrash:
+		// Kill the master and recover it from its journal directory.
+		// Instantaneous in virtual time: the workers' scheduled polls
+		// land on the restarted master, which must serve the exact
+		// pre-crash state.
+		return h.backend.crashMaster()
 	}
 	rs := h.runs[e.Run]
 	ws := &rs.workers[e.Worker]

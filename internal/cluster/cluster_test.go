@@ -188,6 +188,15 @@ func TestScenarioValidation(t *testing.T) {
 		"speedup straggler": {Runs: []RunSpec{base}, Events: []Event{{Kind: Slow, Factor: 0.5}}},
 		"bad kernel":        {Runs: []RunSpec{{Kernel: "fft", N: 4, P: 2}}},
 		"strategy mismatch": {Runs: []RunSpec{{Kernel: service.KernelOuter, Strategy: "critpath", N: 4, P: 2}}},
+		"journal-less master crash": {Runs: []RunSpec{base},
+			Events: []Event{{Kind: MasterCrash}}},
+		"journal-less checkpoint": {Runs: []RunSpec{base},
+			Events: []Event{{Kind: Checkpoint}}},
+		"federated journal": {Hosts: 2, Journal: true,
+			Runs: []RunSpec{{RunID: "r-a", Kernel: service.KernelOuter, N: 4, P: 2, Seed: 1}}},
+		"master crash with subscribers": {Journal: true, Runs: []RunSpec{base},
+			Events:      []Event{{Kind: MasterCrash}},
+			Subscribers: []SubscriberSpec{{Run: 0, Kind: SubFast}}},
 	} {
 		if _, err := Run(sc, Direct); err == nil {
 			t.Errorf("%s: accepted", name)

@@ -201,6 +201,52 @@ func Acceptance(seed uint64) Scenario {
 	return sc
 }
 
+// MasterCrashMidRun is the durability flagship: a journaled master
+// serving two runs — a flat outer drain and a Cholesky DAG whose
+// worker 3 dies holding a leased batch — is checkpointed once and then
+// SIGKILLed twice mid-run, recovering from its journal directory each
+// time. The first master crash lands after the checkpoint (snapshot +
+// tail replay), the second before the dead worker's lease has expired,
+// so the reclaim that heals the DAG fires against twice-recovered
+// state. The outcome must hash bit-identically to the journal-less
+// uninterrupted twin (UninterruptedTwin) — recovery is exact or it is
+// broken.
+func MasterCrashMidRun(seed uint64) Scenario {
+	return Scenario{
+		Name:    "master-crash-midrun",
+		Seed:    seed,
+		Journal: true,
+		Runs: []RunSpec{
+			{Kernel: service.KernelOuter, Strategy: "2phases", N: 48, P: 64, Seed: seed + 1,
+				Batch: 4, LeaseSeconds: 30, Speeds: SpeedSpec{Kind: Uniform}},
+			{Kernel: service.KernelCholesky, N: 10, P: 12, Seed: seed + 2,
+				LeaseSeconds: 5, Speeds: SpeedSpec{Kind: Uniform}},
+		},
+		Events: []Event{
+			{At: 100 * time.Millisecond, Run: 1, Worker: 3, Kind: Crash},
+			{At: 250 * time.Millisecond, Kind: Checkpoint},
+			{At: 400 * time.Millisecond, Kind: MasterCrash},
+			{At: 900 * time.Millisecond, Kind: MasterCrash},
+		},
+	}
+}
+
+// UninterruptedTwin strips a scenario's master-side durability script
+// — the journal, every Checkpoint and every MasterCrash — while
+// keeping its name, seed, runs and worker-side faults. Its hash is
+// the golden a journaled crash scenario must reproduce exactly.
+func UninterruptedTwin(sc Scenario) Scenario {
+	twin := sc
+	twin.Journal = false
+	twin.Events = nil
+	for _, e := range sc.Events {
+		if e.Kind != Checkpoint && e.Kind != MasterCrash {
+			twin.Events = append(twin.Events, e)
+		}
+	}
+	return twin
+}
+
 // Federated4x25k is the federated flagship: four flat outer runs,
 // 25,000 workers each (100k total), pinned ids fed-0..fed-3 that the
 // epoch-1 consistent-hash ring spreads one-per-host across a 4-host

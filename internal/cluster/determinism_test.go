@@ -74,19 +74,34 @@ func TestHerd100kDeterministicAcrossModes(t *testing.T) {
 	t.Logf("100k-worker herd: %d polls, %v wall for 2 direct runs, hash %016x", a.Polls, direct, a.Hash())
 }
 
-// TestHerd1MSmoke is the stretch scale test: a million-worker
-// stampede completes with clean exactly-once accounting in direct
-// mode. Skipped under -short — the fleet slab alone is ~100MB.
-func TestHerd1MSmoke(t *testing.T) {
-	if testing.Short() {
-		t.Skip("1M-worker smoke skipped under -short")
+// TestMasterCrashRecoveryExact is the durability acceptance test:
+// killing the journaled master mid-run (twice, once after a
+// checkpoint) and recovering it from disk is invisible to the outcome
+// — the post-recovery drain hashes bit-identically to the journal-less
+// uninterrupted twin, in both harness modes, and the hash is pinned.
+// Every counter, trace segment, lease deadline and 409 stain must
+// survive the crashes exactly, or the ledgers diverge and the hashes
+// split.
+func TestMasterCrashRecoveryExact(t *testing.T) {
+	sc := MasterCrashMidRun(401)
+	golden := run(t, UninterruptedTwin(sc), Direct)
+	want := golden.Hash()
+	for _, mode := range []Mode{Direct, HTTP} {
+		res := run(t, sc, mode)
+		if got := res.Hash(); got != want {
+			t.Fatalf("[%s] master crash moved the outcome: %016x, uninterrupted twin %016x", mode, got, want)
+		}
+		if st := res.Runs[1].Stats; st.Reclaimed < 1 {
+			t.Fatalf("[%s] the dead worker's lease was never reclaimed across the crashes", mode)
+		}
 	}
-	start := time.Now()
-	res := run(t, Herd1M(301), Direct)
-	if st := res.Runs[0].Stats; st.Completed != 64*64 {
-		t.Fatalf("completed %d tasks, want %d", st.Completed, 64*64)
+	// Golden pin, amd64-gated like the herd pin (the β optimizer's
+	// math.Exp rounds arch-specifically): moving this hash means the
+	// scheduler, codec, journal replay, or harness changed behavior.
+	const pinned = uint64(0xfc9f4180432621b8)
+	if runtime.GOARCH == "amd64" && want != pinned {
+		t.Errorf("master-crash golden hash %016x diverged from pinned %016x", want, pinned)
 	}
-	t.Logf("1M-worker herd: %d polls in %v wall", res.Polls, time.Since(start))
 }
 
 // TestAcceptance1kDriftCholeskyCrashes is the issue's acceptance

@@ -175,6 +175,14 @@ func (b *federatedDirectBackend) crashHost(host int) error {
 	return nil
 }
 
+func (b *federatedDirectBackend) checkpoint() error {
+	return fmt.Errorf("cluster: federated hosts run journal-less (no checkpoint)")
+}
+
+func (b *federatedDirectBackend) crashMaster() error {
+	return fmt.Errorf("cluster: federated hosts run journal-less (use HostCrash)")
+}
+
 func (b *federatedDirectBackend) placement() ([]string, [][]string, error) {
 	var router []string
 	perHost := make([][]string, len(b.hosts))
@@ -368,6 +376,14 @@ func (b *federatedHTTPBackend) crashHost(host int) error {
 		b.hosts[host].Close()
 	}
 	return nil
+}
+
+func (b *federatedHTTPBackend) checkpoint() error {
+	return fmt.Errorf("cluster: federated hosts run journal-less (no checkpoint)")
+}
+
+func (b *federatedHTTPBackend) crashMaster() error {
+	return fmt.Errorf("cluster: federated hosts run journal-less (use HostCrash)")
 }
 
 func (b *federatedHTTPBackend) placement() ([]string, [][]string, error) {

@@ -129,10 +129,25 @@ const (
 	// HostCrash kills an entire schedd host (federated scenarios
 	// only): every run placed on it loses its master, its workers
 	// retire as their polls discover the outage, and the run is
-	// reported Lost — exactly how a single-host crash surfaces to that
-	// host's runs. Run migration is out of scope until the durable
-	// journal lands.
+	// reported Lost. The harness's federated hosts run journal-less,
+	// so their crashes are terminal; a journaled single-host master
+	// recovers from disk instead — that is MasterCrash.
 	HostCrash
+	// Checkpoint seals the master's journal generation and snapshots
+	// every registered run (Registry.Checkpoint), bounding how much
+	// tail a later MasterCrash replays. Journaled single-host
+	// scenarios only; a pure durability action, invisible to the
+	// outcome hash.
+	Checkpoint
+	// MasterCrash kills the journaled master mid-run — SIGKILL, no
+	// flush beyond what group commit already wrote — and restarts it
+	// from its journal directory: snapshots load, the tail replays
+	// through the same apply path live traffic uses, and the fleet
+	// keeps polling against the recovered state. The scenario outcome
+	// must hash bit-identically to an uninterrupted run; the
+	// determinism tests pin that. Journaled single-host scenarios
+	// only.
+	MasterCrash
 )
 
 func (k EventKind) String() string {
@@ -147,6 +162,10 @@ func (k EventKind) String() string {
 		return "partition"
 	case HostCrash:
 		return "host-crash"
+	case Checkpoint:
+		return "checkpoint"
+	case MasterCrash:
+		return "master-crash"
 	}
 	return "?"
 }
@@ -247,6 +266,13 @@ type Scenario struct {
 	// its outcome hash — is a pure function of the scenario.
 	RingEpoch uint64
 	Runs      []RunSpec
+	// Journal arms the durable write-ahead journal on the (single)
+	// master host: every mutation is journaled to a scenario-private
+	// temp directory, which legalizes the Checkpoint and MasterCrash
+	// script events. Journaling is invisible to the outcome hash — a
+	// journaled scenario (crashes included) hashes identically to its
+	// journal-less twin. Single-host scenarios only.
+	Journal bool
 	// Events is the fault script; it need not be sorted.
 	Events []Event
 	// Subscribers is the observability script: scripted event-bus

@@ -1,0 +1,139 @@
+package federation
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hetsched/internal/durable"
+	"hetsched/internal/service"
+)
+
+// TestRouterOwnerRecovering503: while a host is replaying its journal
+// after a restart, every request the ring routes to it answers 503
+// with Retry-After — through the router, in both direct and proxy
+// modes — and the same requests succeed once recovery finishes. The
+// other hosts' runs never notice.
+func TestRouterOwnerRecovering503(t *testing.T) {
+	for _, mode := range []string{"Direct", "HTTP"} {
+		t.Run(mode, func(t *testing.T) {
+			names := HostNames(2)
+			dir := t.TempDir()
+
+			// First life of host 0: create a run under its journal, poll
+			// it once, and crash (close the handles without draining).
+			jr, err := durable.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first := service.New(service.Options{GCInterval: -1, Journal: jr})
+			ring, err := NewRing(names, 0, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id := idOwnedBy(t, ring, 0)
+			createVia(t, first, id)
+			pollVia(t, first, id, 0, nil)
+			first.Close()
+			jr.Close()
+
+			// Second life: recovery gated so the recovering window is
+			// observable for as long as this test needs it.
+			jr2, err := durable.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { jr2.Close() })
+			gate := make(chan struct{})
+			owner := service.New(service.Options{
+				GCInterval: -1, Journal: jr2, AsyncRecover: true, RecoverGate: gate,
+			})
+			t.Cleanup(owner.Close)
+			other := service.New(service.Options{GCInterval: -1})
+			t.Cleanup(other.Close)
+
+			targets := make([]Target, 2)
+			servers := []*service.Server{owner, other}
+			for i := range targets {
+				targets[i] = Target{Name: names[i], Server: servers[i]}
+				if mode == "HTTP" {
+					ts := httptest.NewServer(servers[i])
+					t.Cleanup(ts.Close)
+					targets[i] = Target{Name: names[i], URL: ts.URL}
+				}
+			}
+			rt, err := NewRouter(targets, Options{Epoch: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The recovering owner answers 503 + Retry-After through the
+			// router, for polls and metadata alike.
+			for _, path := range []string{"/v1/runs/" + id, "/v1/runs/" + id + "/stats"} {
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				rec := httptest.NewRecorder()
+				rt.ServeHTTP(rec, req)
+				if rec.Code != http.StatusServiceUnavailable {
+					t.Fatalf("GET %s during recovery: status %d, want 503 (body %s)", path, rec.Code, rec.Body)
+				}
+				if ra := rec.Header().Get("Retry-After"); ra == "" {
+					t.Errorf("GET %s during recovery: no Retry-After header", path)
+				}
+				var e service.ErrorResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || !strings.Contains(e.Error, "recovering") {
+					t.Errorf("GET %s during recovery: body %q is not the recovering error", path, rec.Body)
+				}
+			}
+			// The other host is untouched: a run created there now works.
+			otherID := idOwnedBy(t, rt.Ring(), 1)
+			createVia(t, rt, otherID)
+			pollVia(t, rt, otherID, 0, nil)
+
+			// Recovery finishes; the owner resumes pass-through service
+			// with the pre-crash run intact.
+			close(gate)
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				req := httptest.NewRequest(http.MethodGet, "/v1/runs/"+id, nil)
+				rec := httptest.NewRecorder()
+				rt.ServeHTTP(rec, req)
+				if rec.Code == http.StatusOK {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("owner still answering %d after recovery (body %s)", rec.Code, rec.Body)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			resp := pollVia(t, rt, id, 1, nil)
+			if resp.Status != service.StatusOK {
+				t.Fatalf("post-recovery poll status %q, want %q", resp.Status, service.StatusOK)
+			}
+		})
+	}
+}
+
+// pollVia posts one worker poll through handler and decodes the
+// response, failing the test on a non-200.
+func pollVia(t *testing.T, handler http.Handler, id string, worker int, completed []int64) service.NextResponse {
+	t.Helper()
+	body, err := json.Marshal(service.NextRequest{Worker: worker, Completed: completed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/runs/"+id+"/next", strings.NewReader(string(body)))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("poll %q worker %d: status %d, body %s", id, worker, rec.Code, rec.Body)
+	}
+	var resp service.NextResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"runtime"
 	"sync"
 	"testing"
@@ -24,6 +25,7 @@ import (
 	"hetsched/internal/cholesky"
 	"hetsched/internal/cluster"
 	"hetsched/internal/core"
+	"hetsched/internal/durable"
 	"hetsched/internal/events"
 	"hetsched/internal/federation"
 	"hetsched/internal/lu"
@@ -90,22 +92,25 @@ var SimBenchmarks = []Benchmark{
 var ServiceBenchmarks = []Benchmark{
 	{Name: "ServiceHostNext", F: ServiceHostNext},
 	{Name: "ServiceHostNextLease", F: ServiceHostNextLease},
+	{Name: "ServiceHostNextJournal", F: ServiceHostNextJournal},
 	{Name: "ServiceHostNextParallel", F: ServiceHostNextParallel, Parallel: true},
 	{Name: "ServiceHostNextParallelEvents", F: ServiceHostNextParallelEvents, Parallel: true},
 	{Name: "ServiceRouterNext", F: ServiceRouterNext, Hosts: 4},
 	{Name: "ClusterHost1k", F: ClusterHost1k},
 	{Name: "ClusterHost10k", F: ClusterHost10k},
 	{Name: "ClusterHost100k", F: ClusterHost100k},
+	{Name: "ClusterHost1M", F: ClusterHost1M},
 	{Name: "ClusterHostFederated4x25k", F: ClusterHostFederated4x25k, Hosts: 4},
 }
 
 // CIBenchmarks is the small poll-hot-path subset the CI workflow runs
 // on every push and compares against the committed BENCH_ci.json
-// baseline: the contended single-host row and the federated router
-// row — the two numbers a perf regression on the poll path cannot
-// hide from.
+// baseline: the contended single-host row, the journaled poll row and
+// the federated router row — the three numbers a perf regression on
+// the poll path cannot hide from.
 var CIBenchmarks = []Benchmark{
 	{Name: "ServiceHostNextParallel", F: ServiceHostNextParallel, Parallel: true},
+	{Name: "ServiceHostNextJournal", F: ServiceHostNextJournal},
 	{Name: "ServiceRouterNext", F: ServiceRouterNext, Hosts: 4},
 }
 
@@ -264,22 +269,47 @@ func OptimalBetaMatrix100(b *testing.B) {
 // against one mutex-guarded service.Host (outer 2phases, batch 4).
 // One op is one granted master interaction, so assignments/sec is
 // 1e9/(ns/op) — the baseline number future scaling PRs move.
-func ServiceHostNext(b *testing.B) { serviceHostNextBench(b, 0) }
+func ServiceHostNext(b *testing.B) { serviceHostNextBench(b, 0, false) }
 
 // ServiceHostNextLease is ServiceHostNext with a lease armed that
 // never fires (healthy workers report well inside an hour): it prices
 // the reclamation bookkeeping on the poll hot path — per-task deadline
 // stamps, the next-expiry lower bound, and the per-poll expiry check —
 // against the lease-free baseline row above.
-func ServiceHostNextLease(b *testing.B) { serviceHostNextBench(b, time.Hour) }
+func ServiceHostNextLease(b *testing.B) { serviceHostNextBench(b, time.Hour, false) }
 
-// serviceHostNextBench is the shared drive loop behind the two rows:
-// one harness, so their BENCH_service.json delta isolates the lease.
-func serviceHostNextBench(b *testing.B, lease time.Duration) {
+// ServiceHostNextJournal is ServiceHostNextLease with the write-ahead
+// journal armed: every granted poll frames its mutation record into
+// the journal's group-commit buffer under the host mutex and issues
+// one write(2) off the locks before the response is released. The
+// delta to the lease row is the full durability tax on the poll hot
+// path; the issue's acceptance budget keeps the whole bundle ≤ 2µs.
+func ServiceHostNextJournal(b *testing.B) { serviceHostNextBench(b, time.Hour, true) }
+
+// serviceHostNextBench is the shared drive loop behind the three rows:
+// one harness, so their BENCH_service.json deltas isolate the lease
+// and the journal.
+func serviceHostNextBench(b *testing.B, lease time.Duration, journaled bool) {
 	const n, p, batch = 128, 64, 4
+	var jr *durable.Log
+	if journaled {
+		dir, err := os.MkdirTemp("", "hetsched-bench-journal-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		if jr, err = durable.Open(dir); err != nil {
+			b.Fatal(err)
+		}
+		defer jr.Close()
+	}
 	newHost := func(seed uint64) *service.Host {
 		drv := core.NewSchedulerDriver(outer.NewTwoPhasesAuto(n, p, rng.New(seed).Split()))
-		return service.NewHost(drv, batch, lease)
+		h := service.NewHost(drv, batch, lease)
+		if jr != nil {
+			h.AttachJournal(jr, fmt.Sprintf("bench-%d", seed))
+		}
+		return h
 	}
 	seed := uint64(1)
 	h := newHost(seed)
@@ -321,6 +351,21 @@ func ClusterHost10k(b *testing.B) { clusterHostBench(b, 128, 10000) }
 // the registration stampede and the parked majority's wait polls —
 // the regime the striped host and slab-recycled harness are built for.
 func ClusterHost100k(b *testing.B) { clusterHostBench(b, 128, 100000) }
+
+// ClusterHost1M is the million-worker stress row, promoted from the
+// old TestHerd1MSmoke: one op is a full registration stampede and
+// drain of a 1,000,000-worker fleet against a single host (n=64, 4096
+// tasks — virtually the entire herd only ever parks and waits). The
+// worker slab alone is ~100MB and an op takes tens of seconds, so the
+// row skips itself under -short; record it via
+// `go run ./cmd/benchjson -only service` (no -short) when refreshing
+// BENCH_service.json.
+func ClusterHost1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M-worker fleet skipped under -short (~100MB slab, tens of seconds per op)")
+	}
+	clusterHostBench(b, 64, 1_000_000)
+}
 
 func clusterHostBench(b *testing.B, n, p int) {
 	polls := 0

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hetsched/internal/core"
+	"hetsched/internal/durable"
 	"hetsched/internal/events"
 	"hetsched/internal/outer"
 	"hetsched/internal/rng"
@@ -18,7 +19,7 @@ import (
 // attaches a live event stream (with one parked subscriber, so the
 // publish path actually offers events somewhere) before the first
 // poll, exactly as Options.NewRun does.
-func allocPollLoop(t *testing.T, lease time.Duration, withEvents bool) func() {
+func allocPollLoop(t *testing.T, lease time.Duration, withEvents, withJournal bool) func() {
 	t.Helper()
 	const n, p, batch = 128, 64, 4
 	drv := core.NewSchedulerDriver(outer.NewTwoPhasesAuto(n, p, rng.New(1).Split()))
@@ -28,6 +29,14 @@ func allocPollLoop(t *testing.T, lease time.Duration, withEvents bool) func() {
 		sub := st.Subscribe(0, 64)
 		t.Cleanup(sub.Close)
 		h.AttachEvents(st)
+	}
+	if withJournal {
+		jr, err := durable.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { jr.Close() })
+		h.AttachJournal(jr, "alloc-test")
 	}
 	pending := make([][]core.Task, p)
 	i := 0
@@ -60,22 +69,33 @@ func allocPollLoop(t *testing.T, lease time.Duration, withEvents bool) func() {
 // allocations. (The full subscriber buffer sheds load through drop
 // counters — also allocation-free.)
 //
+// The journal-enabled rows extend it again to the durability path: the
+// mutation frame is built into the journal's reusable group-commit
+// buffer (reset every Commit) and the driver op log is presized past
+// the whole test's appends (opLogPresize covers ~4000 polls; the test
+// performs at most 2600), so a journaled steady-state poll costs one
+// write(2) and zero heap allocations.
+//
 // The scenario has 16384 tasks at batch 4; warmup (2000) plus the
 // measured polls (≤600) stay well inside the 4096-grant drain, so
 // every measured poll takes the full grant path, never the done path.
 func TestHostNextSteadyStateAllocFree(t *testing.T) {
 	for _, tc := range []struct {
-		name   string
-		lease  time.Duration
-		events bool
+		name    string
+		lease   time.Duration
+		events  bool
+		journal bool
 	}{
-		{"NoLease", 0, false},
-		{"LeaseArmed", time.Hour, false},
-		{"NoLeaseEvents", 0, true},
-		{"LeaseArmedEvents", time.Hour, true},
+		{"NoLease", 0, false, false},
+		{"LeaseArmed", time.Hour, false, false},
+		{"NoLeaseEvents", 0, true, false},
+		{"LeaseArmedEvents", time.Hour, true, false},
+		{"NoLeaseJournal", 0, false, true},
+		{"LeaseArmedJournal", time.Hour, false, true},
+		{"LeaseArmedEventsJournal", time.Hour, true, true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			poll := allocPollLoop(t, tc.lease, tc.events)
+			poll := allocPollLoop(t, tc.lease, tc.events, tc.journal)
 			if avg := testing.AllocsPerRun(500, poll); avg != 0 {
 				t.Errorf("steady-state Host.Next allocates %.2f objects/poll, want 0", avg)
 			}

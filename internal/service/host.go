@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hetsched/internal/core"
+	"hetsched/internal/durable"
 	"hetsched/internal/events"
 	"hetsched/internal/stats"
 	"hetsched/internal/trace"
@@ -114,6 +115,29 @@ type Host struct {
 	ev        *events.Stream
 	evBuf     []events.Event
 	lastState string
+
+	// jr is the run's write-ahead journal, nil unless durability is
+	// attached (AttachJournal / restore). Like the event hooks, the
+	// journal rides the core lock: every accepted mutation is framed
+	// into the journal's group-commit buffer under mu — so the on-disk
+	// record order is exactly the mu acquisition order, the true
+	// serialization point of the run — and flushed with one write(2)
+	// after the locks are released. muts is the per-run mutation
+	// sequence (the create is 1); snapshots record it as their
+	// watermark. replay suppresses journal appends while recovery is
+	// feeding recorded mutations back through apply — the op log and
+	// the sequence counter still advance, so a recovered run continues
+	// journaling exactly where the crashed one stopped.
+	jr     *durable.Log
+	runID  string
+	muts   uint64
+	replay bool
+	// opLog is the driver's persisted form: every successful driver
+	// call (grant step, completion report, reclaim return) appended in
+	// execution order, under mu. Drivers are deterministic, so
+	// re-executing the log against a freshly built driver reproduces
+	// its exact state; see replayDriverOps.
+	opLog []byte
 
 	start time.Time
 	// last is the instant of the last granted assignment or applied
@@ -363,6 +387,39 @@ func (h *Host) AttachEvents(st *events.Stream) {
 	}
 }
 
+// AttachJournal connects the host to the run's write-ahead journal.
+// Call it before the first poll (it is not synchronized against Next);
+// Registry.RecordCreate does. A nil-journal host pays nothing on the
+// poll path.
+//
+// The op-log buffer is presized generously: it grows with the run
+// (about 60 bytes per poll, so the presize covers the first ~4000
+// polls outright), and amortized doubling from a large base keeps
+// growth allocations far below one per poll, preserving the
+// allocation-free steady-state contract (the journal-enabled
+// AllocsPerRun guards cover this).
+func (h *Host) AttachJournal(jr *durable.Log, runID string) {
+	h.jr = jr
+	h.runID = runID
+	if cap(h.opLog) < opLogPresize {
+		h.opLog = make([]byte, 0, opLogPresize)
+	}
+}
+
+// opLogPresize is the initial driver op-log capacity of a journaled
+// host.
+const opLogPresize = 1 << 18
+
+// nextMut advances the per-run mutation sequence for a registry-level
+// record (create, expire, swept) appended on the run's behalf.
+func (h *Host) nextMut() uint64 {
+	h.mu.Lock()
+	h.muts++
+	n := h.muts
+	h.mu.Unlock()
+	return n
+}
+
 // batchBuckets covers batch sizes 1, 2, 4, ..., maxBatch (2^12) in
 // power-of-two buckets.
 const batchBuckets = 13
@@ -466,10 +523,30 @@ func (h *Host) Total() int { return h.drv.Total() }
 // expired), so a wedged run heals on the next poll from any surviving
 // worker without waiting for the registry janitor.
 func (h *Host) Next(w int, completed []core.Task) (core.Assignment, string, error) {
+	a, status, err := h.apply(h.now().UnixNano(), w, completed)
+	if err == nil && h.jr != nil && !h.replay {
+		// Group commit: the poll's journal frames (its own record, plus
+		// any reclaim record its lease check produced) hit the kernel
+		// with one write(2) before the response is released — off the
+		// locks, so a concurrent poll's commit may have flushed them
+		// already and this one is a no-op. fsync is amortized inside the
+		// journal.
+		h.jr.Commit()
+	}
+	return a, status, err
+}
+
+// apply is the one mutation path for a worker poll: the live Next
+// above journals and applies through it, and recovery replays journal
+// records through it with their recorded timestamps — literally the
+// same code, which is what makes replay exact. timeNs is the poll's
+// instant (UnixNano); rejected polls mutate nothing and are never
+// journaled.
+func (h *Host) apply(timeNs int64, w int, completed []core.Task) (core.Assignment, string, error) {
 	if w < 0 || w >= h.p {
 		return core.Assignment{}, "", fmt.Errorf("worker %d out of range [0, %d)", w, h.p)
 	}
-	now := h.now()
+	now := time.Unix(0, timeNs)
 	// Reclaim before validating: a report racing its own lease expiry
 	// resolves the same way (409) whether it arrives just after this
 	// poll's reclaim or after the janitor's — determinism the tests
@@ -576,10 +653,25 @@ func (h *Host) Next(w int, completed []core.Task) (core.Assignment, string, erro
 	}
 
 	h.mu.Lock()
+	// The report is accepted: journal the poll. Under mu — the order
+	// of records on disk must be the order the driver sees the polls —
+	// but only framed into the commit buffer here; the write happens
+	// after the locks drop (see Next). Replayed polls skip the append
+	// (their record is the one being replayed) but still advance the
+	// sequence, so post-recovery polls continue it.
+	if h.jr != nil {
+		h.muts++
+		if !h.replay {
+			h.jr.AppendPoll(h.runID, h.muts, timeNs, int32(w), completed)
+		}
+	}
 	h.lastPoll = now
 	h.polls++
 	if len(completed) > 0 {
 		h.drv.Complete(w, completed)
+		if h.jr != nil {
+			h.opLog = appendOpComplete(h.opLog, w, completed)
+		}
 		if h.ev != nil {
 			for _, t := range completed {
 				// One event per task, so exactly-once accounting is
@@ -620,6 +712,12 @@ func (h *Host) Next(w int, completed []core.Task) (core.Assignment, string, erro
 			break
 		}
 		granted = true
+		if h.jr != nil {
+			// Only successful steps advance driver state (a refused Next
+			// draws no randomness in any current driver), so only they
+			// enter the op log.
+			h.opLog = appendOpNext(h.opLog, w)
+		}
 		acc = append(acc, na.Tasks...)
 		blocks += na.Blocks
 	}
@@ -716,7 +814,12 @@ func (h *Host) ReclaimExpired() int {
 	if e := h.nextExpiryNs.Load(); e == 0 || now.UnixNano() < e {
 		return 0
 	}
-	return h.reclaimAll(now)
+	n := h.reclaimAll(now)
+	if n > 0 && h.jr != nil && !h.replay {
+		// The janitor path has no poll behind it to carry the commit.
+		h.jr.Commit()
+	}
+	return n
 }
 
 // reclaimAll is the full reclaim pass: every stripe locked ascending,
@@ -763,7 +866,20 @@ func (h *Host) reclaimLocked(now time.Time) int {
 	}
 	h.nextExpiryNs.Store(nextNs)
 	if len(expired) == 0 {
+		// A scan that found nothing is stateless — it only tightened the
+		// atomic bound — so it is not journaled: replay may legitimately
+		// skip or add such scans without diverging.
 		return 0
+	}
+	// Something expired: this pass mutates, so it is a journaled
+	// mutation. Every stripe and mu are held, so the record's position
+	// among the poll records is exactly the pass's position in the
+	// driver's serial history.
+	if h.jr != nil {
+		h.muts++
+		if !h.replay {
+			h.jr.AppendReclaim(h.runID, h.muts, nowNs)
+		}
 	}
 	sort.Slice(expired, func(i, j int) bool {
 		if expired[i].worker != expired[j].worker {
@@ -801,6 +917,9 @@ func (h *Host) reclaimLocked(now time.Time) int {
 			ts = append(ts, eg.task)
 		}
 		h.reassigner.Reassign(w, ts)
+		if h.jr != nil {
+			h.opLog = appendOpReassign(h.opLog, w, ts)
+		}
 		h.reclaimed += len(ts)
 		h.workers[w].Reclaimed += len(ts)
 		if h.ev != nil {

@@ -1,0 +1,414 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"hetsched/internal/core"
+	"hetsched/internal/durable"
+)
+
+// vclock is the injected test clock: every host, the registry TTL and
+// the replayed timestamps run on it.
+type vclock struct{ t time.Time }
+
+func newVclock() *vclock              { return &vclock{t: time.Unix(1000, 0)} }
+func (c *vclock) now() time.Time      { return c.t }
+func (c *vclock) adv(d time.Duration) { c.t = c.t.Add(d) }
+
+// world is one journaled service instance under test: a registry wired
+// to a journal, plus the options used to create and recover runs.
+type world struct {
+	t    *testing.T
+	clk  *vclock
+	dir  string
+	jr   *durable.Log
+	reg  *Registry
+	opts Options
+}
+
+func newWorld(t *testing.T, dir string, clk *vclock, journaled bool) *world {
+	t.Helper()
+	w := &world{t: t, clk: clk, dir: dir}
+	w.opts = Options{DefaultBatch: 2, Now: clk.now}
+	w.reg = NewRegistryWithClock(4, 0, clk.now)
+	if journaled {
+		jr, err := durable.Open(dir)
+		if err != nil {
+			t.Fatalf("open journal: %v", err)
+		}
+		t.Cleanup(func() { jr.Close() })
+		w.jr = jr
+		w.reg.AttachJournal(jr)
+	}
+	return w
+}
+
+// create builds and registers a run.
+func (w *world) create(id string, q CreateRunRequest) *Run {
+	w.t.Helper()
+	if err := q.Validate(); err != nil {
+		w.t.Fatalf("validate: %v", err)
+	}
+	q.ID = id
+	run, err := w.opts.NewRun(id, &q)
+	if err != nil {
+		w.t.Fatalf("new run: %v", err)
+	}
+	if !w.reg.AddNew(run) {
+		w.t.Fatalf("duplicate run %q", id)
+	}
+	return run
+}
+
+// crashRecover simulates the SIGKILL + restart: the journal handle is
+// dropped (committed bytes are already in the page cache — here, the
+// file), a fresh Log is opened on the directory, and a fresh registry
+// is recovered from it. The old world is unusable afterwards.
+func (w *world) crashRecover() *world {
+	w.t.Helper()
+	w.jr.Close()
+	nw := newWorld(w.t, w.dir, w.clk, true)
+	if _, err := nw.opts.Recover(nw.reg, nw.jr); err != nil {
+		w.t.Fatalf("recover: %v", err)
+	}
+	return nw
+}
+
+// pollPattern drives every worker round-robin, each poll reporting the
+// worker's previous batch, advancing the clock between polls; it
+// returns a transcript of every response. Running the same pattern on
+// two equal runs must produce equal transcripts.
+type pending map[int][]core.Task
+
+func pollRound(t *testing.T, run *Run, clk *vclock, pend pending, rounds int, step time.Duration) []string {
+	t.Helper()
+	var transcript []string
+	p := run.P
+	for r := 0; r < rounds; r++ {
+		for wk := 0; wk < p; wk++ {
+			clk.adv(step)
+			a, status, err := run.Host.Next(wk, pend[wk])
+			if err != nil {
+				t.Fatalf("round %d worker %d: %v", r, wk, err)
+			}
+			pend[wk] = append(pend[wk][:0], a.Tasks...)
+			transcript = append(transcript, fmt.Sprintf("w%d %s %v b%d", wk, status, a.Tasks, a.Blocks))
+		}
+	}
+	return transcript
+}
+
+// compareRuns asserts the two runs are observationally identical: same
+// stats, same trace, and — driven in lockstep to completion — the same
+// responses.
+func compareRuns(t *testing.T, got, want *Run, clkG, clkW *vclock, pendG, pendW pending) {
+	t.Helper()
+	sg, sw := got.Host.Stats(), want.Host.Stats()
+	if !reflect.DeepEqual(sg, sw) {
+		t.Fatalf("stats diverge after recovery:\n got  %+v\nwant %+v", sg, sw)
+	}
+	if !reflect.DeepEqual(got.Host.Trace(), want.Host.Trace()) {
+		t.Fatalf("traces diverge after recovery")
+	}
+	for i := 0; i < 200; i++ {
+		tg := pollRound(t, got, clkG, pendG, 1, time.Second)
+		tw := pollRound(t, want, clkW, pendW, 1, time.Second)
+		if !reflect.DeepEqual(tg, tw) {
+			t.Fatalf("post-recovery round %d diverges:\n got  %v\nwant %v", i, tg, tw)
+		}
+		if got.Host.State() == StateComplete && want.Host.State() == StateComplete {
+			break
+		}
+	}
+	if got.Host.State() != StateComplete {
+		t.Fatalf("runs did not drain: got %s want %s", got.Host.State(), want.Host.State())
+	}
+	if sg, sw := got.Host.Stats(), want.Host.Stats(); !reflect.DeepEqual(sg, sw) {
+		t.Fatalf("final stats diverge:\n got  %+v\nwant %+v", sg, sw)
+	}
+}
+
+// twinRun sets up the uninterrupted control: same creation, same poll
+// prefix, no journal, no crash.
+func twinRun(t *testing.T, q CreateRunRequest) (*Run, *vclock) {
+	t.Helper()
+	clk := newVclock()
+	w := newWorld(t, "", clk, false)
+	return w.create("r-test", q), clk
+}
+
+var recoveryReq = CreateRunRequest{Kernel: KernelCholesky, N: 5, P: 3, Seed: 7, Batch: 2, LeaseSeconds: 30}
+
+// TestRecoverTailOnly crashes before any checkpoint: recovery rebuilds
+// the run from the create record plus the poll tail alone.
+func TestRecoverTailOnly(t *testing.T) {
+	clk := newVclock()
+	w := newWorld(t, t.TempDir(), clk, true)
+	run := w.create("r-test", recoveryReq)
+	pend := pending{}
+	pollRound(t, run, clk, pend, 3, time.Second)
+
+	twin, twinClk := twinRun(t, recoveryReq)
+	twinPend := pending{}
+	pollRound(t, twin, twinClk, twinPend, 3, time.Second)
+
+	nw := w.crashRecover()
+	got, ok := nw.reg.Get("r-test")
+	if !ok {
+		t.Fatal("run lost in recovery")
+	}
+	compareRuns(t, got, twin, clk, twinClk, pend, twinPend)
+}
+
+// TestRecoverSnapshotPlusTail checkpoints mid-run, polls further, then
+// crashes: recovery starts from the snapshot and replays only the tail.
+func TestRecoverSnapshotPlusTail(t *testing.T) {
+	clk := newVclock()
+	w := newWorld(t, t.TempDir(), clk, true)
+	run := w.create("r-test", recoveryReq)
+	pend := pending{}
+	pollRound(t, run, clk, pend, 2, time.Second)
+	if err := w.reg.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	pollRound(t, run, clk, pend, 2, time.Second)
+
+	twin, twinClk := twinRun(t, recoveryReq)
+	twinPend := pending{}
+	pollRound(t, twin, twinClk, twinPend, 4, time.Second)
+
+	nw := w.crashRecover()
+	got, ok := nw.reg.Get("r-test")
+	if !ok {
+		t.Fatal("run lost in recovery")
+	}
+	compareRuns(t, got, twin, clk, twinClk, pend, twinPend)
+}
+
+// TestRecoverCrashMidCheckpoint interrupts a checkpoint after the
+// rotation but with the newer snapshot torn on disk: the older snapshot
+// plus the longer journal tail must win.
+func TestRecoverCrashMidCheckpoint(t *testing.T) {
+	clk := newVclock()
+	w := newWorld(t, t.TempDir(), clk, true)
+	run := w.create("r-test", recoveryReq)
+	pend := pending{}
+	pollRound(t, run, clk, pend, 2, time.Second)
+	if err := w.reg.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	pollRound(t, run, clk, pend, 2, time.Second)
+	// The second checkpoint dies mid-write: its rotation happened, its
+	// snapshot file is torn. (Write the torn file by hand; the real
+	// writer goes through tmp+rename, so a torn *named* snapshot models
+	// a crash after rename but mid-page-writeback — the worst case.)
+	if _, err := w.jr.Rotate(); err != nil {
+		t.Fatalf("rotate: %v", err)
+	}
+	torn := []byte("HSN1 this snapshot write never finished")
+	name := fmt.Sprintf("snap-%s-%016x.snap", "r-test", uint64(9999))
+	if err := os.WriteFile(filepath.Join(w.dir, name), torn, 0o644); err != nil {
+		t.Fatalf("write torn snapshot: %v", err)
+	}
+
+	twin, twinClk := twinRun(t, recoveryReq)
+	twinPend := pending{}
+	pollRound(t, twin, twinClk, twinPend, 4, time.Second)
+
+	nw := w.crashRecover()
+	got, ok := nw.reg.Get("r-test")
+	if !ok {
+		t.Fatal("run lost in recovery")
+	}
+	compareRuns(t, got, twin, clk, twinClk, pend, twinPend)
+}
+
+// TestRecoverAppendedButUnanswered models the crash window between the
+// journal commit and the HTTP response: the journal holds a poll whose
+// answer the worker never saw. The mutation is durable, so recovery
+// applies it; the worker's retry of the same report is refused exactly
+// like a duplicate report on a live server.
+func TestRecoverAppendedButUnanswered(t *testing.T) {
+	clk := newVclock()
+	w := newWorld(t, t.TempDir(), clk, true)
+	run := w.create("r-test", CreateRunRequest{Kernel: KernelOuter, N: 4, P: 2, Seed: 3, Batch: 2})
+	a, _, err := run.Host.Next(0, nil)
+	if err != nil {
+		t.Fatalf("poll: %v", err)
+	}
+	granted := append([]core.Task(nil), a.Tasks...)
+	clk.adv(time.Second)
+	// The fatal poll: journaled, applied — and the response "lost".
+	if _, _, err := run.Host.Next(0, granted); err != nil {
+		t.Fatalf("poll: %v", err)
+	}
+
+	nw := w.crashRecover()
+	got, ok := nw.reg.Get("r-test")
+	if !ok {
+		t.Fatal("run lost in recovery")
+	}
+	if c := got.Host.Stats().Completed; c != len(granted) {
+		t.Fatalf("recovered Completed = %d, want %d (the unanswered poll must be applied)", c, len(granted))
+	}
+	// The worker retries the report it never got an answer for.
+	if _, _, err := got.Host.Next(0, granted); err == nil {
+		t.Fatal("retried report of already-applied completions was accepted")
+	}
+	// A clean poll proceeds normally.
+	if _, status, err := got.Host.Next(0, nil); err != nil || status != StatusOK {
+		t.Fatalf("clean poll after recovery: status %q err %v", status, err)
+	}
+}
+
+// TestRecoverReplaysConflictStain reproduces the 409 path across a
+// crash: a lease expires, the task is reclaimed (journaled), and the
+// late report must draw LeaseExpiredError both live and after recovery.
+func TestRecoverReplaysConflictStain(t *testing.T) {
+	q := CreateRunRequest{Kernel: KernelOuter, N: 4, P: 2, Seed: 3, Batch: 2, LeaseSeconds: 5}
+	clk := newVclock()
+	w := newWorld(t, t.TempDir(), clk, true)
+	run := w.create("r-test", q)
+	a, _, err := run.Host.Next(0, nil)
+	if err != nil {
+		t.Fatalf("poll: %v", err)
+	}
+	victim := append([]core.Task(nil), a.Tasks...)
+	clk.adv(10 * time.Second) // past the lease
+	// Worker 1 polls; its lease gate reclaims worker 0's tasks first.
+	if _, _, err := run.Host.Next(1, nil); err != nil {
+		t.Fatalf("poll: %v", err)
+	}
+	if r := run.Host.Stats().Reclaimed; r != len(victim) {
+		t.Fatalf("Reclaimed = %d, want %d", r, len(victim))
+	}
+
+	nw := w.crashRecover()
+	got, ok := nw.reg.Get("r-test")
+	if !ok {
+		t.Fatal("run lost in recovery")
+	}
+	if r := got.Host.Stats().Reclaimed; r != len(victim) {
+		t.Fatalf("recovered Reclaimed = %d, want %d", r, len(victim))
+	}
+	// The zombie worker 0 comes back with its late report: 409, exactly
+	// as live.
+	var lerr *LeaseExpiredError
+	if _, _, err := got.Host.Next(0, victim[:1]); !errors.As(err, &lerr) {
+		t.Fatalf("late report after recovery: %v, want LeaseExpiredError", err)
+	}
+}
+
+// TestRecoverExpiredLeasesReclaimImmediately crashes with grants
+// outstanding and recovers after their deadlines passed: the first
+// janitor pass (or any poll) reclaims them immediately.
+func TestRecoverExpiredLeasesReclaimImmediately(t *testing.T) {
+	q := CreateRunRequest{Kernel: KernelOuter, N: 4, P: 2, Seed: 3, Batch: 2, LeaseSeconds: 5}
+	clk := newVclock()
+	w := newWorld(t, t.TempDir(), clk, true)
+	run := w.create("r-test", q)
+	a, _, err := run.Host.Next(0, nil)
+	if err != nil {
+		t.Fatalf("poll: %v", err)
+	}
+	granted := len(a.Tasks)
+	if granted == 0 {
+		t.Fatal("no tasks granted")
+	}
+	// Crash now; the machine stays down past every lease deadline.
+	clk.adv(time.Minute)
+	nw := w.crashRecover()
+	got, ok := nw.reg.Get("r-test")
+	if !ok {
+		t.Fatal("run lost in recovery")
+	}
+	if n := got.Host.ReclaimExpired(); n != granted {
+		t.Fatalf("janitor reclaim after recovery = %d, want %d", n, granted)
+	}
+	// The reclaim itself was journaled: a second crash recovers the
+	// reclaimed state.
+	nw2 := nw.crashRecover()
+	got2, ok := nw2.reg.Get("r-test")
+	if !ok {
+		t.Fatal("run lost in second recovery")
+	}
+	if r := got2.Host.Stats().Reclaimed; r != granted {
+		t.Fatalf("twice-recovered Reclaimed = %d, want %d", r, granted)
+	}
+}
+
+// TestRecoverLifecycleRecords covers the registry-level records: an
+// explicit expiry survives a crash, and a swept run stays gone.
+func TestRecoverLifecycleRecords(t *testing.T) {
+	clk := newVclock()
+	w := newWorld(t, t.TempDir(), clk, true)
+	keep := w.create("r-keep", CreateRunRequest{Kernel: KernelOuter, N: 3, P: 2, Seed: 1})
+	gone := w.create("r-gone", CreateRunRequest{Kernel: KernelOuter, N: 3, P: 2, Seed: 2})
+	if _, _, err := keep.Host.Next(0, nil); err != nil {
+		t.Fatalf("poll: %v", err)
+	}
+	// DELETE r-keep: expired but not yet swept.
+	if keep.Expire() {
+		w.reg.RecordExpire(keep)
+	}
+	// TTL-sweep r-gone out of existence.
+	if gone.Expire() {
+		w.reg.RecordExpire(gone)
+	}
+	if n := w.reg.Sweep(); n != 2 {
+		t.Fatalf("sweep collected %d, want 2", n)
+	}
+
+	nw := w.crashRecover()
+	if _, ok := nw.reg.Get("r-keep"); ok {
+		t.Fatal("swept run r-keep resurrected by recovery")
+	}
+	if _, ok := nw.reg.Get("r-gone"); ok {
+		t.Fatal("swept run r-gone resurrected by recovery")
+	}
+	if n := nw.reg.Len(); n != 0 {
+		t.Fatalf("registry has %d runs after recovery, want 0", n)
+	}
+}
+
+// TestRecoverExpiredUnsweptRun covers the snapshot Expired flag: a run
+// deleted but not yet collected must come back expired (410 to its
+// clients), not draining.
+func TestRecoverExpiredUnsweptRun(t *testing.T) {
+	clk := newVclock()
+	w := newWorld(t, t.TempDir(), clk, true)
+	run := w.create("r-test", CreateRunRequest{Kernel: KernelOuter, N: 3, P: 2, Seed: 1})
+	if _, _, err := run.Host.Next(0, nil); err != nil {
+		t.Fatalf("poll: %v", err)
+	}
+	if run.Expire() {
+		w.reg.RecordExpire(run)
+	}
+	// Once via the journal tail...
+	nw := w.crashRecover()
+	got, ok := nw.reg.Get("r-test")
+	if !ok {
+		t.Fatal("run lost in recovery")
+	}
+	if got.State() != StateExpired {
+		t.Fatalf("recovered state %q, want %q", got.State(), StateExpired)
+	}
+	// ...and once via the snapshot flag.
+	if err := nw.reg.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	nw2 := nw.crashRecover()
+	got2, ok := nw2.reg.Get("r-test")
+	if !ok {
+		t.Fatal("run lost in second recovery")
+	}
+	if got2.State() != StateExpired {
+		t.Fatalf("snapshot-recovered state %q, want %q", got2.State(), StateExpired)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hetsched/internal/durable"
 	"hetsched/internal/events"
 	"hetsched/internal/rng"
 )
@@ -75,6 +76,11 @@ type Registry struct {
 	// its event stream can emit a final run_swept and release
 	// subscribers. Publishing happens outside the shard locks.
 	bus *events.Bus
+	// jr, when attached, receives the registry-level mutation records:
+	// the create (with its resolved request as payload), the expiry and
+	// the final sweep of each run. The per-poll records are the Host's
+	// business (see host.go); the registry only journals lifecycle.
+	jr *durable.Log
 
 	seq   atomic.Uint64
 	idmu  sync.Mutex
@@ -121,6 +127,10 @@ func NewRegistryWithClock(shards int, ttl time.Duration, now func() time.Time) *
 // Call before serving traffic.
 func (g *Registry) AttachBus(b *events.Bus) { g.bus = b }
 
+// AttachJournal wires the registry (and every run it subsequently
+// creates) to the write-ahead journal. Call before serving traffic.
+func (g *Registry) AttachJournal(jr *durable.Log) { g.jr = jr }
+
 func (g *Registry) shardFor(id string) *registryShard {
 	// Inline FNV-1a: the stdlib hasher would allocate on every lookup,
 	// and this sits on the hot polling path.
@@ -153,12 +163,24 @@ func (g *Registry) Add(run *Run) {
 // reporting whether it was added. Pinned IDs (CreateRunRequest.ID) go
 // through it so a duplicate answers 409 instead of silently replacing
 // the original run.
+//
+// When a journal is attached, the create record is appended and
+// committed while the shard lock is still held, before the run becomes
+// reachable: a worker can only learn the run exists after its create
+// is durable, so no journaled poll record can ever precede its run's
+// create record — the invariant replay depends on. A duplicate ID
+// journals nothing (no ghost runs on 409).
 func (g *Registry) AddNew(run *Run) bool {
 	s := g.shardFor(run.ID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.runs[run.ID]; ok {
 		return false
+	}
+	if g.jr != nil {
+		run.Host.AttachJournal(g.jr, run.ID)
+		g.jr.AppendCreate(run.ID, run.Host.nextMut(), run.Created.UnixNano(), encodeCreateRecord(run))
+		g.jr.Commit()
 	}
 	s.runs[run.ID] = run
 	return true
@@ -245,7 +267,9 @@ func (g *Registry) Sweep() int {
 				// has no polls left — this pass is what un-wedges it.
 				run.Host.ReclaimExpired()
 				if g.ttl > 0 && now.Sub(run.Host.LastActivity()) > g.ttl {
-					run.Expire()
+					if run.Expire() && g.jr != nil {
+						g.jr.AppendExpire(run.ID, run.Host.nextMut(), now.UnixNano())
+					}
 				}
 			}
 			if run.Expired() {
@@ -265,6 +289,12 @@ func (g *Registry) Sweep() int {
 			}
 		}
 		s.mu.Unlock()
+		if g.jr != nil {
+			for _, run := range removed {
+				g.jr.AppendSwept(run.ID, run.Host.nextMut(), now.UnixNano())
+			}
+			g.jr.Commit()
+		}
 		if g.bus != nil {
 			for _, run := range removed {
 				g.bus.Swept(run.ID, now.UnixNano())
@@ -272,4 +302,45 @@ func (g *Registry) Sweep() int {
 		}
 	}
 	return collected
+}
+
+// RecordExpire journals an explicit expiry (DELETE /v1/runs/{id}); the
+// TTL path journals its own inside Sweep. Call only after run.Expire()
+// reported the flip, so a double delete journals one record.
+func (g *Registry) RecordExpire(run *Run) {
+	if g.jr == nil {
+		return
+	}
+	g.jr.AppendExpire(run.ID, run.Host.nextMut(), g.now().UnixNano())
+	g.jr.Commit()
+}
+
+// Checkpoint bounds recovery time: it seals the current journal
+// generation, writes a fresh snapshot of every registered run, and
+// prunes everything the snapshots supersede — sealed generations and
+// older snapshots. A crash anywhere inside leaves recovery correct:
+// until Prune commits the deletions, the old snapshot plus the sealed
+// tail reconstruct the same state the new snapshot captures.
+//
+// A run swept between Rotate and the snapshot pass simply is not
+// snapshotted, and Prune drops its records with the sealed
+// generations; its MutSwept record in the live generation then refers
+// to a run recovery has never heard of, which replay ignores.
+func (g *Registry) Checkpoint() error {
+	if g.jr == nil {
+		return nil
+	}
+	sealed, err := g.jr.Rotate()
+	if err != nil {
+		return err
+	}
+	keep := make(map[string]uint64, g.Len())
+	for _, run := range g.Runs() {
+		s := run.snapshot()
+		if err := g.jr.WriteSnapshot(s); err != nil {
+			return err
+		}
+		keep[s.ID] = s.Mutations
+	}
+	return g.jr.Prune(sealed, keep)
 }

@@ -11,9 +11,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hetsched/internal/core"
+	"hetsched/internal/durable"
 	"hetsched/internal/events"
 	"hetsched/internal/ui"
 )
@@ -54,6 +56,27 @@ type Options struct {
 	// leases, traces, makespans and idle-expiry all run on virtual
 	// time while the HTTP path stays byte-for-byte real.
 	Now func() time.Time
+	// Journal, when set, makes every run durable: each accepted
+	// mutation is framed into this write-ahead log before its response
+	// is released, and New replays the log (snapshot plus tail) back to
+	// the exact pre-crash state before serving. The server does not own
+	// the log — the caller opens and closes it (cmd/schedd does).
+	Journal *durable.Log
+	// SnapshotEvery is the checkpoint period: how often the janitor
+	// snapshots every run and prunes the journal behind the snapshots
+	// (0 disables periodic checkpoints; recovery then replays the whole
+	// log). Only meaningful with Journal set and the janitor enabled.
+	SnapshotEvery time.Duration
+	// AsyncRecover makes New return immediately and replay the journal
+	// in the background; until recovery finishes every endpoint except
+	// /healthz answers 503 with Retry-After (the federation router
+	// forwards that verbatim, so a fleet's clients see a well-formed
+	// "owner is recovering" instead of hung requests).
+	AsyncRecover bool
+	// RecoverGate, when set with AsyncRecover, delays the start of the
+	// background replay until the channel is closed — a test hook for
+	// observing the recovering window deterministically.
+	RecoverGate <-chan struct{}
 }
 
 func (o *Options) fill() {
@@ -103,6 +126,12 @@ type Server struct {
 	reg  *Registry
 	mux  *http.ServeMux
 
+	// recovering gates the API while the journal is being replayed
+	// (503 + Retry-After); recovered releases the janitor, which must
+	// not sweep or checkpoint state that is still being rebuilt.
+	recovering atomic.Bool
+	recovered  chan struct{}
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -116,12 +145,16 @@ func New(opts Options) *Server {
 		opts.Events = events.NewBus(opts.EventsBuffer)
 	}
 	s := &Server{
-		opts: opts,
-		reg:  NewRegistryWithClock(opts.Shards, opts.TTL, opts.Now),
-		mux:  http.NewServeMux(),
-		stop: make(chan struct{}),
+		opts:      opts,
+		reg:       NewRegistryWithClock(opts.Shards, opts.TTL, opts.Now),
+		mux:       http.NewServeMux(),
+		recovered: make(chan struct{}),
+		stop:      make(chan struct{}),
 	}
 	s.reg.AttachBus(opts.Events)
+	if opts.Journal != nil {
+		s.reg.AttachJournal(opts.Journal)
+	}
 	s.mux.HandleFunc("POST /v1/runs", s.handleCreate)
 	s.mux.HandleFunc("GET /v1/runs", s.handleList)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleInfo)
@@ -139,6 +172,32 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	if opts.Journal == nil {
+		close(s.recovered)
+	} else if opts.AsyncRecover {
+		s.recovering.Store(true)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer close(s.recovered)
+			defer s.recovering.Store(false)
+			if s.opts.RecoverGate != nil {
+				select {
+				case <-s.opts.RecoverGate:
+				case <-s.stop:
+					return
+				}
+			}
+			if _, err := s.opts.Recover(s.reg, s.opts.Journal); err != nil {
+				log.Printf("service: journal recovery: %v", err)
+			}
+		}()
+	} else {
+		if _, err := opts.Recover(s.reg, opts.Journal); err != nil {
+			log.Printf("service: journal recovery: %v", err)
+		}
+		close(s.recovered)
+	}
 	if opts.GCInterval > 0 {
 		s.wg.Add(1)
 		go s.janitor()
@@ -148,13 +207,27 @@ func New(opts Options) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.recovering.Load() && r.URL.Path != "/healthz" {
+		// The run table is mid-rebuild; nothing can be answered
+		// truthfully yet. Retry-After makes the 503 well-formed for
+		// pollers and for the federation router, which forwards it
+		// verbatim to the fleet's clients.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "recovering from journal; retry shortly")
+		return
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
-// Close stops the GC janitor. The handler keeps working.
+// Close stops the GC janitor and flushes the journal (if any) to
+// stable storage. The handler keeps working; the journal itself stays
+// open — its owner closes it.
 func (s *Server) Close() {
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.wg.Wait()
+	if s.opts.Journal != nil {
+		s.opts.Journal.Sync()
+	}
 }
 
 // Registry exposes the run table (examples and tests use it).
@@ -166,16 +239,38 @@ func (s *Server) Bus() *events.Bus { return s.opts.Events }
 // SweepNow runs one GC pass and returns the number of runs collected.
 func (s *Server) SweepNow() int { return s.reg.Sweep() }
 
+// Checkpoint snapshots every run and prunes the journal behind the
+// snapshots (no-op without a journal). The janitor calls it on the
+// SnapshotEvery period; tests and shutdown paths call it directly.
+func (s *Server) Checkpoint() error { return s.reg.Checkpoint() }
+
 func (s *Server) janitor() {
 	defer s.wg.Done()
+	// Sweeping — or worse, checkpointing — a registry that recovery is
+	// still rebuilding would interleave live mutations with replay.
+	select {
+	case <-s.stop:
+		return
+	case <-s.recovered:
+	}
 	tick := time.NewTicker(s.opts.GCInterval)
 	defer tick.Stop()
+	var ckpt <-chan time.Time
+	if s.opts.Journal != nil && s.opts.SnapshotEvery > 0 {
+		ct := time.NewTicker(s.opts.SnapshotEvery)
+		defer ct.Stop()
+		ckpt = ct.C
+	}
 	for {
 		select {
 		case <-s.stop:
 			return
 		case <-tick.C:
 			s.reg.Sweep()
+		case <-ckpt:
+			if err := s.reg.Checkpoint(); err != nil {
+				log.Printf("service: checkpoint: %v", err)
+			}
 		}
 	}
 }
@@ -303,6 +398,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if run.Expire() {
+		s.reg.RecordExpire(run)
 		if st, ok := s.opts.Events.Lookup(run.ID); ok {
 			st.Publish(events.Event{
 				Type:   events.TypeState,

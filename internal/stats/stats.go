@@ -121,6 +121,20 @@ func (a *Accumulator) Max() float64 {
 	return a.max
 }
 
+// State exposes the accumulator's raw Welford state (n, mean, m2 and
+// the extrema) so a durable snapshot can persist it bit-exactly; a
+// rounded Summary would drift the m2 term across a save/restore cycle.
+func (a *Accumulator) State() (n int, mean, m2, min, max float64) {
+	return a.n, a.mean, a.m2, a.min, a.max
+}
+
+// RestoreAccumulator rebuilds an accumulator from raw State values.
+// Restore(State()) is the identity, including for the empty
+// accumulator.
+func RestoreAccumulator(n int, mean, m2, min, max float64) Accumulator {
+	return Accumulator{n: n, mean: mean, m2: m2, min: min, max: max}
+}
+
 // Summary is a frozen view of an Accumulator. The JSON tags are part
 // of the schedd wire format (GET /v1/runs/{id}/stats).
 type Summary struct {
