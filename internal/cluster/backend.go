@@ -155,7 +155,11 @@ func (b *directBackend) create(spec RunSpec) (service.RunInfo, error) {
 	if err != nil {
 		return service.RunInfo{}, err
 	}
-	if !b.reg.AddNew(run) {
+	added, err := b.reg.AddNew(run)
+	if err != nil {
+		return service.RunInfo{}, fmt.Errorf("journaling run %q: %w", run.ID, err)
+	}
+	if !added {
 		return service.RunInfo{}, fmt.Errorf("run %q already exists", run.ID)
 	}
 	b.runs = append(b.runs, run)
@@ -459,6 +463,9 @@ func (b *httpBackend) crashMaster() error {
 	}
 	b.jr = jr
 	b.svc = service.New(b.options())
+	if err := b.svc.RecoveryErr(); err != nil {
+		return fmt.Errorf("cluster: recovering master: %w", err)
+	}
 	b.ts = httptest.NewServer(b.svc)
 	b.client = b.ts.Client()
 	return nil

@@ -80,7 +80,11 @@ func (b *federatedDirectBackend) create(spec RunSpec) (service.RunInfo, error) {
 	if err != nil {
 		return service.RunInfo{}, err
 	}
-	if !svc.Registry().AddNew(run) {
+	added, err := svc.Registry().AddNew(run)
+	if err != nil {
+		return service.RunInfo{}, fmt.Errorf("journaling run %q on host %d: %w", q.ID, owner, err)
+	}
+	if !added {
 		return service.RunInfo{}, fmt.Errorf("run %q already exists on host %d", q.ID, owner)
 	}
 	b.runs = append(b.runs, run)

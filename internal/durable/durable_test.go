@@ -145,6 +145,94 @@ func TestJournalTornTailTruncated(t *testing.T) {
 	}
 }
 
+// TestJournalTornInteriorGenerationReplaysLaterGenerations pins the
+// crash-then-crash-again sequence: gen 1 is torn by the first kill, the
+// restarted process acknowledges new mutations into gen 2, and a later
+// restart must replay gen 2 — a torn tail ends only its own generation,
+// never the whole journal.
+func TestJournalTornInteriorGenerationReplaysLaterGenerations(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	l.AppendCreate("r1", 1, 100, []byte(`{}`))
+	l.AppendPoll("r1", 2, 200, 0, nil)
+	l.AppendPoll("r1", 3, 300, 1, nil)
+	if err := l.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	seg := filepath.Join(dir, segmentName(l.Gen()))
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// The kill interrupts the write of seq 3: tear its frame.
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-3], 0o644); err != nil {
+		t.Fatalf("tear: %v", err)
+	}
+	// The restarted process replays seqs 1–2 and acknowledges 3–4 into
+	// the next generation.
+	l, err = Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	l.AppendPoll("r1", 3, 350, 1, nil)
+	l.AppendPoll("r1", 4, 400, 0, nil)
+	if err := l.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	got := collect(t, reopen(t, l))
+	want := []uint64{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d mutations (%+v), want seqs %v", len(got), got, want)
+	}
+	for i, m := range got {
+		if m.Seq != want[i] {
+			t.Fatalf("mutation %d has seq %d, want %d", i, m.Seq, want[i])
+		}
+	}
+	if got[2].TimeNs != 350 {
+		t.Fatalf("seq 3 replayed from the torn generation (TimeNs %d), want the re-acknowledged record (350)", got[2].TimeNs)
+	}
+}
+
+// TestJournalDamagedGenerationSealedOnCommit pins the partial-write
+// recovery path: once a write error leaves torn bytes in a generation,
+// the next commit must not rewrite the buffer after them — it seals the
+// damaged generation and retries into a fresh one, and replay sees
+// every committed frame exactly once.
+func TestJournalDamagedGenerationSealedOnCommit(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	l.AppendCreate("r1", 1, 100, []byte(`{}`))
+	if err := l.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	gen := l.Gen()
+	// Simulate a write(2) that failed after landing some bytes.
+	l.mu.Lock()
+	l.f.Write([]byte{0x07, 0x00}) // torn frame prefix on disk
+	l.damaged = true
+	l.mu.Unlock()
+	l.AppendPoll("r1", 2, 200, 0, nil)
+	if err := l.Commit(); err != nil {
+		t.Fatalf("commit after damage: %v", err)
+	}
+	if got := l.Gen(); got != gen+1 {
+		t.Fatalf("generation after damaged commit = %d, want %d (sealed and rotated)", got, gen+1)
+	}
+	got := collect(t, reopen(t, l))
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("replayed %+v, want seqs [1 2]", got)
+	}
+}
+
 func TestJournalRotateAndPrune(t *testing.T) {
 	l, err := Open(t.TempDir())
 	if err != nil {

@@ -23,8 +23,10 @@
 // a longer journal suffix — recovery picks the highest valid snapshot
 // per run and replays every record with a per-run sequence number
 // above its watermark. Torn or corrupt journal tails are detected by
-// CRC and replay stops at the last valid frame; appends after recovery
-// go to a fresh generation, never into a damaged file.
+// CRC: replay ends the damaged generation at its last valid frame and
+// continues with the next generation (acknowledged records appended
+// after an earlier crash live there); appends after recovery go to a
+// fresh generation, never into a damaged file.
 package durable
 
 import (
@@ -77,6 +79,12 @@ type Log struct {
 	sinceSync int
 	syncEvery int
 	closed    bool
+	// damaged is set when a write(2) failed after landing some bytes:
+	// the generation now ends in a torn frame, and appending after it
+	// would hide every later frame from replay (which stops a
+	// generation at the first damage). The next commit seals the
+	// damaged generation and retries into a fresh one.
+	damaged bool
 }
 
 // Open opens (creating if needed) the journal directory and starts a
@@ -182,8 +190,23 @@ func (l *Log) commitLocked() error {
 	if l.closed {
 		return fmt.Errorf("durable: journal closed")
 	}
+	if l.damaged {
+		// The previous commit's write(2) failed partway, so the current
+		// generation ends in a torn frame. Rewriting the buffer after
+		// those partial bytes would corrupt the file mid-generation
+		// (replay stops a generation at the first damage, dropping every
+		// frame after it), so seal the damaged generation and retry the
+		// still-buffered frames in a fresh one — replay skips a torn
+		// tail and continues with the next generation.
+		if err := l.reopenLocked(); err != nil {
+			return err
+		}
+	}
 	n, err := l.f.Write(l.buf)
 	if err != nil {
+		if n > 0 {
+			l.damaged = true
+		}
 		return fmt.Errorf("durable: %w", err)
 	}
 	l.buf = l.buf[:0]
@@ -257,7 +280,25 @@ func (l *Log) Rotate() (sealed uint64, err error) {
 		return 0, fmt.Errorf("durable: %w", err)
 	}
 	l.f = f
+	l.damaged = false
 	return sealed, nil
+}
+
+// reopenLocked abandons the current (damaged) generation and opens the
+// next one for appends. The damaged file is left on disk with its torn
+// tail; its valid prefix still replays, and the next checkpoint prunes
+// it like any other sealed generation.
+func (l *Log) reopenLocked() error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(l.gen+1)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	l.f.Close() // best effort: the generation is already damaged
+	l.f = f
+	l.gen++
+	l.sinceSync = 0
+	l.damaged = false
+	return nil
 }
 
 // Prune deletes journal generations at or below throughGen and every
@@ -296,11 +337,18 @@ func (l *Log) Prune(throughGen uint64, keep map[string]uint64) error {
 }
 
 // Replay streams every decodable mutation from the generations sealed
-// before the one currently open for appends, in journal order. Replay
-// stops silently at the first torn or corrupt frame (the write the
-// crash interrupted — everything after it is unacknowledged by
-// construction); a CRC-valid frame that fails to decode is reported as
-// an error, as is any error returned by fn, which aborts the replay.
+// before the one currently open for appends, in journal order. A torn
+// or corrupt frame ends its own generation at the last valid frame (the
+// write a crash or write error interrupted — everything after it in
+// that generation is unacknowledged by construction) and replay
+// continues with the next generation: a process that crashed on a torn
+// gen N and then appended acknowledged mutations to gen N+1 must not
+// have N+1 silently dropped on the next restart. Genuine mid-file loss
+// of acknowledged records is not silently absorbed — the consumer's
+// per-run sequence check (service.Recover) turns the resulting hole
+// into a hard recovery error. A CRC-valid frame that fails to decode is
+// reported as an error, as is any error returned by fn, which aborts
+// the replay.
 func (l *Log) Replay(fn func(core.Mutation) error) error {
 	l.mu.Lock()
 	cur := l.gen
@@ -318,14 +366,11 @@ func (l *Log) Replay(fn func(core.Mutation) error) error {
 		if err != nil {
 			return fmt.Errorf("durable: %w", err)
 		}
-		consumed, err := DecodeFrames(data, fn)
-		if err != nil {
+		// A torn tail (consumed < len(data)) ends this generation at its
+		// last valid frame; later generations still replay — see the
+		// contract above.
+		if _, err := DecodeFrames(data, fn); err != nil {
 			return err
-		}
-		if consumed != len(data) {
-			// Torn tail: the generation (and with it the whole journal)
-			// ends at the last valid frame.
-			return nil
 		}
 	}
 	return nil

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"log"
 	"math/bits"
 	"sort"
 	"sync"
@@ -228,6 +229,21 @@ func (e *LeaseExpiredError) Error() string {
 	return fmt.Sprintf("lease expired: task %d was reclaimed from the reporting worker", e.Task)
 }
 
+// JournalError reports that an accepted mutation's write-ahead journal
+// commit failed: the in-memory state has advanced but the record never
+// reached the kernel, so the "acknowledged mutations survive a process
+// kill" contract cannot be honored for it. The server maps it to 500 so
+// the client never mistakes the mutation for durable.
+type JournalError struct {
+	Err error
+}
+
+func (e *JournalError) Error() string {
+	return fmt.Sprintf("journal commit failed: %v", e.Err)
+}
+
+func (e *JournalError) Unwrap() error { return e.Err }
+
 // smallReport is the completion-report size up to which duplicate
 // detection uses an allocation-free O(k²) scan instead of sorting a
 // scratch copy. Measured on the reference container (BenchmarkDupScan16
@@ -410,14 +426,41 @@ func (h *Host) AttachJournal(jr *durable.Log, runID string) {
 // host.
 const opLogPresize = 1 << 18
 
-// nextMut advances the per-run mutation sequence for a registry-level
-// record (create, expire, swept) appended on the run's behalf.
-func (h *Host) nextMut() uint64 {
+// journalCreate, journalExpire and journalSwept frame a registry-level
+// lifecycle record on the run's behalf. Drawing the sequence number and
+// appending the frame happen inside one h.mu critical section — the
+// same discipline apply uses for poll records — so a concurrently
+// accepted poll can never journal a later sequence ahead of an earlier
+// lifecycle record (replay rejects out-of-order sequences as gaps).
+// No-ops on a journal-less host; the caller carries the Commit.
+func (h *Host) journalCreate(timeNs int64, payload []byte) {
+	if h.jr == nil {
+		return
+	}
 	h.mu.Lock()
 	h.muts++
-	n := h.muts
+	h.jr.AppendCreate(h.runID, h.muts, timeNs, payload)
 	h.mu.Unlock()
-	return n
+}
+
+func (h *Host) journalExpire(timeNs int64) {
+	if h.jr == nil {
+		return
+	}
+	h.mu.Lock()
+	h.muts++
+	h.jr.AppendExpire(h.runID, h.muts, timeNs)
+	h.mu.Unlock()
+}
+
+func (h *Host) journalSwept(timeNs int64) {
+	if h.jr == nil {
+		return
+	}
+	h.mu.Lock()
+	h.muts++
+	h.jr.AppendSwept(h.runID, h.muts, timeNs)
+	h.mu.Unlock()
 }
 
 // batchBuckets covers batch sizes 1, 2, 4, ..., maxBatch (2^12) in
@@ -530,8 +573,13 @@ func (h *Host) Next(w int, completed []core.Task) (core.Assignment, string, erro
 		// with one write(2) before the response is released — off the
 		// locks, so a concurrent poll's commit may have flushed them
 		// already and this one is a no-op. fsync is amortized inside the
-		// journal.
-		h.jr.Commit()
+		// journal. A failed commit fails the poll: the grant already
+		// happened in memory (its lease reclaims it eventually), but the
+		// worker must not act on an acknowledgment that was never made
+		// durable.
+		if cerr := h.jr.Commit(); cerr != nil {
+			return core.Assignment{}, "", &JournalError{Err: cerr}
+		}
 	}
 	return a, status, err
 }
@@ -816,8 +864,13 @@ func (h *Host) ReclaimExpired() int {
 	}
 	n := h.reclaimAll(now)
 	if n > 0 && h.jr != nil && !h.replay {
-		// The janitor path has no poll behind it to carry the commit.
-		h.jr.Commit()
+		// The janitor path has no poll behind it to carry the commit —
+		// and no request to fail when it goes wrong. The frames stay
+		// buffered for the next commit; log so an ENOSPC/EIO janitor is
+		// not silent.
+		if err := h.jr.Commit(); err != nil {
+			log.Printf("service: journaling reclaim for run %q: %v", h.runID, err)
+		}
 	}
 	return n
 }

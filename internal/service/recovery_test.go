@@ -3,9 +3,12 @@ package service
 import (
 	"errors"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"testing"
 	"time"
 
@@ -60,7 +63,11 @@ func (w *world) create(id string, q CreateRunRequest) *Run {
 	if err != nil {
 		w.t.Fatalf("new run: %v", err)
 	}
-	if !w.reg.AddNew(run) {
+	added, err := w.reg.AddNew(run)
+	if err != nil {
+		w.t.Fatalf("journaling run %q: %v", id, err)
+	}
+	if !added {
 		w.t.Fatalf("duplicate run %q", id)
 	}
 	return run
@@ -410,5 +417,121 @@ func TestRecoverExpiredUnsweptRun(t *testing.T) {
 	}
 	if got2.State() != StateExpired {
 		t.Fatalf("snapshot-recovered state %q, want %q", got2.State(), StateExpired)
+	}
+}
+
+// latestSegment returns the path of the highest journal generation in
+// dir.
+func latestSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "journal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no journal segments in %s (%v)", dir, err)
+	}
+	sort.Strings(segs)
+	return segs[len(segs)-1]
+}
+
+// TestRecoverTornInteriorGeneration pins the double-crash sequence the
+// torn-tail handling must survive: crash one tears generation N, the
+// restarted process acknowledges further polls into generation N+1, and
+// a second restart must replay those acknowledgments — a torn tail ends
+// only its own generation, not the whole journal.
+func TestRecoverTornInteriorGeneration(t *testing.T) {
+	clk := newVclock()
+	dir := t.TempDir()
+	w := newWorld(t, dir, clk, true)
+	run := w.create("r-test", recoveryReq)
+	pend := pending{}
+	pollRound(t, run, clk, pend, 2, time.Second)
+	w.jr.Close()
+	// The first kill interrupts a frame write: torn bytes past the last
+	// acknowledged frame.
+	f, err := os.OpenFile(latestSegment(t, dir), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("open segment: %v", err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatalf("tear: %v", err)
+	}
+	f.Close()
+
+	nw := newWorld(t, dir, clk, true)
+	if _, err := nw.opts.Recover(nw.reg, nw.jr); err != nil {
+		t.Fatalf("recovery over torn tail: %v", err)
+	}
+	got, ok := nw.reg.Get("r-test")
+	if !ok {
+		t.Fatal("run lost in first recovery")
+	}
+	// Acknowledged mutations land in the generation after the torn one.
+	pollRound(t, got, clk, pend, 2, time.Second)
+
+	twin, twinClk := twinRun(t, recoveryReq)
+	twinPend := pending{}
+	pollRound(t, twin, twinClk, twinPend, 4, time.Second)
+
+	// The second restart — the torn generation is now interior — must
+	// replay the later acknowledgments behind it.
+	nw2 := nw.crashRecover()
+	got2, ok := nw2.reg.Get("r-test")
+	if !ok {
+		t.Fatal("run lost in second recovery")
+	}
+	compareRuns(t, got2, twin, clk, twinClk, pend, twinPend)
+}
+
+// TestRecoveryFailureFailsClosed pins the fail-stop contract: when the
+// journal does not replay cleanly, the server must refuse to serve and
+// to checkpoint — checkpointing a partial registry would prune the
+// generations that still hold the un-replayed acknowledged state.
+func TestRecoveryFailureFailsClosed(t *testing.T) {
+	clk := newVclock()
+	dir := t.TempDir()
+	w := newWorld(t, dir, clk, true)
+	run := w.create("r-test", recoveryReq)
+	pollRound(t, run, clk, pending{}, 2, time.Second)
+	// Poison the journal: a CRC-valid record whose sequence leaves a
+	// per-run gap, as genuine mid-file loss of acknowledged records
+	// would.
+	w.jr.AppendPoll("r-test", 99, clk.now().UnixNano(), 0, nil)
+	if err := w.jr.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	w.jr.Close()
+
+	jr, err := durable.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen journal: %v", err)
+	}
+	defer jr.Close()
+	before, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	srv := New(Options{GCInterval: -1, Now: clk.now, Journal: jr, SnapshotEvery: time.Minute})
+	defer srv.Close()
+	if srv.RecoveryErr() == nil {
+		t.Fatal("recovery reported success over a journal with a sequence gap")
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/runs", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("GET /v1/runs after failed recovery = %d, want 503", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d, want 200 (liveness stays up for the operator)", rec.Code)
+	}
+	if err := srv.Checkpoint(); err == nil {
+		t.Fatal("checkpoint ran after failed recovery")
+	}
+	after, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("journal directory changed after failed recovery:\n before %v\n after  %v", before, after)
 	}
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -169,21 +170,28 @@ func (g *Registry) Add(run *Run) {
 // reachable: a worker can only learn the run exists after its create
 // is durable, so no journaled poll record can ever precede its run's
 // create record — the invariant replay depends on. A duplicate ID
-// journals nothing (no ghost runs on 409).
-func (g *Registry) AddNew(run *Run) bool {
+// journals nothing (no ghost runs on 409). A commit failure refuses the
+// registration (the caller answers 5xx): the run must not be visible
+// while its create is not durable. The failed frame stays in the
+// group-commit buffer, so a later successful commit can still land it —
+// a restart may then resurrect the refused run as an idle one, which
+// the TTL sweep collects; durable-before-visible is never violated.
+func (g *Registry) AddNew(run *Run) (bool, error) {
 	s := g.shardFor(run.ID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.runs[run.ID]; ok {
-		return false
+		return false, nil
 	}
 	if g.jr != nil {
 		run.Host.AttachJournal(g.jr, run.ID)
-		g.jr.AppendCreate(run.ID, run.Host.nextMut(), run.Created.UnixNano(), encodeCreateRecord(run))
-		g.jr.Commit()
+		run.Host.journalCreate(run.Created.UnixNano(), encodeCreateRecord(run))
+		if err := g.jr.Commit(); err != nil {
+			return false, err
+		}
 	}
 	s.runs[run.ID] = run
-	return true
+	return true, nil
 }
 
 // Get returns the run with the given ID.
@@ -267,8 +275,8 @@ func (g *Registry) Sweep() int {
 				// has no polls left — this pass is what un-wedges it.
 				run.Host.ReclaimExpired()
 				if g.ttl > 0 && now.Sub(run.Host.LastActivity()) > g.ttl {
-					if run.Expire() && g.jr != nil {
-						g.jr.AppendExpire(run.ID, run.Host.nextMut(), now.UnixNano())
+					if run.Expire() {
+						run.Host.journalExpire(now.UnixNano())
 					}
 				}
 			}
@@ -291,9 +299,13 @@ func (g *Registry) Sweep() int {
 		s.mu.Unlock()
 		if g.jr != nil {
 			for _, run := range removed {
-				g.jr.AppendSwept(run.ID, run.Host.nextMut(), now.UnixNano())
+				run.Host.journalSwept(now.UnixNano())
 			}
-			g.jr.Commit()
+			// No request to fail behind the janitor: a failed commit is
+			// logged, and the frames stay buffered for the next commit.
+			if err := g.jr.Commit(); err != nil {
+				log.Printf("service: journaling sweep: %v", err)
+			}
 		}
 		if g.bus != nil {
 			for _, run := range removed {
@@ -306,13 +318,15 @@ func (g *Registry) Sweep() int {
 
 // RecordExpire journals an explicit expiry (DELETE /v1/runs/{id}); the
 // TTL path journals its own inside Sweep. Call only after run.Expire()
-// reported the flip, so a double delete journals one record.
-func (g *Registry) RecordExpire(run *Run) {
+// reported the flip, so a double delete journals one record. A commit
+// failure is returned so the handler can answer 5xx — the in-memory
+// expiry stands, but the client must not believe it durable.
+func (g *Registry) RecordExpire(run *Run) error {
 	if g.jr == nil {
-		return
+		return nil
 	}
-	g.jr.AppendExpire(run.ID, run.Host.nextMut(), g.now().UnixNano())
-	g.jr.Commit()
+	run.Host.journalExpire(g.now().UnixNano())
+	return g.jr.Commit()
 }
 
 // Checkpoint bounds recovery time: it seals the current journal

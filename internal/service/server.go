@@ -128,9 +128,16 @@ type Server struct {
 
 	// recovering gates the API while the journal is being replayed
 	// (503 + Retry-After); recovered releases the janitor, which must
-	// not sweep or checkpoint state that is still being rebuilt.
+	// not sweep or checkpoint state that is still being rebuilt. A
+	// failed recovery fails closed: recoverErr is set, recovering stays
+	// true forever (every request answers 503) and recovered is never
+	// closed, so the janitor can never sweep a partial registry or
+	// checkpoint-prune the generations that still hold the un-replayed
+	// state.
 	recovering atomic.Bool
 	recovered  chan struct{}
+	recoverMu  sync.Mutex
+	recoverErr error
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -179,8 +186,6 @@ func New(opts Options) *Server {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer close(s.recovered)
-			defer s.recovering.Store(false)
 			if s.opts.RecoverGate != nil {
 				select {
 				case <-s.opts.RecoverGate:
@@ -189,14 +194,19 @@ func New(opts Options) *Server {
 				}
 			}
 			if _, err := s.opts.Recover(s.reg, s.opts.Journal); err != nil {
-				log.Printf("service: journal recovery: %v", err)
+				s.failRecovery(err)
+				return
 			}
+			s.recovering.Store(false)
+			close(s.recovered)
 		}()
 	} else {
 		if _, err := opts.Recover(s.reg, opts.Journal); err != nil {
-			log.Printf("service: journal recovery: %v", err)
+			s.recovering.Store(true)
+			s.failRecovery(err)
+		} else {
+			close(s.recovered)
 		}
-		close(s.recovered)
 	}
 	if opts.GCInterval > 0 {
 		s.wg.Add(1)
@@ -205,9 +215,39 @@ func New(opts Options) *Server {
 	return s
 }
 
+// failRecovery records a journal recovery failure and leaves the
+// server fail-stopped: serving from a partial (or empty) registry
+// would answer lies, and letting the janitor checkpoint would prune
+// the very generations and snapshots that still hold the un-replayed
+// acknowledged state. The intact journal directory outlives the
+// process, so an operator can retry recovery on a restart.
+func (s *Server) failRecovery(err error) {
+	s.recoverMu.Lock()
+	s.recoverErr = err
+	s.recoverMu.Unlock()
+	log.Printf("service: journal recovery failed; refusing to serve (journal left intact): %v", err)
+}
+
+// RecoveryErr returns the journal recovery failure, if any. cmd/schedd
+// checks it after a synchronous recovery to fail fast; with
+// AsyncRecover it may become non-nil at any time while the 503 gate is
+// still closed.
+func (s *Server) RecoveryErr() error {
+	s.recoverMu.Lock()
+	defer s.recoverMu.Unlock()
+	return s.recoverErr
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.recovering.Load() && r.URL.Path != "/healthz" {
+		if s.RecoveryErr() != nil {
+			// Fail-stopped: recovery did not complete and never will in
+			// this process. No Retry-After — retrying against this
+			// process is pointless.
+			writeError(w, http.StatusServiceUnavailable, "journal recovery failed; server is fail-stopped")
+			return
+		}
 		// The run table is mid-rebuild; nothing can be answered
 		// truthfully yet. Retry-After makes the 503 well-formed for
 		// pollers and for the federation router, which forwards it
@@ -226,7 +266,9 @@ func (s *Server) Close() {
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.wg.Wait()
 	if s.opts.Journal != nil {
-		s.opts.Journal.Sync()
+		if err := s.opts.Journal.Sync(); err != nil {
+			log.Printf("service: syncing journal on close: %v", err)
+		}
 	}
 }
 
@@ -241,8 +283,18 @@ func (s *Server) SweepNow() int { return s.reg.Sweep() }
 
 // Checkpoint snapshots every run and prunes the journal behind the
 // snapshots (no-op without a journal). The janitor calls it on the
-// SnapshotEvery period; tests and shutdown paths call it directly.
-func (s *Server) Checkpoint() error { return s.reg.Checkpoint() }
+// SnapshotEvery period; tests and shutdown paths call it directly. It
+// refuses to run until recovery has completed cleanly — checkpointing a
+// partial registry would prune generations whose records were never
+// replayed, turning a recoverable failure into permanent loss.
+func (s *Server) Checkpoint() error {
+	select {
+	case <-s.recovered:
+	default:
+		return fmt.Errorf("service: checkpoint refused: journal recovery has not completed")
+	}
+	return s.reg.Checkpoint()
+}
 
 func (s *Server) janitor() {
 	defer s.wg.Done()
@@ -301,7 +353,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if !s.reg.AddNew(run) {
+	added, err := s.reg.AddNew(run)
+	if err != nil {
+		// The create never became durable, so the run was not
+		// registered; the client must not poll a run that a restart can
+		// forget.
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("journaling run %q: %v", id, err))
+		return
+	}
+	if !added {
 		writeError(w, http.StatusConflict, fmt.Sprintf("run %q already exists", id))
 		return
 	}
@@ -398,7 +458,13 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if run.Expire() {
-		s.reg.RecordExpire(run)
+		if err := s.reg.RecordExpire(run); err != nil {
+			// The in-memory expiry stands (the flip is not undone), but
+			// the client is told the truth: the deletion may not survive
+			// a restart.
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("journaling expiry of %q: %v", run.ID, err))
+			return
+		}
 		if st, ok := s.opts.Events.Lookup(run.ID); ok {
 			st.Publish(events.Event{
 				Type:   events.TypeState,
@@ -504,6 +570,14 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		var lerr *LeaseExpiredError
 		if errors.As(err, &lerr) {
 			writeError(w, http.StatusConflict, err.Error())
+			return
+		}
+		// A journal commit failure is the server's fault, not the
+		// request's: 500, so the worker never acts on an acknowledgment
+		// that was not made durable.
+		var jerr *JournalError
+		if errors.As(err, &jerr) {
+			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
 		writeError(w, http.StatusBadRequest, err.Error())
