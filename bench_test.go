@@ -110,3 +110,8 @@ func BenchmarkServiceRouterNext(b *testing.B) { perf.ServiceRouterNext(b) }
 // BenchmarkClusterHostFederated4x25k is the federated fleet-scale row:
 // 4 hosts × 25k workers through the virtual-time cluster harness.
 func BenchmarkClusterHostFederated4x25k(b *testing.B) { perf.ClusterHostFederated4x25k(b) }
+
+// BenchmarkServiceMigrate25k prices one snapshot-ship-replay handoff
+// of a 25,000-worker run between two in-process schedd servers —
+// 1e9/ns_per_op is runs migrated per second.
+func BenchmarkServiceMigrate25k(b *testing.B) { perf.ServiceMigrate25k(b) }

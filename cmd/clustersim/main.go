@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "acceptance", "acceptance | drift | crash | janitor | herd | herd100k | herd1m | stragglers | backpressure | federated | federated-crash | master-crash")
+	scenario := flag.String("scenario", "acceptance", "acceptance | drift | crash | janitor | herd | herd100k | herd1m | stragglers | backpressure | federated | federated-crash | master-crash | migrate")
 	kernel := flag.String("kernel", "cholesky", "workload for drift/crash/janitor: outer | matmul | cholesky | lu | qr")
 	n := flag.Int("n", 12, "blocks/tiles per dimension (drift/crash/janitor/stragglers)")
 	p := flag.Int("p", 100, "fleet size (scenario-dependent)")
@@ -73,6 +73,14 @@ func main() {
 		// the printed hash must equal the journal-less uninterrupted
 		// twin's (the determinism tests pin both).
 		sc = cluster.MasterCrashMidRun(*seed)
+	case "migrate":
+		// Live migration on a journaled 4-host federation: an explicit
+		// snapshot-ship-replay move at 120ms, an owner crash at 150ms
+		// (the orphan's workers retry against the corpse), then a
+		// ring-epoch bump at 250ms that scavenges the dead host's runs
+		// from its journal and rebalances the survivors — every run
+		// drains, zero LOST, hash-identical across -mode direct/http.
+		sc = cluster.FederatedMigrate(*seed)
 	default:
 		fmt.Fprintf(os.Stderr, "clustersim: unknown scenario %q\n", *scenario)
 		os.Exit(2)

@@ -41,6 +41,20 @@
 //	schedd -addr :8081 &
 //	schedd -addr :8082 &
 //	schedd -router -addr :8080 -peers http://localhost:8081,http://localhost:8082
+//
+// With -peer-journals the router can also move live runs between
+// journaled peers (snapshot-ship-replay): POST /v1/ring/epoch bumps
+// the placement epoch and migrates every run whose owner moved, and
+// POST /v1/ring/recover scavenges a crashed peer's runs out of its
+// journal directory onto the new ring owners — zero runs lost:
+//
+//	schedd -addr :8081 -journal-dir /var/lib/schedd/j1 &
+//	schedd -addr :8082 -journal-dir /var/lib/schedd/j2 &
+//	schedd -router -addr :8080 \
+//	    -peers http://localhost:8081,http://localhost:8082 \
+//	    -peer-journals /var/lib/schedd/j1,/var/lib/schedd/j2 -ring-epoch 1
+//	curl -s -X POST localhost:8080/v1/ring/epoch -d '{"epoch":2}'
+//	curl -s -X POST localhost:8080/v1/ring/recover -d '{"host":"http://localhost:8082","epoch":3}'
 package main
 
 import (
@@ -74,6 +88,7 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated peer base URLs for -router mode (e.g. http://h1:8080,http://h2:8080)")
 	ringEpoch := flag.Uint64("ring-epoch", 0, "placement-ring epoch: bump to reshuffle where new runs land (router mode)")
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per peer on the placement ring (0 = default 64; router mode)")
+	peerJournals := flag.String("peer-journals", "", "comma-separated journal directories aligned one-to-one with -peers (router mode): lets the router live-migrate runs on an epoch bump (POST /v1/ring/epoch) and scavenge a crashed peer's runs from its journal (POST /v1/ring/recover); empty entries mark peers without a reachable journal")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -86,6 +101,15 @@ func main() {
 		for _, u := range urls {
 			if u = strings.TrimSpace(u); u != "" {
 				targets = append(targets, federation.Target{URL: strings.TrimRight(u, "/")})
+			}
+		}
+		if *peerJournals != "" {
+			dirs := strings.Split(*peerJournals, ",")
+			if len(dirs) != len(targets) {
+				log.Fatalf("schedd: -peer-journals names %d directories for %d peers", len(dirs), len(targets))
+			}
+			for i, d := range dirs {
+				targets[i].JournalDir = strings.TrimSpace(d)
 			}
 		}
 		rt, err := federation.NewRouter(targets, federation.Options{

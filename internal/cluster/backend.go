@@ -52,6 +52,15 @@ type backend interface {
 	// every later poll against them reports hostDown. Federated
 	// backends only.
 	crashHost(host int) error
+	// migrate moves one run to the host at index dest through the
+	// router's explicit-move primitive (fence, ship, replay, override).
+	// Federated backends only.
+	migrate(run, dest int) error
+	// ringChange steps the placement epoch, migrating every run whose
+	// owner moved; with a crashed journaled host it also scavenges that
+	// host's runs from its journal directory (the death path).
+	// Federated backends only.
+	ringChange(epoch uint64) error
 	// checkpoint seals the master's journal generation and snapshots
 	// every registered run. Journaled single-host backends only.
 	checkpoint() error
@@ -231,6 +240,14 @@ func (b *directBackend) ownerOf(int) int { return -1 }
 
 func (b *directBackend) crashHost(host int) error {
 	return fmt.Errorf("cluster: single-host backend cannot crash host %d", host)
+}
+
+func (b *directBackend) migrate(run, dest int) error {
+	return fmt.Errorf("cluster: single-host backend cannot migrate run %d", run)
+}
+
+func (b *directBackend) ringChange(epoch uint64) error {
+	return fmt.Errorf("cluster: single-host backend has no ring")
 }
 
 func (b *directBackend) checkpoint() error {
@@ -436,6 +453,14 @@ func (b *httpBackend) ownerOf(int) int { return -1 }
 
 func (b *httpBackend) crashHost(host int) error {
 	return fmt.Errorf("cluster: single-host backend cannot crash host %d", host)
+}
+
+func (b *httpBackend) migrate(run, dest int) error {
+	return fmt.Errorf("cluster: single-host backend cannot migrate run %d", run)
+}
+
+func (b *httpBackend) ringChange(epoch uint64) error {
+	return fmt.Errorf("cluster: single-host backend has no ring")
 }
 
 func (b *httpBackend) checkpoint() error {

@@ -255,9 +255,10 @@ func Run(sc Scenario, mode Mode) (*Result, error) {
 	h.q.h = h.slabs.heap[:0]
 	defer h.release()
 	// A journaled scenario gets a private on-disk journal directory for
-	// the master's write-ahead log and snapshots; MasterCrash recovers
-	// from it. Removed with the scenario — durability is being tested,
-	// not accumulated.
+	// the write-ahead logs and snapshots: the single master's, or one
+	// host-<i> subdirectory per federated host. MasterCrash and
+	// RingChange recover from it. Removed with the scenario —
+	// durability is being tested, not accumulated.
 	var journalDir string
 	if sc.Journal {
 		dir, err := os.MkdirTemp("", "hetsched-cluster-journal-")
@@ -270,11 +271,11 @@ func Run(sc Scenario, mode Mode) (*Result, error) {
 	var berr error
 	switch {
 	case mode == Direct && sc.Hosts > 1:
-		h.backend, berr = newFederatedDirectBackend(sc.Hosts, sc.RingEpoch, sc.TTL, h.clock.now)
+		h.backend, berr = newFederatedDirectBackend(sc.Hosts, sc.RingEpoch, sc.TTL, h.clock.now, journalDir)
 	case mode == Direct:
 		h.backend, berr = newDirectBackend(sc.TTL, h.clock.now, journalDir)
 	case mode == HTTP && sc.Hosts > 1:
-		h.backend, berr = newFederatedHTTPBackend(sc.Hosts, sc.RingEpoch, sc.TTL, h.clock.now)
+		h.backend, berr = newFederatedHTTPBackend(sc.Hosts, sc.RingEpoch, sc.TTL, h.clock.now, journalDir)
 	case mode == HTTP:
 		h.backend, berr = newHTTPBackend(sc.TTL, h.clock.now, journalDir)
 	default:
@@ -346,9 +347,6 @@ func validate(sc Scenario) error {
 	if len(sc.Runs) == 0 {
 		return fmt.Errorf("cluster: scenario %q has no runs", sc.Name)
 	}
-	if sc.Journal && sc.Hosts > 1 {
-		return fmt.Errorf("cluster: scenario %q journals a federated topology (single-host only)", sc.Name)
-	}
 	if sc.Hosts > 1 {
 		// Federated placement hashes the run id, so every run needs a
 		// pinned, unique, wire-valid one.
@@ -370,6 +368,9 @@ func validate(sc Scenario) error {
 			if !sc.Journal {
 				return fmt.Errorf("cluster: event %d (%v) needs Scenario.Journal", i, e.Kind)
 			}
+			if sc.Hosts > 1 {
+				return fmt.Errorf("cluster: event %d (%v) targets the single master; federated hosts crash via HostCrash", i, e.Kind)
+			}
 			if e.Kind == MasterCrash && len(sc.Subscribers) > 0 {
 				// The restarted master's event bus is fresh; a scripted
 				// subscriber cannot span the crash.
@@ -383,6 +384,30 @@ func validate(sc Scenario) error {
 			}
 			if e.Host < 0 || e.Host >= sc.Hosts {
 				return fmt.Errorf("cluster: event %d crashes host %d of %d", i, e.Host, sc.Hosts)
+			}
+			continue
+		}
+		if e.Kind == Migrate || e.Kind == RingChange {
+			// Placement-plane events: they move runs between federated
+			// journaled hosts, not workers within one.
+			if sc.Hosts <= 1 {
+				return fmt.Errorf("cluster: event %d (%v) needs a federated topology (Hosts > 1)", i, e.Kind)
+			}
+			if !sc.Journal {
+				return fmt.Errorf("cluster: event %d (%v) needs Scenario.Journal (migration ships the write-ahead journal)", i, e.Kind)
+			}
+			if len(sc.Subscribers) > 0 {
+				// A migrated run's event bus moves hosts; a scripted
+				// subscriber's stream handle cannot span the move.
+				return fmt.Errorf("cluster: event %d: %v with scripted subscribers", i, e.Kind)
+			}
+			if e.Kind == Migrate {
+				if e.Run < 0 || e.Run >= len(sc.Runs) {
+					return fmt.Errorf("cluster: event %d migrates run %d of %d", i, e.Run, len(sc.Runs))
+				}
+				if e.Host < 0 || e.Host >= sc.Hosts {
+					return fmt.Errorf("cluster: event %d migrates to host %d of %d", i, e.Host, sc.Hosts)
+				}
 			}
 			continue
 		}
@@ -469,6 +494,15 @@ func (h *harness) poll(run, worker int, gen uint64) error {
 		return fmt.Errorf("cluster: run %d worker %d: %w", run, worker, err)
 	}
 	if res.hostDown {
+		if h.sc.Journal {
+			// The run's host crashed, but its journal survives: a
+			// scripted RingChange will resurrect the run on the new
+			// ring owner. Keep the finished batch and retry — the
+			// post-recovery master accepts it exactly once (the journal
+			// replay re-established the lease watermark).
+			h.push(ev{at: h.nowNs + int64(h.sc.WaitDelay), kind: evPoll, run: run, worker: worker, gen: gen})
+			return nil
+		}
 		// The run's host crashed: this worker just discovered there is
 		// no master left. The whole fleet stands down — a real worker
 		// pool drains on persistent 503s the same way.
@@ -622,6 +656,39 @@ func (h *harness) sweepTick() error {
 	return nil
 }
 
+// checkHandoff asserts the placement conservation law at the virtual
+// instant a migration or rebalance completes — not just at collection:
+// no run held by two hosts, and the router's fleet-wide view exactly
+// the union of the live hosts' registries. A migration that leaked a
+// run onto both sides of the handoff (or dropped it from the router's
+// ledger) fails the scenario here, at the instant it happened.
+func (h *harness) checkHandoff() error {
+	router, perHost, err := h.backend.placement()
+	if err != nil {
+		return fmt.Errorf("cluster: snapshotting mid-handoff placement: %w", err)
+	}
+	seen := make(map[string]int, len(router))
+	n := 0
+	for host, ids := range perHost {
+		for _, id := range ids {
+			if prev, dup := seen[id]; dup {
+				return fmt.Errorf("cluster: mid-handoff: run %q held by both host %d and host %d", id, prev, host)
+			}
+			seen[id] = host
+			n++
+		}
+	}
+	if n != len(router) {
+		return fmt.Errorf("cluster: mid-handoff: router lists %d runs, live hosts hold %d", len(router), n)
+	}
+	for _, id := range router {
+		if _, ok := seen[id]; !ok {
+			return fmt.Errorf("cluster: mid-handoff: router lists %q, no live host holds it", id)
+		}
+	}
+	return nil
+}
+
 // applyScript applies one scripted fault.
 func (h *harness) applyScript(e Event) error {
 	switch e.Kind {
@@ -638,6 +705,23 @@ func (h *harness) applyScript(e Event) error {
 		// land on the restarted master, which must serve the exact
 		// pre-crash state.
 		return h.backend.crashMaster()
+	case Migrate:
+		// Snapshot-ship-replay the run to e.Host. Instantaneous in
+		// virtual time: the handoff's 503 window closes before any
+		// worker samples it, so steady-state polls never observe the
+		// move — exactly the transparency the router promises.
+		if err := h.backend.migrate(e.Run, e.Host); err != nil {
+			return err
+		}
+		return h.checkHandoff()
+	case RingChange:
+		// Rebalance onto ring epoch e.Epoch, scavenging any crashed
+		// host's journal onto the new owner first. Every run whose
+		// owner moved is migrated before the epoch is published.
+		if err := h.backend.ringChange(e.Epoch); err != nil {
+			return err
+		}
+		return h.checkHandoff()
 	}
 	rs := h.runs[e.Run]
 	ws := &rs.workers[e.Worker]

@@ -192,8 +192,24 @@ func TestScenarioValidation(t *testing.T) {
 			Events: []Event{{Kind: MasterCrash}}},
 		"journal-less checkpoint": {Runs: []RunSpec{base},
 			Events: []Event{{Kind: Checkpoint}}},
-		"federated journal": {Hosts: 2, Journal: true,
-			Runs: []RunSpec{{RunID: "r-a", Kernel: service.KernelOuter, N: 4, P: 2, Seed: 1}}},
+		"federated master crash": {Hosts: 2, Journal: true,
+			Runs:   []RunSpec{{RunID: "r-a", Kernel: service.KernelOuter, N: 4, P: 2, Seed: 1}},
+			Events: []Event{{Kind: MasterCrash}}},
+		"single-host migrate": {Journal: true, Runs: []RunSpec{base},
+			Events: []Event{{Kind: Migrate, Run: 0, Host: 0}}},
+		"journal-less migrate": {Hosts: 2,
+			Runs:   []RunSpec{{RunID: "r-a", Kernel: service.KernelOuter, N: 4, P: 2, Seed: 1}},
+			Events: []Event{{Kind: Migrate, Run: 0, Host: 1}}},
+		"migrate out of range": {Hosts: 2, Journal: true,
+			Runs:   []RunSpec{{RunID: "r-a", Kernel: service.KernelOuter, N: 4, P: 2, Seed: 1}},
+			Events: []Event{{Kind: Migrate, Run: 0, Host: 2}}},
+		"journal-less ring change": {Hosts: 2,
+			Runs:   []RunSpec{{RunID: "r-a", Kernel: service.KernelOuter, N: 4, P: 2, Seed: 1}},
+			Events: []Event{{Kind: RingChange, Epoch: 2}}},
+		"migrate with subscribers": {Hosts: 2, Journal: true,
+			Runs:        []RunSpec{{RunID: "r-a", Kernel: service.KernelOuter, N: 4, P: 2, Seed: 1}},
+			Events:      []Event{{Kind: Migrate, Run: 0, Host: 1}},
+			Subscribers: []SubscriberSpec{{Run: 0, Kind: SubFast}}},
 		"master crash with subscribers": {Journal: true, Runs: []RunSpec{base},
 			Events:      []Event{{Kind: MasterCrash}},
 			Subscribers: []SubscriberSpec{{Run: 0, Kind: SubFast}}},

@@ -273,6 +273,50 @@ func Federated4x25k(seed uint64) Scenario {
 	return sc
 }
 
+// FederatedMigrate is the migration flagship: four journaled runs on
+// a 4-host epoch-1 ring (owners 3, 0, 2, 1 for fed-0..fed-3), hit
+// mid-run by the full placement-plane script — an explicit live
+// migration of fed-1 onto a non-owner, the crash of fed-0's owner
+// (host 3), and a RingChange to epoch 2 that scavenges the corpse's
+// journal onto the new ring owner while rebalancing every live run,
+// explicit move included. All four runs must drain to completion with
+// zero Lost: the crashed host's run is resurrected from its journal
+// (snapshot-ship-replay via the death path), its workers' polls
+// absorbing hostDown 503s until the recovery RingChange lands. The
+// outcome must hash bit-identically between direct and httptest
+// transports — migration is exact or it is broken.
+func FederatedMigrate(seed uint64) Scenario {
+	sc := Scenario{
+		Name:      "federated-migrate",
+		Seed:      seed,
+		Hosts:     4,
+		RingEpoch: 1,
+		Journal:   true,
+	}
+	for i := 0; i < 4; i++ {
+		sc.Runs = append(sc.Runs, RunSpec{
+			RunID:  fmt.Sprintf("fed-%d", i),
+			Kernel: service.KernelOuter, Strategy: "2phases", N: 48, P: 64,
+			Seed: seed + uint64(i) + 1, Batch: 4, LeaseSeconds: 30,
+			ArriveAt: time.Duration(i) * 10 * time.Millisecond,
+			Speeds:   SpeedSpec{Kind: Uniform},
+		})
+	}
+	ring, err := federation.NewRing(federation.HostNames(sc.Hosts), 0, sc.RingEpoch)
+	if err != nil {
+		panic(err)
+	}
+	// Migrate fed-1 off its epoch-1 owner onto the next live index —
+	// computed, not hard-coded, so the scenario survives ring tweaks.
+	away := (ring.Owner(sc.Runs[1].RunID) + 1) % sc.Hosts
+	sc.Events = append(sc.Events,
+		Event{At: 120 * time.Millisecond, Kind: Migrate, Run: 1, Host: away},
+		Event{At: 150 * time.Millisecond, Kind: HostCrash, Host: ring.Owner(sc.Runs[0].RunID)},
+		Event{At: 250 * time.Millisecond, Kind: RingChange, Epoch: sc.RingEpoch + 1},
+	)
+	return sc
+}
+
 // Federated4x25kHostCrash is Federated4x25k with fed-0's host (ring
 // owner 3 at epoch 1) killed mid-run: fed-0 must surface as Lost with
 // a sane partial ledger while the three surviving hosts' runs drain

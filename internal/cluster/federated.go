@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
 	"hetsched/internal/core"
+	"hetsched/internal/durable"
 	"hetsched/internal/events"
 	"hetsched/internal/federation"
 	"hetsched/internal/service"
@@ -25,9 +28,44 @@ import (
 // loop. Equal seeds must produce bit-identical outcomes across the two
 // (TestFederated4x25kAcrossModes pins that, host crash included).
 
-// hostOptions builds one federated host's server options.
-func hostOptions(ttl time.Duration, now func() time.Time) service.Options {
-	return service.Options{TTL: ttlOption(ttl), GCInterval: -1, Now: now}
+// hostOptions builds one federated host's server options. jr is nil
+// for the classic journal-less topology; with Scenario.Journal every
+// host gets its own write-ahead log, which arms migration's durable
+// import and the HostCrash death path.
+func hostOptions(ttl time.Duration, now func() time.Time, jr *durable.Log) service.Options {
+	return service.Options{TTL: ttlOption(ttl), GCInterval: -1, Now: now, Journal: jr}
+}
+
+// hostJournals opens one journal per host under parent (subdirectory
+// "host-<i>"). An empty parent means journal-less: all nils.
+func hostJournals(parent string, n int) ([]*durable.Log, []string, error) {
+	jrs := make([]*durable.Log, n)
+	dirs := make([]string, n)
+	if parent == "" {
+		return jrs, dirs, nil
+	}
+	for i := 0; i < n; i++ {
+		dirs[i] = filepath.Join(parent, fmt.Sprintf("host-%d", i))
+		if err := os.MkdirAll(dirs[i], 0o755); err != nil {
+			closeJournals(jrs)
+			return nil, nil, err
+		}
+		jr, err := durable.Open(dirs[i])
+		if err != nil {
+			closeJournals(jrs)
+			return nil, nil, err
+		}
+		jrs[i] = jr
+	}
+	return jrs, dirs, nil
+}
+
+func closeJournals(jrs []*durable.Log) {
+	for _, jr := range jrs {
+		if jr != nil {
+			jr.Close()
+		}
+	}
 }
 
 // --- federated direct backend ------------------------------------------
@@ -39,25 +77,39 @@ type federatedDirectBackend struct {
 	rt    *federation.Router
 	hosts []*service.Server
 	dead  []bool
-	now   func() time.Time
-	runs  []*service.Run
-	owner []int
+	// scavenged marks crashed hosts whose journal has already been
+	// recovered into the fleet — a second RingChange must not re-import
+	// their runs (the import would refuse the duplicates anyway).
+	scavenged []bool
+	jrs       []*durable.Log
+	names     []string
+	now       func() time.Time
+	runs      []*service.Run
+	owner     []int
 }
 
-func newFederatedDirectBackend(n int, epoch uint64, ttl time.Duration, now func() time.Time) (*federatedDirectBackend, error) {
+func newFederatedDirectBackend(n int, epoch uint64, ttl time.Duration, now func() time.Time, journalDir string) (*federatedDirectBackend, error) {
 	names := federation.HostNames(n)
+	jrs, dirs, err := hostJournals(journalDir, n)
+	if err != nil {
+		return nil, err
+	}
 	b := &federatedDirectBackend{
-		hosts: make([]*service.Server, n),
-		dead:  make([]bool, n),
-		now:   now,
+		hosts:     make([]*service.Server, n),
+		dead:      make([]bool, n),
+		scavenged: make([]bool, n),
+		jrs:       jrs,
+		names:     names,
+		now:       now,
 	}
 	targets := make([]federation.Target, n)
 	for i := range b.hosts {
-		b.hosts[i] = service.New(hostOptions(ttl, now))
-		targets[i] = federation.Target{Name: names[i], Server: b.hosts[i]}
+		b.hosts[i] = service.New(hostOptions(ttl, now, jrs[i]))
+		targets[i] = federation.Target{Name: names[i], Server: b.hosts[i], JournalDir: dirs[i]}
 	}
 	rt, err := federation.NewRouter(targets, federation.Options{Epoch: epoch})
 	if err != nil {
+		closeJournals(jrs)
 		return nil, err
 	}
 	b.rt = rt
@@ -69,7 +121,7 @@ func (b *federatedDirectBackend) create(spec RunSpec) (service.RunInfo, error) {
 	if err := q.Validate(); err != nil {
 		return service.RunInfo{}, err
 	}
-	owner := b.rt.Ring().Owner(q.ID)
+	owner := b.rt.OwnerOf(q.ID)
 	if b.dead[owner] {
 		return service.RunInfo{}, fmt.Errorf("run %q arrives on crashed host %d", q.ID, owner)
 	}
@@ -176,15 +228,76 @@ func (b *federatedDirectBackend) crashHost(host int) error {
 		return fmt.Errorf("crash host %d of %d", host, len(b.hosts))
 	}
 	b.dead[host] = true
+	// The router is NOT told yet: an un-scavenged run must keep routing
+	// to the corpse (hostDown to its workers), not divert to a live
+	// host that never imported it. RecoverHost marks the host down as
+	// part of a later RingChange.
 	return nil
 }
 
+// migrate moves one run through the router's explicit-move primitive,
+// then re-resolves the backend's cached run pointers against the new
+// placement.
+func (b *federatedDirectBackend) migrate(run, dest int) error {
+	if dest < 0 || dest >= len(b.hosts) {
+		return fmt.Errorf("migrate to host %d of %d", dest, len(b.hosts))
+	}
+	if err := b.rt.MigrateRun(b.runs[run].ID, b.names[dest]); err != nil {
+		return err
+	}
+	b.refresh()
+	return nil
+}
+
+// ringChange steps the epoch. Crashed journaled hosts are scavenged
+// first (their runs come back from disk into the new owners); hosts
+// with no journal stay lost, exactly as before migration existed.
+func (b *federatedDirectBackend) ringChange(epoch uint64) error {
+	// Mark every corpse down before scavenging any: the recovered runs'
+	// new homes come from the live-owner walk, which must steer around
+	// all of them, not just the host currently being recovered.
+	for i := range b.hosts {
+		if b.dead[i] && !b.scavenged[i] && b.jrs[i] != nil {
+			if _, err := b.rt.MarkDown(b.names[i]); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range b.hosts {
+		if b.dead[i] && !b.scavenged[i] && b.jrs[i] != nil {
+			if err := b.rt.RecoverHost(b.names[i], epoch); err != nil {
+				return err
+			}
+			b.scavenged[i] = true
+		}
+	}
+	if b.rt.Ring().Epoch() != epoch {
+		if err := b.rt.SetEpoch(epoch); err != nil {
+			return err
+		}
+	}
+	b.refresh()
+	return nil
+}
+
+// refresh re-resolves the cached (run pointer, owner) pairs through
+// the router after placement changed. Runs the router cannot find —
+// lost with a journal-less crashed host — keep their stale cache; the
+// dead[owner] check keeps answering hostDown for them.
+func (b *federatedDirectBackend) refresh() {
+	for i, r := range b.runs {
+		if run, owner, ok := b.rt.Lookup(r.ID); ok {
+			b.runs[i], b.owner[i] = run, owner
+		}
+	}
+}
+
 func (b *federatedDirectBackend) checkpoint() error {
-	return fmt.Errorf("cluster: federated hosts run journal-less (no checkpoint)")
+	return fmt.Errorf("cluster: federated hosts have no single master (no checkpoint)")
 }
 
 func (b *federatedDirectBackend) crashMaster() error {
-	return fmt.Errorf("cluster: federated hosts run journal-less (use HostCrash)")
+	return fmt.Errorf("cluster: federated hosts have no single master (use HostCrash)")
 }
 
 func (b *federatedDirectBackend) placement() ([]string, [][]string, error) {
@@ -207,6 +320,7 @@ func (b *federatedDirectBackend) close() {
 	for _, svc := range b.hosts {
 		svc.Close()
 	}
+	closeJournals(b.jrs)
 }
 
 // --- federated HTTP backend --------------------------------------------
@@ -217,34 +331,45 @@ func (b *federatedDirectBackend) close() {
 // streaming pass-through, status mapping and 503 host-down path are
 // all inside the deterministic loop.
 type federatedHTTPBackend struct {
-	rt     *federation.Router
-	rts    *httptest.Server
-	client *http.Client
-	hosts  []*service.Server
-	hts    []*httptest.Server
-	dead   []bool
-	ids    []string
-	owner  []int
+	rt        *federation.Router
+	rts       *httptest.Server
+	client    *http.Client
+	hosts     []*service.Server
+	hts       []*httptest.Server
+	dead      []bool
+	scavenged []bool
+	jrs       []*durable.Log
+	names     []string
+	ids       []string
+	owner     []int
 }
 
-func newFederatedHTTPBackend(n int, epoch uint64, ttl time.Duration, now func() time.Time) (*federatedHTTPBackend, error) {
+func newFederatedHTTPBackend(n int, epoch uint64, ttl time.Duration, now func() time.Time, journalDir string) (*federatedHTTPBackend, error) {
 	names := federation.HostNames(n)
+	jrs, dirs, err := hostJournals(journalDir, n)
+	if err != nil {
+		return nil, err
+	}
 	b := &federatedHTTPBackend{
-		hosts: make([]*service.Server, n),
-		hts:   make([]*httptest.Server, n),
-		dead:  make([]bool, n),
+		hosts:     make([]*service.Server, n),
+		hts:       make([]*httptest.Server, n),
+		dead:      make([]bool, n),
+		scavenged: make([]bool, n),
+		jrs:       jrs,
+		names:     names,
 	}
 	targets := make([]federation.Target, n)
 	for i := range b.hosts {
-		b.hosts[i] = service.New(hostOptions(ttl, now))
+		b.hosts[i] = service.New(hostOptions(ttl, now, jrs[i]))
 		b.hts[i] = httptest.NewServer(b.hosts[i])
-		targets[i] = federation.Target{Name: names[i], URL: b.hts[i].URL}
+		targets[i] = federation.Target{Name: names[i], URL: b.hts[i].URL, JournalDir: dirs[i]}
 	}
 	rt, err := federation.NewRouter(targets, federation.Options{Epoch: epoch})
 	if err != nil {
 		for _, ts := range b.hts {
 			ts.Close()
 		}
+		closeJournals(jrs)
 		return nil, err
 	}
 	b.rt = rt
@@ -291,7 +416,7 @@ func (b *federatedHTTPBackend) create(spec RunSpec) (service.RunInfo, error) {
 		return service.RunInfo{}, err
 	}
 	b.ids = append(b.ids, info.ID)
-	b.owner = append(b.owner, b.rt.Ring().Owner(info.ID))
+	b.owner = append(b.owner, b.rt.OwnerOf(info.ID))
 	return info, nil
 }
 
@@ -375,19 +500,69 @@ func (b *federatedHTTPBackend) crashHost(host int) error {
 		b.dead[host] = true
 		// Close the listener first so the router's very next proxy
 		// attempt fails deterministically, then stop the janitor. The
-		// bus stays readable in process, like the direct mode's.
+		// bus stays readable in process, like the direct mode's. The
+		// journal handle stays open until the scenario ends — a real
+		// SIGKILL leaves the directory, not the process, and RecoverHost
+		// reads the directory cold.
 		b.hts[host].Close()
 		b.hosts[host].Close()
+		// As in direct mode, the router is not told: un-scavenged runs
+		// keep routing to the dead listener (hostDown) until a
+		// RingChange recovers them, which marks the host down.
 	}
 	return nil
 }
 
+func (b *federatedHTTPBackend) migrate(run, dest int) error {
+	if dest < 0 || dest >= len(b.hosts) {
+		return fmt.Errorf("migrate to host %d of %d", dest, len(b.hosts))
+	}
+	if err := b.rt.MigrateRun(b.ids[run], b.names[dest]); err != nil {
+		return err
+	}
+	b.refresh()
+	return nil
+}
+
+func (b *federatedHTTPBackend) ringChange(epoch uint64) error {
+	// As in direct mode: all corpses down before any scavenge, so the
+	// live-owner walk never places a recovered run on a second corpse.
+	for i := range b.hosts {
+		if b.dead[i] && !b.scavenged[i] && b.jrs[i] != nil {
+			if _, err := b.rt.MarkDown(b.names[i]); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range b.hosts {
+		if b.dead[i] && !b.scavenged[i] && b.jrs[i] != nil {
+			if err := b.rt.RecoverHost(b.names[i], epoch); err != nil {
+				return err
+			}
+			b.scavenged[i] = true
+		}
+	}
+	if b.rt.Ring().Epoch() != epoch {
+		if err := b.rt.SetEpoch(epoch); err != nil {
+			return err
+		}
+	}
+	b.refresh()
+	return nil
+}
+
+func (b *federatedHTTPBackend) refresh() {
+	for i, id := range b.ids {
+		b.owner[i] = b.rt.OwnerOf(id)
+	}
+}
+
 func (b *federatedHTTPBackend) checkpoint() error {
-	return fmt.Errorf("cluster: federated hosts run journal-less (no checkpoint)")
+	return fmt.Errorf("cluster: federated hosts have no single master (no checkpoint)")
 }
 
 func (b *federatedHTTPBackend) crashMaster() error {
-	return fmt.Errorf("cluster: federated hosts run journal-less (use HostCrash)")
+	return fmt.Errorf("cluster: federated hosts have no single master (use HostCrash)")
 }
 
 func (b *federatedHTTPBackend) placement() ([]string, [][]string, error) {
@@ -427,6 +602,7 @@ func (b *federatedHTTPBackend) close() {
 			b.hosts[i].Close()
 		}
 	}
+	closeJournals(b.jrs)
 }
 
 // interface check: the federated backends satisfy the seam.

@@ -152,12 +152,66 @@ func (rr *RunResult) checkLost() error {
 	return nil
 }
 
+// expectedOwners replays the scenario's placement-plane script —
+// HostCrash, Migrate, RingChange — against the consistent-hash ring,
+// reproducing the router's own rules (explicit-move overrides first,
+// then the live-owner walk around scavenged corpses) to compute where
+// every run must sit when the scenario ends.
+func (res *Result) expectedOwners() (map[string]int, error) {
+	sc := res.Scenario
+	names := federation.HostNames(res.Hosts)
+	ring, err := federation.NewRing(names, 0, sc.RingEpoch)
+	if err != nil {
+		return nil, err
+	}
+	owners := make(map[string]int, len(sc.Runs))
+	for _, r := range sc.Runs {
+		owners[r.RunID] = ring.Owner(r.RunID)
+	}
+	var down uint64
+	crashed := make([]bool, res.Hosts)
+	scavenged := make([]bool, res.Hosts)
+	for _, e := range sc.Events {
+		switch e.Kind {
+		case HostCrash:
+			crashed[e.Host] = true
+		case Migrate:
+			owners[sc.Runs[e.Run].RunID] = e.Host
+		case RingChange:
+			// All newly-dead hosts go down before any run is re-placed,
+			// mirroring the backend's scavenge order.
+			newly := make([]bool, res.Hosts)
+			for h := range crashed {
+				if crashed[h] && !scavenged[h] {
+					down |= 1 << uint(h)
+					scavenged[h], newly[h] = true, true
+				}
+			}
+			stepped := e.Epoch != ring.Epoch()
+			if stepped {
+				if ring, err = federation.NewRing(names, 0, e.Epoch); err != nil {
+					return nil, err
+				}
+			}
+			for id, h := range owners {
+				// An epoch step rebalances every run; a same-epoch
+				// scavenge moves only the corpses' runs.
+				if stepped || newly[h] {
+					owners[id] = ring.OwnerLive(id, down)
+				}
+			}
+		}
+	}
+	return owners, nil
+}
+
 // checkPlacement asserts the federated topology invariants: every run
-// is held only by its consistent-hash ring owner, no run appears on
-// two hosts, and the router's fleet-wide view is exactly the union of
-// the live hosts' registries.
+// is held only by its effective owner — the consistent-hash ring
+// owner, adjusted for every scripted migration, ring-epoch step and
+// crash scavenge — no run appears on two hosts, and the router's
+// fleet-wide view is exactly the union of the live hosts' registries.
 func (res *Result) checkPlacement() error {
-	ring, err := federation.NewRing(federation.HostNames(res.Hosts), 0, res.Scenario.RingEpoch)
+	expected, err := res.expectedOwners()
 	if err != nil {
 		return err
 	}
@@ -168,8 +222,10 @@ func (res *Result) checkPlacement() error {
 	union := make([]string, 0, len(res.RouterRuns))
 	for h, ids := range res.HostRuns {
 		for _, id := range ids {
-			if owner := ring.Owner(id); owner != h {
-				return fmt.Errorf("run %q held by host %d, ring owner is %d", id, h, owner)
+			if owner, ok := expected[id]; !ok {
+				return fmt.Errorf("run %q held by host %d but scripted nowhere", id, h)
+			} else if owner != h {
+				return fmt.Errorf("run %q held by host %d, effective owner is %d", id, h, owner)
 			}
 			if prev, dup := seen[id]; dup {
 				return fmt.Errorf("run %q held by both host %d and host %d", id, prev, h)

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"hetsched/internal/service"
+)
+
+// TestFederatedMigrate is the migration acceptance scenario: a
+// journaled 4-host federation survives an explicit live migration, an
+// owner crash, and a ring-epoch rebalance that scavenges the corpse —
+// every run drains to completion, zero Lost, bit-identically across
+// transports, golden-pinned.
+func TestFederatedMigrate(t *testing.T) {
+	sc := FederatedMigrate(501)
+	a := run(t, sc, Direct)
+	h := run(t, sc, HTTP)
+	if a.Hash() != h.Hash() {
+		t.Fatalf("transport changed the migration outcome: direct %016x, http %016x", a.Hash(), h.Hash())
+	}
+	for _, rr := range a.Runs {
+		if rr.Lost {
+			t.Fatalf("run %s lost: migration must leave zero LOST runs", rr.Spec.RunID)
+		}
+		if rr.Stats.Completed != 48*48 {
+			t.Fatalf("run %s completed %d/%d", rr.Spec.RunID, rr.Stats.Completed, 48*48)
+		}
+	}
+	// The final placement must match the scripted-event replay: fed-1
+	// rebalanced off its explicit-move host by the epoch step, fed-0
+	// scavenged off the corpse, everything on its epoch-2 live owner.
+	expected, err := a.expectedOwners()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range a.Runs {
+		if want := expected[rr.Spec.RunID]; rr.HostIdx != want {
+			t.Fatalf("run %s ended on host %d, replay places it on %d", rr.Spec.RunID, rr.HostIdx, want)
+		}
+	}
+	// The crashed host's run came back through snapshot-ship-replay:
+	// its workers absorbed the outage as retries, not loss.
+	const golden = uint64(0xc5870ff74b7dffe0)
+	if runtime.GOARCH == "amd64" && a.Hash() != golden {
+		t.Errorf("federated-migrate hash %016x diverged from golden %016x", a.Hash(), golden)
+	}
+}
+
+// TestFederatedMigrateDeterministic: repetition pins the same hash —
+// the handoff windows are invisible to the virtual timeline.
+func TestFederatedMigrateDeterministic(t *testing.T) {
+	sc := FederatedMigrate(501)
+	a := run(t, sc, Direct)
+	b := run(t, sc, Direct)
+	if a.Hash() != b.Hash() {
+		t.Fatalf("federated-migrate not deterministic: %016x vs %016x", a.Hash(), b.Hash())
+	}
+}
+
+// TestMigrateOnly: a single explicit migration with no crash — the
+// narrow path — moves the run and changes nothing about its outcome
+// versus the twin that never migrates (completion counters aside, the
+// accepted-task ledger must be exactly-once either way).
+func TestMigrateOnly(t *testing.T) {
+	mk := func(events []Event) Scenario {
+		return Scenario{
+			Name: "migrate-only", Seed: 77, Hosts: 2, RingEpoch: 1, Journal: true,
+			Runs: []RunSpec{{
+				RunID: "solo", Kernel: service.KernelOuter, Strategy: "2phases", N: 24, P: 16,
+				Seed: 78, Batch: 2, LeaseSeconds: 30, Speeds: SpeedSpec{Kind: Uniform},
+			}},
+			Events: events,
+		}
+	}
+	sc := mk(nil)
+	home := func(res *Result) int { return res.Runs[0].HostIdx }
+	base := run(t, sc, Direct)
+	away := (home(base) + 1) % 2
+	moved := run(t, mk([]Event{{At: 50 * time.Millisecond, Kind: Migrate, Run: 0, Host: away}}), Direct)
+	if home(moved) != away {
+		t.Fatalf("migrated run ended on host %d, want %d", home(moved), away)
+	}
+	if moved.Runs[0].Stats.Completed != base.Runs[0].Stats.Completed {
+		t.Fatalf("migration changed completions: %d vs %d",
+			moved.Runs[0].Stats.Completed, base.Runs[0].Stats.Completed)
+	}
+	movedHTTP := run(t, mk([]Event{{At: 50 * time.Millisecond, Kind: Migrate, Run: 0, Host: away}}), HTTP)
+	if moved.Hash() != movedHTTP.Hash() {
+		t.Fatalf("transport changed the migrate-only outcome: direct %016x, http %016x",
+			moved.Hash(), movedHTTP.Hash())
+	}
+}

@@ -127,11 +127,15 @@ const (
 	// 409 and the batch is abandoned.
 	Partition
 	// HostCrash kills an entire schedd host (federated scenarios
-	// only): every run placed on it loses its master, its workers
-	// retire as their polls discover the outage, and the run is
-	// reported Lost. The harness's federated hosts run journal-less,
-	// so their crashes are terminal; a journaled single-host master
-	// recovers from disk instead — that is MasterCrash.
+	// only): every run placed on it loses its master. In a journal-less
+	// topology the crash is terminal — workers retire as their polls
+	// discover the outage and the run is reported Lost. With
+	// Scenario.Journal the crash is survivable: workers keep retrying
+	// their 503s, and a later RingChange scavenges the dead host's runs
+	// from its journal directory into their new ring owners
+	// (Router.RecoverHost), after which the fleet drains to completion
+	// with zero lost runs. A journaled single-host master recovers
+	// in-place instead — that is MasterCrash.
 	HostCrash
 	// Checkpoint seals the master's journal generation and snapshots
 	// every registered run (Registry.Checkpoint), bounding how much
@@ -148,6 +152,21 @@ const (
 	// determinism tests pin that. Journaled single-host scenarios
 	// only.
 	MasterCrash
+	// Migrate moves one run (Event.Run) to the host Event.Host via the
+	// router's explicit-move primitive (Router.MigrateRun): the source
+	// fences the run, ships its snapshot+tail transfer stream, the
+	// destination replays it through the recovery apply path, and the
+	// router's override table keeps the run routable off-ring. The
+	// outcome must hash identically to the unmigrated scenario —
+	// migration moves state, never mutates it. Federated scenarios only.
+	Migrate
+	// RingChange steps the placement epoch to Event.Epoch
+	// (Router.SetEpoch): every run whose ring owner moved is migrated
+	// in one handoff. If a host has crashed (HostCrash, journaled), the
+	// ring change doubles as the death path: the dead host's runs are
+	// scavenged from its journal directory into their new owners
+	// (Router.RecoverHost). Federated scenarios only.
+	RingChange
 )
 
 func (k EventKind) String() string {
@@ -166,6 +185,10 @@ func (k EventKind) String() string {
 		return "checkpoint"
 	case MasterCrash:
 		return "master-crash"
+	case Migrate:
+		return "migrate"
+	case RingChange:
+		return "ring-change"
 	}
 	return "?"
 }
@@ -175,16 +198,18 @@ type Event struct {
 	// At is the virtual instant the event fires.
 	At time.Duration
 	// Run indexes Scenario.Runs; Worker the run's fleet. Ignored by
-	// HostCrash, which targets Host instead.
+	// HostCrash and RingChange; Migrate uses Run but not Worker.
 	Run, Worker int
-	// Host is the HostCrash target, an index into the federated
-	// topology ([0, Scenario.Hosts)).
+	// Host is the HostCrash target or the Migrate destination, an
+	// index into the federated topology ([0, Scenario.Hosts)).
 	Host int
 	Kind EventKind
 	// Factor is the Slow service-time multiplier (≥ 1; 1 restores).
 	Factor float64
 	// Duration is the Partition length.
 	Duration time.Duration
+	// Epoch is the RingChange target placement epoch.
+	Epoch uint64
 }
 
 // SubKind scripts a subscriber's drain discipline against the event
@@ -266,12 +291,14 @@ type Scenario struct {
 	// its outcome hash — is a pure function of the scenario.
 	RingEpoch uint64
 	Runs      []RunSpec
-	// Journal arms the durable write-ahead journal on the (single)
-	// master host: every mutation is journaled to a scenario-private
-	// temp directory, which legalizes the Checkpoint and MasterCrash
-	// script events. Journaling is invisible to the outcome hash — a
-	// journaled scenario (crashes included) hashes identically to its
-	// journal-less twin. Single-host scenarios only.
+	// Journal arms the durable write-ahead journal: every mutation is
+	// journaled to a scenario-private temp directory (one subdirectory
+	// per host in a federated topology), which legalizes the Checkpoint
+	// and MasterCrash script events on a single host and makes
+	// federated HostCrash survivable (a RingChange then scavenges the
+	// dead host's runs — see HostCrash). Journaling is invisible to the
+	// outcome hash — a journaled scenario (crashes included) hashes
+	// identically to its journal-less twin.
 	Journal bool
 	// Events is the fault script; it need not be sorted.
 	Events []Event

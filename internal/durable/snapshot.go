@@ -84,11 +84,14 @@ var snapMagic = [4]byte{'H', 'S', 'N', '1'}
 // maxSnapshotSlice bounds every slice length a decoder will accept.
 const maxSnapshotSlice = 1 << 26
 
-// AppendSnapshot appends the encoding of s to dst.
+// AppendSnapshot appends the encoding of s to dst. The trailing CRC
+// covers the snapshot's own bytes only, so the encoding is position
+// independent — it may be embedded mid-stream (transfer streams do).
 func AppendSnapshot(dst []byte, s *RunSnapshot) []byte {
 	if len(s.ID) > 1<<16-1 {
 		panic("durable: run id exceeds snapshot format")
 	}
+	start := len(dst)
 	dst = append(dst, snapMagic[:]...)
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s.ID)))
 	dst = append(dst, s.ID...)
@@ -144,7 +147,7 @@ func AppendSnapshot(dst []byte, s *RunSnapshot) []byte {
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(st.Worker))
 	}
 	dst = appendBytes(dst, s.DriverOps)
-	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(dst, crcTable))
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(dst[start:], crcTable))
 }
 
 func appendBytes(dst, b []byte) []byte {

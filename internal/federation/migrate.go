@@ -1,0 +1,480 @@
+package federation
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"hetsched/internal/durable"
+	"hetsched/internal/service"
+)
+
+// This file is the fleet side of live run migration: the router knows
+// where every run should live (the ring) and drives the service
+// layer's snapshot-ship-replay transfer to make reality match. Two
+// entry points:
+//
+//	SetEpoch     planned rebalance — step the placement epoch and move
+//	             every run whose owner changed, source still alive
+//	RecoverHost  death path — a target crashed; scavenge its runs from
+//	             its journal directory into their new ring owners
+//
+// Both hold the handoff lock, publish the moving-run set (polls on
+// those runs answer 503 + Retry-After at the router until the handoff
+// resolves), and swap the ring pointer only after the moves are done,
+// so a poll is never routed to a host that does not yet — or no
+// longer — own its run.
+
+// move is one planned run relocation.
+type move struct {
+	id       string
+	src, dst int
+}
+
+// SetEpoch steps the placement epoch: it builds the ring the fleet
+// should converge on, migrates every run whose owner moved (snapshot-
+// ship-replay, exactly-once — a run whose transfer fails stays on its
+// source and is reported in the returned error), and then atomically
+// publishes the new ring. Polls for moving runs answer 503 +
+// Retry-After during the handoff; polls for everything else are
+// untouched. A no-op when the epoch already matches.
+func (rt *Router) SetEpoch(epoch uint64) error {
+	rt.handoffMu.Lock()
+	defer rt.handoffMu.Unlock()
+	cur := rt.ring.Load()
+	if cur.Epoch() == epoch {
+		return nil
+	}
+	next, err := NewRing(cur.Hosts(), cur.Vnodes(), epoch)
+	if err != nil {
+		return err
+	}
+	moves, err := rt.plan(next)
+	if err != nil {
+		return err
+	}
+	return rt.handoff(next, moves)
+}
+
+// plan enumerates every run the fleet holds and returns the ones whose
+// owner under next differs from the target currently holding them.
+// Hosts marked down hold nothing reachable (their runs come back via
+// RecoverHost); an unreachable live host is an error — rebalancing
+// around a host we cannot export from would strand its runs behind a
+// ring that routes elsewhere.
+func (rt *Router) plan(next *Ring) ([]move, error) {
+	down := rt.down.Load()
+	var moves []move
+	for i := range rt.targets {
+		if down&(1<<uint(i)) != 0 {
+			continue
+		}
+		t := &rt.targets[i]
+		var ids []string
+		if t.Server != nil {
+			for _, run := range t.Server.Registry().Runs() {
+				if !run.Expired() {
+					ids = append(ids, run.ID)
+				}
+			}
+		} else {
+			var part service.RunList
+			if err := rt.getJSON(t, "/v1/runs", &part); err != nil {
+				return nil, fmt.Errorf("federation: listing runs on %q: %w", t.Name, err)
+			}
+			for _, info := range part.Runs {
+				ids = append(ids, info.ID)
+			}
+		}
+		for _, id := range ids {
+			if dst := rt.ownerOn(next, id, down); dst != i {
+				moves = append(moves, move{id: id, src: i, dst: dst})
+			}
+		}
+	}
+	return moves, nil
+}
+
+// ownerOn is OwnerLive on an arbitrary ring (the next ring during a
+// handoff, before it is published).
+func (rt *Router) ownerOn(r *Ring, id string, down uint64) int {
+	if down != 0 {
+		return r.OwnerLive(id, down)
+	}
+	return r.Owner(id)
+}
+
+// handoff executes a planned set of moves under the published
+// moving-run set, then swaps the ring. Failed moves leave their runs
+// on the source (the service layer aborted and unfenced); they stay
+// routable through the override table and are collected into the
+// returned error, but do not block the ring swap — the epoch has been
+// decided, and a stranded run is at least still being served by a live
+// host that the next SetEpoch or an operator retry can move.
+func (rt *Router) handoff(next *Ring, moves []move) error {
+	if len(moves) > 0 {
+		m := make(map[string]bool, len(moves))
+		for _, mv := range moves {
+			m[mv.id] = true
+		}
+		rt.moving.Store(&m)
+		defer rt.moving.Store(nil)
+	}
+	var errs []string
+	stranded := make(map[string]int32)
+	for _, mv := range moves {
+		if err := rt.migrate(mv); err != nil {
+			stranded[mv.id] = int32(mv.src)
+			errs = append(errs, fmt.Sprintf("%s: %v", mv.id, err))
+		}
+	}
+	// The fleet now matches the new ring (plan enumerated actual
+	// placement, holders included runs parked in the override table), so
+	// the table resets to just the strandings.
+	if len(stranded) > 0 {
+		rt.overrides.Store(&stranded)
+	} else {
+		rt.overrides.Store(nil)
+	}
+	rt.ring.Store(next)
+	if len(errs) > 0 {
+		return fmt.Errorf("federation: %d of %d migrations failed: %s", len(errs), len(moves), strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// MigrateRun moves one run to the named target and records the
+// placement in the override table, so the router keeps routing its
+// polls correctly even though the ring disagrees — the explicit-move
+// primitive (drain a host, chase data locality) under the same fence
+// and 503 handoff window as a rebalance. The next SetEpoch or
+// RecoverHost reconciles the run back onto the ring.
+func (rt *Router) MigrateRun(id, dstName string) error {
+	rt.handoffMu.Lock()
+	defer rt.handoffMu.Unlock()
+	di, err := rt.targetIndex(dstName)
+	if err != nil {
+		return err
+	}
+	src := rt.owner(id)
+	if src == di {
+		return nil
+	}
+	m := map[string]bool{id: true}
+	rt.moving.Store(&m)
+	defer rt.moving.Store(nil)
+	if err := rt.migrate(move{id: id, src: src, dst: di}); err != nil {
+		return err
+	}
+	next := make(map[string]int32)
+	if old := rt.overrides.Load(); old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	if rt.downAware(di, id) {
+		delete(next, id)
+	} else {
+		next[id] = int32(di)
+	}
+	if len(next) > 0 {
+		rt.overrides.Store(&next)
+	} else {
+		rt.overrides.Store(nil)
+	}
+	return nil
+}
+
+// downAware reports whether dst is already where the ring (with the
+// current down mask) would place id — in which case no override is
+// needed.
+func (rt *Router) downAware(dst int, id string) bool {
+	if mask := rt.down.Load(); mask != 0 {
+		return rt.ring.Load().OwnerLive(id, mask) == dst
+	}
+	return rt.ring.Load().Owner(id) == dst
+}
+
+// migrate moves one run between targets, picking the transport the
+// topology offers: in-process hand-off when both ends are direct, the
+// source's HTTP migrate endpoint when the source is remote, a direct
+// push to the destination's import endpoint when only the source is
+// in-process.
+func (rt *Router) migrate(mv move) error {
+	src, dst := &rt.targets[mv.src], &rt.targets[mv.dst]
+	switch {
+	case src.Server != nil && dst.Server != nil:
+		return src.Server.MigrateTo(mv.id, dst.Server)
+	case src.Server != nil && dst.URL != "":
+		return src.Server.MigrateToURL(mv.id, dst.URL)
+	case src.Server == nil && dst.URL != "":
+		return rt.migrateRemote(src, dst, mv.id)
+	default:
+		return fmt.Errorf("destination %q has no URL a remote source can push to", dst.Name)
+	}
+}
+
+// migrateRemote drives a remote source's migrate endpoint: the source
+// does the fence-export-push-commit dance itself; the router only
+// names the destination.
+func (rt *Router) migrateRemote(src, dst *Target, id string) error {
+	body := strings.NewReader(fmt.Sprintf("{\"target\":%q}", dst.URL))
+	req, err := http.NewRequest(http.MethodPost, src.URL+"/v1/runs/"+id+"/migrate", body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("source %q unreachable: %w", src.Name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("source %q answered %d", src.Name, resp.StatusCode)
+	}
+	return nil
+}
+
+// MarkDown flags the named target as dead: placement steers around it
+// (OwnerLive) until MarkUp. Returns the target's index.
+func (rt *Router) MarkDown(name string) (int, error) {
+	i, err := rt.targetIndex(name)
+	if err != nil {
+		return 0, err
+	}
+	if i >= 64 {
+		return 0, fmt.Errorf("federation: down-mask supports 64 targets, %q is index %d", name, i)
+	}
+	for {
+		old := rt.down.Load()
+		if rt.down.CompareAndSwap(old, old|1<<uint(i)) {
+			return i, nil
+		}
+	}
+}
+
+// MarkUp clears a target's dead flag (it rejoined with an empty or
+// freshly-recovered state; the ring routes to it again).
+func (rt *Router) MarkUp(name string) error {
+	i, err := rt.targetIndex(name)
+	if err != nil {
+		return err
+	}
+	for {
+		old := rt.down.Load()
+		if rt.down.CompareAndSwap(old, old&^(1<<uint(i))) {
+			return nil
+		}
+	}
+}
+
+func (rt *Router) targetIndex(name string) (int, error) {
+	for i := range rt.targets {
+		if rt.targets[i].Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("federation: unknown target %q", name)
+}
+
+// RecoverHost is the death path: the named target crashed, and its
+// runs are rebuilt on their new ring owners from the journal directory
+// the dead process left behind (Target.JournalDir) instead of being
+// declared lost. The dead host is marked down first, so placement —
+// including the recovered runs' new homes — steers around it; epoch
+// optionally steps the ring in the same handoff (pass the current
+// epoch to keep it). Each run is extracted (durable.ExtractTransfer:
+// best snapshot plus contiguous journal tail, CRC-checked) and
+// imported into its owner; runs that fail to extract or import are
+// reported in the error, not silently dropped.
+func (rt *Router) RecoverHost(dead string, epoch uint64) error {
+	rt.handoffMu.Lock()
+	defer rt.handoffMu.Unlock()
+	di, err := rt.targetIndex(dead)
+	if err != nil {
+		return err
+	}
+	dt := &rt.targets[di]
+	if dt.JournalDir == "" {
+		return fmt.Errorf("federation: target %q has no JournalDir to recover from", dead)
+	}
+	if di >= 64 {
+		return fmt.Errorf("federation: down-mask supports 64 targets, %q is index %d", dead, di)
+	}
+	for {
+		old := rt.down.Load()
+		if rt.down.CompareAndSwap(old, old|1<<uint(di)) {
+			break
+		}
+	}
+	down := rt.down.Load()
+	cur := rt.ring.Load()
+	next := cur
+	if cur.Epoch() != epoch {
+		if next, err = NewRing(cur.Hosts(), cur.Vnodes(), epoch); err != nil {
+			return err
+		}
+	}
+	ids, err := durable.TransferRuns(dt.JournalDir)
+	if err != nil {
+		return fmt.Errorf("federation: scanning %q journal: %w", dead, err)
+	}
+	// Everything the dead host owed moves, and if the epoch stepped,
+	// live hosts' runs may move too — fold both into one handoff.
+	var moves []move
+	for _, id := range ids {
+		moves = append(moves, move{id: id, src: di, dst: rt.ownerOn(next, id, down)})
+	}
+	liveMoves := []move(nil)
+	if next != cur {
+		if liveMoves, err = rt.plan(next); err != nil {
+			return err
+		}
+	}
+	if len(moves)+len(liveMoves) > 0 {
+		m := make(map[string]bool, len(moves)+len(liveMoves))
+		for _, mv := range moves {
+			m[mv.id] = true
+		}
+		for _, mv := range liveMoves {
+			m[mv.id] = true
+		}
+		rt.moving.Store(&m)
+		defer rt.moving.Store(nil)
+	}
+	var errs []string
+	for _, mv := range moves {
+		if err := rt.recoverRun(dt, &rt.targets[mv.dst], mv.id); err != nil {
+			// The source is dead, so there is nowhere to strand the run:
+			// it stays on disk in the dead journal dir for a retry.
+			errs = append(errs, fmt.Sprintf("%s: %v", mv.id, err))
+		}
+	}
+	stranded := make(map[string]int32)
+	if next == cur {
+		// No rebalance ran, so existing explicit-move overrides still
+		// describe where their runs physically sit — preserve them,
+		// except for runs just scavenged off the corpse.
+		if old := rt.overrides.Load(); old != nil {
+			scavenged := make(map[string]bool, len(moves))
+			for _, mv := range moves {
+				scavenged[mv.id] = true
+			}
+			for id, t := range *old {
+				if !scavenged[id] {
+					stranded[id] = t
+				}
+			}
+		}
+	}
+	for _, mv := range liveMoves {
+		if err := rt.migrate(mv); err != nil {
+			stranded[mv.id] = int32(mv.src)
+			errs = append(errs, fmt.Sprintf("%s: %v", mv.id, err))
+		}
+	}
+	if len(stranded) > 0 {
+		rt.overrides.Store(&stranded)
+	} else {
+		rt.overrides.Store(nil)
+	}
+	rt.ring.Store(next)
+	if len(errs) > 0 {
+		return fmt.Errorf("federation: recovering %q: %d runs failed: %s", dead, len(errs), strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// RingStatus is the admin view of the router's placement state.
+type RingStatus struct {
+	Epoch  uint64   `json:"epoch"`
+	Vnodes int      `json:"vnodes"`
+	Hosts  []string `json:"hosts"`
+	Down   []string `json:"down,omitempty"`
+}
+
+// handleRing serves GET /v1/ring: the current placement parameters.
+func (rt *Router) handleRing(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		errJSON(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	ring := rt.ring.Load()
+	st := RingStatus{Epoch: ring.Epoch(), Vnodes: ring.Vnodes(), Hosts: ring.Hosts()}
+	mask := rt.down.Load()
+	for i := range rt.targets {
+		if i < 64 && mask&(1<<uint(i)) != 0 {
+			st.Down = append(st.Down, rt.targets[i].Name)
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleRingEpoch serves POST /v1/ring/epoch {"epoch": N}: step the
+// placement epoch and rebalance the fleet (SetEpoch). The response
+// reports the resulting ring; a partial failure is a 502 with the
+// stranded runs named.
+func (rt *Router) handleRingEpoch(w http.ResponseWriter, r *http.Request) {
+	var q struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if !rt.decodeAdmin(w, r, &q) {
+		return
+	}
+	if err := rt.SetEpoch(q.Epoch); err != nil {
+		errJSON(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	ring := rt.ring.Load()
+	writeJSON(w, http.StatusOK, RingStatus{Epoch: ring.Epoch(), Vnodes: ring.Vnodes(), Hosts: ring.Hosts()})
+}
+
+// handleRingRecover serves POST /v1/ring/recover {"host": name,
+// "epoch": N}: declare a target dead and scavenge its runs from its
+// journal directory into the fleet under the given epoch (RecoverHost).
+func (rt *Router) handleRingRecover(w http.ResponseWriter, r *http.Request) {
+	var q struct {
+		Host  string `json:"host"`
+		Epoch uint64 `json:"epoch"`
+	}
+	if !rt.decodeAdmin(w, r, &q) {
+		return
+	}
+	if err := rt.RecoverHost(q.Host, q.Epoch); err != nil {
+		errJSON(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	ring := rt.ring.Load()
+	writeJSON(w, http.StatusOK, RingStatus{Epoch: ring.Epoch(), Vnodes: ring.Vnodes(), Hosts: ring.Hosts()})
+}
+
+func (rt *Router) decodeAdmin(w http.ResponseWriter, r *http.Request, out any) bool {
+	if r.Method != http.MethodPost {
+		errJSON(w, http.StatusMethodNotAllowed, "method not allowed")
+		return false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, rt.opts.MaxBodyBytes)
+	if err := service.DecodeStrict(r.Body, out); err != nil {
+		errJSON(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return false
+	}
+	return true
+}
+
+// recoverRun scavenges one run from a dead target's journal directory
+// and imports it into dst. The source cannot fence or commit — it is
+// dead — so exactly-once rests on the import being idempotent-checked
+// (a duplicate id refuses) and on the dead host staying down-masked:
+// if the process resurrects with its stale copy, the ring never routes
+// a poll to it, and its TTL janitor sweeps the orphan.
+func (rt *Router) recoverRun(src, dst *Target, id string) error {
+	stream, err := durable.ExtractTransfer(src.JournalDir, id)
+	if err != nil {
+		return err
+	}
+	if dst.Server != nil {
+		_, err := dst.Server.ImportRun(stream)
+		return err
+	}
+	return service.PushTransfer(rt.client, dst.URL, stream)
+}

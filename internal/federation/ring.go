@@ -10,10 +10,12 @@
 // epoch): no membership gossip, no state. Two routers configured with
 // the same triple agree on every placement, across process restarts —
 // which is also what lets the deterministic cluster harness pin an
-// epoch and hash federated scenarios bit-for-bit. Run migration on
-// membership change is out of scope until the durable journal lands
-// (see ROADMAP item 1); today a host crash surfaces as its runs
-// erroring exactly like a single-host crash.
+// epoch and hash federated scenarios bit-for-bit. Stepping the epoch
+// produces a fresh placement for the same host set; the router's
+// SetEpoch migrates every run whose owner moved (snapshot-ship-replay
+// via the service layer's transfer endpoints), and RecoverHost
+// scavenges a crashed owner's runs from its journal directory into
+// their new ring owners instead of declaring them lost.
 package federation
 
 import (
@@ -110,6 +112,41 @@ func (r *Ring) Owner(id string) int {
 			hi = mid
 		} else {
 			lo = mid + 1
+		}
+	}
+	if lo == len(r.points) {
+		lo = 0
+	}
+	return int(r.owner[lo])
+}
+
+// OwnerLive returns the owner of id skipping the hosts whose bit is
+// set in the down mask (bit i = host index i) — the placement a fleet
+// converges on while a host is dead. It walks clockwise from the id's
+// point, so only the dead hosts' runs land elsewhere; everything else
+// keeps its Owner placement. Allocation-free. A mask downing every
+// host falls back to plain Owner (routing somewhere beats routing
+// nowhere, and the caller is about to get an unreachable-host error
+// anyway).
+func (r *Ring) OwnerLive(id string, down uint64) int {
+	h := mix64(fnvString(fnvOffset, id))
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.points[mid] > h {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	for i := 0; i < len(r.points); i++ {
+		p := lo + i
+		if p >= len(r.points) {
+			p -= len(r.points)
+		}
+		host := int(r.owner[p])
+		if host >= 64 || down&(1<<uint(host)) == 0 {
+			return host
 		}
 	}
 	if lo == len(r.points) {

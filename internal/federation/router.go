@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hetsched/internal/rng"
@@ -28,6 +29,11 @@ type Target struct {
 	Name   string
 	Server *service.Server
 	URL    string
+	// JournalDir, when set, is the host's journal directory as seen
+	// from the router's filesystem. RecoverHost scavenges a crashed
+	// target's runs from it (durable.ExtractTransfer) into their new
+	// ring owners; without it a crash still loses the dead host's runs.
+	JournalDir string
 }
 
 // Options configures a Router.
@@ -64,10 +70,25 @@ type Options struct {
 // counters across hosts and labels per-run rows with the owning host,
 // and /v1/events fans every host's firehose into one SSE stream.
 type Router struct {
-	ring    *Ring
+	// ring is the live placement; SetEpoch swaps it atomically after a
+	// rebalance, so the hot path pays one pointer load, no lock.
+	ring    atomic.Pointer[Ring]
 	targets []Target
 	opts    Options
 	client  *http.Client
+
+	// handoffMu serializes rebalances (SetEpoch, RecoverHost,
+	// MigrateRun); moving holds the run ids mid-handoff (nil when none
+	// — the steady-state poll path pays one nil check); down is a
+	// bitmask of target indexes known dead, steered around by
+	// OwnerLive; overrides maps runs placed off-ring by an explicit
+	// MigrateRun (or stranded by a failed rebalance move) to their
+	// actual holder, cleared when a rebalance reconciles the fleet to
+	// its ring (nil when empty, so the steady path pays one nil check).
+	handoffMu sync.Mutex
+	moving    atomic.Pointer[map[string]bool]
+	down      atomic.Uint64
+	overrides atomic.Pointer[map[string]int32]
 
 	// bufs holds the pooled per-connection proxy scratch (32 KiB
 	// copy buffers, daemon mode only).
@@ -115,18 +136,39 @@ func NewRouter(targets []Target, opts Options) (*Router, error) {
 		}}
 	}
 	rt := &Router{
-		ring:    ring,
 		targets: append([]Target(nil), targets...),
 		opts:    opts,
 		client:  client,
 		idrng:   rng.New(uint64(time.Now().UnixNano())),
 	}
+	rt.ring.Store(ring)
 	rt.bufs.New = func() any { b := make([]byte, 32<<10); return &b }
 	return rt, nil
 }
 
-// Ring exposes the router's placement ring.
-func (rt *Router) Ring() *Ring { return rt.ring }
+// Ring exposes the router's current placement ring.
+func (rt *Router) Ring() *Ring { return rt.ring.Load() }
+
+// OwnerOf returns the target index the router would route id to right
+// now: the override table, then the ring steered around dead hosts —
+// the authoritative placement, where Ring().Owner is only the pure
+// hash. Allocation-free.
+func (rt *Router) OwnerOf(id string) int { return rt.owner(id) }
+
+// owner routes id: the override table first (runs explicitly migrated
+// off-ring), then the current ring, steering around hosts marked
+// down. Allocation-free either way.
+func (rt *Router) owner(id string) int {
+	if m := rt.overrides.Load(); m != nil {
+		if o, ok := (*m)[id]; ok {
+			return int(o)
+		}
+	}
+	if mask := rt.down.Load(); mask != 0 {
+		return rt.ring.Load().OwnerLive(id, mask)
+	}
+	return rt.ring.Load().Owner(id)
+}
 
 // Targets returns the fronted hosts (aliasing the router's slice; do
 // not mutate).
@@ -139,7 +181,7 @@ func (rt *Router) Targets() []Target { return rt.targets }
 // ok is false when the run is unknown on its owner or the owner is a
 // remote target (daemon mode has no in-process handle to return).
 func (rt *Router) Lookup(id string) (run *service.Run, owner int, ok bool) {
-	owner = rt.ring.Owner(id)
+	owner = rt.owner(id)
 	t := &rt.targets[owner]
 	if t.Server == nil {
 		return nil, owner, false
@@ -153,13 +195,23 @@ func (rt *Router) Lookup(id string) (run *service.Run, owner int, ok bool) {
 // the untouched request to the owning host.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	path := r.URL.Path
-	if rest, found := strings.CutPrefix(path, "/v1/runs/"); found && rest != "" {
+	if rest, found := strings.CutPrefix(path, "/v1/runs/"); found && rest != "" && rest != "import" {
+		// "import" is the host-level transfer endpoint, not a run id;
+		// migrations are host-to-host and never traverse the router.
 		id := rest
 		if i := strings.IndexByte(rest, '/'); i >= 0 {
 			id = rest[:i]
 		}
 		if id != "" {
-			rt.forward(w, r, rt.ring.Owner(id))
+			if m := rt.moving.Load(); m != nil && (*m)[id] {
+				// Mid-handoff: neither copy may serve this run right now.
+				// A deterministic 503 with a hint beats racing the
+				// transfer; the next retry lands on the new owner.
+				w.Header().Set("Retry-After", strconv.Itoa(int((rt.opts.RetryAfter+time.Second-1)/time.Second)))
+				errJSON(w, http.StatusServiceUnavailable, fmt.Sprintf("run %q is migrating; retry", id))
+				return
+			}
+			rt.forward(w, r, rt.owner(id))
 			return
 		}
 	}
@@ -173,6 +225,12 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		default:
 			errJSON(w, http.StatusMethodNotAllowed, "method not allowed")
 		}
+	case "/v1/ring":
+		rt.handleRing(w, r)
+	case "/v1/ring/epoch":
+		rt.handleRingEpoch(w, r)
+	case "/v1/ring/recover":
+		rt.handleRingRecover(w, r)
 	case "/v1/metrics":
 		rt.handleMetrics(w, r)
 	case "/v1/events":
@@ -285,7 +343,7 @@ func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if q.ID == "" {
 		q.ID = rt.newID()
 	}
-	owner := rt.ring.Owner(q.ID)
+	owner := rt.owner(q.ID)
 	body, err := json.Marshal(q)
 	if err != nil {
 		errJSON(w, http.StatusInternalServerError, fmt.Sprintf("encoding request: %v", err))

@@ -96,6 +96,7 @@ var ServiceBenchmarks = []Benchmark{
 	{Name: "ServiceHostNextParallel", F: ServiceHostNextParallel, Parallel: true},
 	{Name: "ServiceHostNextParallelEvents", F: ServiceHostNextParallelEvents, Parallel: true},
 	{Name: "ServiceRouterNext", F: ServiceRouterNext, Hosts: 4},
+	{Name: "ServiceMigrate25k", F: ServiceMigrate25k, Hosts: 2},
 	{Name: "ClusterHost1k", F: ClusterHost1k},
 	{Name: "ClusterHost10k", F: ClusterHost10k},
 	{Name: "ClusterHost100k", F: ClusterHost100k},
@@ -105,13 +106,15 @@ var ServiceBenchmarks = []Benchmark{
 
 // CIBenchmarks is the small poll-hot-path subset the CI workflow runs
 // on every push and compares against the committed BENCH_ci.json
-// baseline: the contended single-host row, the journaled poll row and
-// the federated router row — the three numbers a perf regression on
-// the poll path cannot hide from.
+// baseline: the contended single-host row, the journaled poll row,
+// the federated router row and the migration handoff row — the four
+// numbers a perf regression on the poll or handoff path cannot hide
+// from.
 var CIBenchmarks = []Benchmark{
 	{Name: "ServiceHostNextParallel", F: ServiceHostNextParallel, Parallel: true},
 	{Name: "ServiceHostNextJournal", F: ServiceHostNextJournal},
 	{Name: "ServiceRouterNext", F: ServiceRouterNext, Hosts: 4},
+	{Name: "ServiceMigrate25k", F: ServiceMigrate25k, Hosts: 2},
 }
 
 // SimRandomOuter simulates RandomOuter at the paper's scale (n=100,
@@ -564,4 +567,55 @@ func serviceHostNextParallelBench(b *testing.B, withEvents bool) {
 			}
 		}
 	})
+}
+
+// ServiceMigrate25k prices a live migration at fleet scale: one op is
+// one complete snapshot-ship-replay handoff (BeginMigrate export →
+// DecodeTransfer → apply()-replay import → commit) of a run whose
+// worker slab holds 25,000 registered workers with leases armed,
+// ping-ponged between two in-process schedd servers. ns/op is the
+// ownership-transfer window a fleet sees per migrated run — the time
+// during which that run's polls answer 409/410 instead of a grant —
+// so 1e9/ns_per_op is "runs migrated per second" for the CI gate.
+func ServiceMigrate25k(b *testing.B) {
+	const n, p, batch = 128, 25000, 4
+	srv := [2]*service.Server{
+		service.New(service.Options{GCInterval: -1}),
+		service.New(service.Options{GCInterval: -1}),
+	}
+	defer srv[0].Close()
+	defer srv[1].Close()
+	const id = "mig-bench"
+	body, err := json.Marshal(service.CreateRunRequest{
+		ID: id, Kernel: service.KernelOuter, Strategy: "2phases",
+		N: n, P: p, Seed: 1, Batch: batch, LeaseSeconds: 3600,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/runs", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	srv[0].ServeHTTP(rec, req)
+	if rec.Code != http.StatusCreated {
+		b.Fatalf("create: status %d: %s", rec.Code, rec.Body)
+	}
+	// Register the whole fleet: every worker polls once, so the
+	// snapshot the migration ships carries the full 25k-entry worker
+	// slab, the open trace segments and a live grant table.
+	run, ok := srv[0].Registry().Get(id)
+	if !ok {
+		b.Fatal("run vanished after create")
+	}
+	for w := 0; w < p; w++ {
+		if _, _, err := run.Host.Next(w, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := srv[i%2].MigrateTo(id, srv[(i+1)%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

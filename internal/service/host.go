@@ -133,6 +133,14 @@ type Host struct {
 	runID  string
 	muts   uint64
 	replay bool
+	// fence is the migration gate (fenceNone/fencePending/
+	// fenceCommitted). Checked under the worker's stripe lock on every
+	// apply and under all locks by the reclaim pass, so Fence() —
+	// which sets it and then drains by cycling every lock — fully
+	// serializes against in-flight mutations: after Fence returns, the
+	// state is frozen and fillSnapshot cuts exactly what the
+	// destination will replay.
+	fence atomic.Int32
 	// opLog is the driver's persisted form: every successful driver
 	// call (grant step, completion report, reclaim return) appended in
 	// execution order, under mu. Drivers are deterministic, so
@@ -215,6 +223,33 @@ const maxStripes = 64
 type taskOwner struct {
 	task   core.Task
 	worker int
+}
+
+// Fence states: a fenced host rejects every mutation so a migration
+// can cut a consistent snapshot and hand ownership over without a
+// straggling poll mutating state that was already shipped.
+const (
+	fenceNone      = 0 // serving normally
+	fencePending   = 1 // handoff in progress: polls draw 409 and may retry
+	fenceCommitted = 2 // the run left this host for good: polls draw 410
+)
+
+// MigratedError rejects a poll or completion on a run that is fenced
+// for migration. While the handoff is in flight (Done == false) the
+// server answers 409 Conflict — the worker retries and lands on
+// whichever host wins. Once the migration committed (Done == true) the
+// stale owner answers 410 Gone deterministically: the run lives
+// elsewhere and no late completion can ever double-count here.
+type MigratedError struct {
+	Run  string
+	Done bool
+}
+
+func (e *MigratedError) Error() string {
+	if e.Done {
+		return fmt.Sprintf("run %q migrated to another host", e.Run)
+	}
+	return fmt.Sprintf("run %q is migrating; retry", e.Run)
 }
 
 // LeaseExpiredError rejects a completion report for a task whose lease
@@ -608,6 +643,14 @@ func (h *Host) apply(timeNs int64, w int, completed []core.Task) (core.Assignmen
 	st := h.stripe(w)
 	slot := &h.slots[w]
 	st.mu.Lock()
+	// Migration fence: either this poll took the stripe before Fence()
+	// (which drains by cycling every stripe, so the poll completes
+	// before the snapshot is cut) or it arrives after and is rejected
+	// wholesale before anything mutates.
+	if f := h.fence.Load(); f != fenceNone {
+		st.mu.Unlock()
+		return core.Assignment{}, "", &MigratedError{Run: h.runID, Done: f == fenceCommitted}
+	}
 	// Small reports get the quadratic duplicate pre-scan so a
 	// hand-written malformed request draws the duplicate diagnosis
 	// regardless of what else is wrong with it. Large reports skip it:
@@ -881,6 +924,13 @@ func (h *Host) ReclaimExpired() int {
 func (h *Host) reclaimAll(now time.Time) int {
 	h.lockStripes()
 	h.mu.Lock()
+	if h.fence.Load() != fenceNone {
+		// A fenced host's grants travel with the snapshot; reclaiming
+		// them here would diverge from what the destination replays.
+		h.mu.Unlock()
+		h.unlockStripes()
+		return 0
+	}
 	n := h.reclaimLocked(now)
 	if h.ev != nil {
 		h.flushEventsLocked()
@@ -991,6 +1041,39 @@ func (h *Host) reclaimLocked(now time.Time) int {
 	}
 	return len(expired)
 }
+
+// Fence freezes the host for migration: every subsequent mutation —
+// polls, completions, lease reclaims — is rejected with
+// *MigratedError (409) until Unfence or commitFence resolves the
+// handoff. It reports whether this call won the fence; a false return
+// means a migration is already in flight or committed (the
+// double-migrate guard). On return every in-flight mutation has
+// drained, so a snapshot cut afterwards is the run's final state on
+// this host.
+func (h *Host) Fence() bool {
+	if !h.fence.CompareAndSwap(fenceNone, fencePending) {
+		return false
+	}
+	// Drain: cycling every stripe plus the core lock guarantees no
+	// apply that missed the flag is still mutating.
+	h.lockStripes()
+	h.mu.Lock()
+	h.mu.Unlock()
+	h.unlockStripes()
+	return true
+}
+
+// Unfence aborts a migration: the host resumes serving. Only valid
+// after a successful Fence whose handoff failed.
+func (h *Host) Unfence() { h.fence.Store(fenceNone) }
+
+// commitFence marks the handoff complete: the run now lives on the
+// destination and every late poll here draws a deterministic 410.
+func (h *Host) commitFence() { h.fence.Store(fenceCommitted) }
+
+// Fenced reports whether the host is currently fenced (pending or
+// committed).
+func (h *Host) Fenced() bool { return h.fence.Load() != fenceNone }
 
 // State returns the host's lifecycle view: created before the first
 // valid worker poll, complete once the driver is drained and every

@@ -86,6 +86,13 @@ type Registry struct {
 	seq   atomic.Uint64
 	idmu  sync.Mutex
 	idrng *rng.PCG
+
+	// tombs records runs that migrated away from this host, so a stale
+	// worker's lookup answers a deterministic 410 ("migrated") instead
+	// of 404. An entry is cleared if the run migrates back. Off the hot
+	// path: lookups consult it only after the shard map missed.
+	tombMu sync.Mutex
+	tombs  map[string]bool
 }
 
 type registryShard struct {
@@ -192,6 +199,46 @@ func (g *Registry) AddNew(run *Run) (bool, error) {
 	}
 	s.runs[run.ID] = run
 	return true, nil
+}
+
+// AddRecovered registers an imported (migrated-in) run unless the ID
+// is already present, reporting whether it was added. Nothing is
+// journaled — the importer has already made the run durable by writing
+// its snapshot — but a tombstone from an earlier migrate-away of the
+// same run is cleared: the run is back.
+func (g *Registry) AddRecovered(run *Run) bool {
+	s := g.shardFor(run.ID)
+	s.mu.Lock()
+	if _, ok := s.runs[run.ID]; ok {
+		s.mu.Unlock()
+		return false
+	}
+	s.runs[run.ID] = run
+	s.mu.Unlock()
+	g.tombMu.Lock()
+	delete(g.tombs, run.ID)
+	g.tombMu.Unlock()
+	return true
+}
+
+// MigrateOut removes the run and leaves a tombstone: subsequent
+// lookups answer 410 ("migrated") instead of 404, so a stale worker
+// that raced the handoff gets a deterministic rejection.
+func (g *Registry) MigrateOut(id string) {
+	g.tombMu.Lock()
+	if g.tombs == nil {
+		g.tombs = make(map[string]bool)
+	}
+	g.tombs[id] = true
+	g.tombMu.Unlock()
+	g.Remove(id)
+}
+
+// MigratedOut reports whether id was migrated away from this host.
+func (g *Registry) MigratedOut(id string) bool {
+	g.tombMu.Lock()
+	defer g.tombMu.Unlock()
+	return g.tombs[id]
 }
 
 // Get returns the run with the given ID.

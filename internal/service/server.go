@@ -77,6 +77,11 @@ type Options struct {
 	// background replay until the channel is closed — a test hook for
 	// observing the recovering window deterministically.
 	RecoverGate <-chan struct{}
+	// MigrateClient is the HTTP client the migrate endpoint uses to push
+	// transfer streams to a destination host (nil selects a default
+	// client with a 30s timeout). The federation router and tests inject
+	// transports here.
+	MigrateClient *http.Client
 }
 
 func (o *Options) fill() {
@@ -167,6 +172,8 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleInfo)
 	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleDelete)
 	s.mux.HandleFunc("POST /v1/runs/{id}/next", s.handleNext)
+	s.mux.HandleFunc("POST /v1/runs/{id}/migrate", s.handleMigrate)
+	s.mux.HandleFunc("POST /v1/runs/import", s.handleImport)
 	s.mux.HandleFunc("GET /v1/runs/{id}/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleRunEvents)
@@ -436,6 +443,13 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*Run, bool) {
 	id := r.PathValue("id")
 	run, ok := s.reg.Get(id)
 	if !ok {
+		if s.reg.MigratedOut(id) {
+			// The tombstone makes a stale owner's rejection deterministic:
+			// a worker that kept polling the old host after its run moved
+			// learns the run is gone here for good, not merely unknown.
+			writeError(w, http.StatusGone, fmt.Sprintf("run %q migrated to another host", id))
+			return nil, false
+		}
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown run %q (expired runs are garbage collected)", id))
 		return nil, false
 	}
@@ -570,6 +584,19 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		var lerr *LeaseExpiredError
 		if errors.As(err, &lerr) {
 			writeError(w, http.StatusConflict, err.Error())
+			return
+		}
+		// A fenced run is mid-handoff (409: retry and the router will
+		// land you on the new owner) or already gone (410: this host
+		// will never serve it again).
+		var merr *MigratedError
+		if errors.As(err, &merr) {
+			if merr.Done {
+				writeError(w, http.StatusGone, err.Error())
+			} else {
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusConflict, err.Error())
+			}
 			return
 		}
 		// A journal commit failure is the server's fault, not the
